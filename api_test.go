@@ -1,0 +1,106 @@
+package regsim
+
+import (
+	"testing"
+)
+
+func TestQuickstartPath(t *testing.T) {
+	p, err := Workload("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(DefaultConfig(), p, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CommitIPC() <= 0.5 || res.CommitIPC() > 4 {
+		t.Errorf("implausible commit IPC %.2f", res.CommitIPC())
+	}
+	if res.Committed < 10_000 {
+		t.Errorf("committed %d", res.Committed)
+	}
+}
+
+func TestWorkloadRegistry(t *testing.T) {
+	names := Workloads()
+	if len(names) != 9 {
+		t.Fatalf("%d workloads, want the paper's 9", len(names))
+	}
+	for _, n := range names {
+		info, err := WorkloadByName(n)
+		if err != nil || info.Name != n {
+			t.Errorf("WorkloadByName(%s): %v", n, err)
+		}
+	}
+	if _, err := Workload("not-a-benchmark"); err == nil {
+		t.Error("unknown workload built")
+	}
+}
+
+func TestConfigValidationSurfaces(t *testing.T) {
+	p, _ := Workload("ora")
+	cfg := DefaultConfig()
+	cfg.Width = 5
+	if _, err := Run(cfg, p, 100); err == nil {
+		t.Error("width 5 accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.RegsPerFile = 16
+	if _, err := Run(cfg, p, 100); err == nil {
+		t.Error("16 registers accepted")
+	}
+}
+
+func TestExceptionModelSwitch(t *testing.T) {
+	p, _ := Workload("tomcatv")
+	cfg := DefaultConfig()
+	cfg.Width = 8
+	cfg.QueueSize = 64
+	cfg.RegsPerFile = 64
+	var ipc [2]float64
+	for i, model := range []ExceptionModel{Precise, Imprecise} {
+		cfg.Model = model
+		res, err := Run(cfg, p, 20_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ipc[i] = res.CommitIPC()
+	}
+	if ipc[1] < ipc[0]*0.98 {
+		t.Errorf("imprecise IPC %.2f below precise %.2f under register pressure", ipc[1], ipc[0])
+	}
+}
+
+func TestTimingAPI(t *testing.T) {
+	params := DefaultTimingParams()
+	intT := params.CycleTime(80, PortsForWidth(4, false))
+	fpT := params.CycleTime(80, PortsForWidth(4, true))
+	if intT <= fpT {
+		t.Error("integer file not slower than FP file")
+	}
+	if b := BIPS(2.5, intT); b <= 0 {
+		t.Error("BIPS nonpositive")
+	}
+}
+
+func TestRandomProgramAPI(t *testing.T) {
+	p := RandomProgram(11)
+	res, err := Run(DefaultConfig(), p, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted {
+		t.Error("random program did not halt")
+	}
+}
+
+func TestSuiteAPI(t *testing.T) {
+	s := NewSuite(4_000)
+	tab, err := s.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 18 {
+		t.Errorf("%d rows", len(tab.Rows))
+	}
+}

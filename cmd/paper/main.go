@@ -1,0 +1,200 @@
+// Command paper regenerates the tables and figures of Farkas, Jouppi & Chow,
+// "Register File Design Considerations in Dynamically Scheduled Processors"
+// (WRL 95/10 / HPCA'96).
+//
+// Usage:
+//
+//	paper [-n budget] [-v] table1|fig3|fig4|fig5|fig6|fig7|fig8|fig10|findings|regreq|ports|ablations|all
+//
+// -n sets the committed-instruction budget per simulation (default 200000;
+// the paper ran 23M–910M instructions per benchmark, but the distributions
+// and averages converge much earlier for the synthetic stand-ins).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"regsim/internal/exper"
+)
+
+func main() {
+	budget := flag.Int64("n", 200_000, "committed instructions per simulation")
+	verbose := flag.Bool("v", false, "print a line per completed simulation")
+	plots := flag.Bool("plots", false, "also render figures as ASCII charts")
+	asJSON := flag.Bool("json", false, "emit the experiment's data as JSON instead of tables")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: paper [-n budget] [-v] table1|fig3|fig4|fig5|fig6|fig7|fig8|fig10|findings|regreq|ports|ablations|all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	s := exper.NewSuite(*budget)
+	if *verbose {
+		s.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+	start := time.Now()
+	if err := run(s, flag.Arg(0), *plots, *asJSON); err != nil {
+		fmt.Fprintf(os.Stderr, "paper: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "\n[%s, budget %d instructions/run]\n", time.Since(start).Round(time.Millisecond), *budget)
+}
+
+type printer interface{ Print(io.Writer) }
+
+func run(s *exper.Suite, what string, plots, asJSON bool) error {
+	out := os.Stdout
+	emit := func(v printer) error {
+		if asJSON {
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			return enc.Encode(v)
+		}
+		v.Print(out)
+		if p, ok := v.(interface{ Plot(io.Writer) }); ok && plots {
+			fmt.Fprintln(out)
+			p.Plot(out)
+		}
+		return nil
+	}
+	switch what {
+	case "table1":
+		t, err := s.Table1()
+		if err != nil {
+			return err
+		}
+		return emit(t)
+	case "fig3":
+		f, err := s.Fig3()
+		if err != nil {
+			return err
+		}
+		return emit(f)
+	case "fig4":
+		f, err := s.Fig4()
+		if err != nil {
+			return err
+		}
+		return emit(f)
+	case "fig5":
+		f, err := s.Fig5()
+		if err != nil {
+			return err
+		}
+		return emit(f)
+	case "fig6":
+		f, err := s.Fig6()
+		if err != nil {
+			return err
+		}
+		return emit(f)
+	case "fig7":
+		f, err := s.Fig7()
+		if err != nil {
+			return err
+		}
+		return emit(f)
+	case "fig8":
+		f, err := s.Fig8()
+		if err != nil {
+			return err
+		}
+		return emit(f)
+	case "fig10":
+		f, err := s.Fig10(nil)
+		if err != nil {
+			return err
+		}
+		return emit(f)
+	case "regreq":
+		r, err := s.RegReq()
+		if err != nil {
+			return err
+		}
+		return emit(r)
+	case "ports":
+		p, err := s.Ports()
+		if err != nil {
+			return err
+		}
+		return emit(p)
+	case "ablations":
+		a, err := s.RunAblations()
+		if err != nil {
+			return err
+		}
+		return emit(a)
+	case "findings":
+		f, err := s.Findings(nil, nil, nil)
+		if err != nil {
+			return err
+		}
+		return emit(f)
+	case "all":
+		t1, err := s.Table1()
+		if err != nil {
+			return err
+		}
+		t1.Print(out)
+		fmt.Fprintln(out)
+		f3, err := s.Fig3()
+		if err != nil {
+			return err
+		}
+		f3.Print(out)
+		fmt.Fprintln(out)
+		f4, err := s.Fig4()
+		if err != nil {
+			return err
+		}
+		f4.Print(out)
+		fmt.Fprintln(out)
+		f5, err := s.Fig5()
+		if err != nil {
+			return err
+		}
+		f5.Print(out)
+		fmt.Fprintln(out)
+		f6, err := s.Fig6()
+		if err != nil {
+			return err
+		}
+		f6.Print(out)
+		fmt.Fprintln(out)
+		f7, err := s.Fig7()
+		if err != nil {
+			return err
+		}
+		f7.Print(out)
+		fmt.Fprintln(out)
+		f8, err := s.Fig8()
+		if err != nil {
+			return err
+		}
+		f8.Print(out)
+		fmt.Fprintln(out)
+		f10, err := s.Fig10(f6)
+		if err != nil {
+			return err
+		}
+		f10.Print(out)
+		fmt.Fprintln(out)
+		fd, err := s.Findings(f3, f6, f10)
+		if err != nil {
+			return err
+		}
+		fd.Print(out)
+	default:
+		return fmt.Errorf("unknown experiment %q", what)
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+// Command regsim runs one benchmark on one machine configuration and prints
+// the statistics block.
+//
+// Usage:
+//
+//	regsim [flags] <benchmark>
+//
+// Benchmarks: compress doduc espresso gcc1 mdljdp2 mdljsp2 ora su2cor
+// tomcatv; random:<seed> for a generated structured program; or
+// asm:<path> to assemble and run a .s file (see internal/asm for syntax).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"regsim"
+	"regsim/internal/asm"
+	"regsim/internal/isa"
+	"regsim/internal/stats"
+	"regsim/internal/trace"
+)
+
+func main() {
+	width := flag.Int("width", 4, "issue width (4 or 8)")
+	queue := flag.Int("queue", 0, "dispatch queue entries (0 = 8×width, the paper's cost-effective size)")
+	regs := flag.Int("regs", 80, "physical registers per file")
+	model := flag.String("model", "precise", "exception model: precise or imprecise")
+	ckind := flag.String("cache", "lockup-free", "data cache: perfect, lockup, or lockup-free")
+	budget := flag.Int64("n", 200_000, "committed-instruction budget")
+	track := flag.Bool("live", false, "track live-register histograms and print percentiles")
+	traceN := flag.Int("trace", 0, "render a pipeline diagram of the first N instructions")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintf(os.Stderr, "usage: regsim [flags] <benchmark>\nbenchmarks: %s, random:<seed>, asm:<path>\n",
+			strings.Join(regsim.Workloads(), " "))
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	if err := run(flag.Arg(0), *width, *queue, *regs, *model, *ckind, *budget, *track, *traceN); err != nil {
+		fmt.Fprintf(os.Stderr, "regsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench string, width, queue, regs int, model, ckind string, budget int64, track bool, traceN int) error {
+	var p *regsim.Program
+	var err error
+	if path, ok := strings.CutPrefix(bench, "asm:"); ok {
+		src, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return rerr
+		}
+		if p, err = asm.Parse(path, string(src)); err != nil {
+			return err
+		}
+	} else if seedStr, ok := strings.CutPrefix(bench, "random:"); ok {
+		seed, perr := strconv.ParseInt(seedStr, 10, 64)
+		if perr != nil {
+			return fmt.Errorf("bad random seed %q", seedStr)
+		}
+		p = regsim.RandomProgram(seed)
+	} else if p, err = regsim.Workload(bench); err != nil {
+		return err
+	}
+
+	cfg := regsim.DefaultConfig()
+	cfg.Width = width
+	if queue == 0 {
+		queue = 8 * width
+	}
+	cfg.QueueSize = queue
+	cfg.RegsPerFile = regs
+	cfg.TrackLiveRegisters = track
+	switch model {
+	case "precise":
+		cfg.Model = regsim.Precise
+	case "imprecise":
+		cfg.Model = regsim.Imprecise
+	default:
+		return fmt.Errorf("unknown exception model %q", model)
+	}
+	switch ckind {
+	case "perfect":
+		cfg.DCache = cfg.DCache.WithKind(regsim.PerfectCache)
+	case "lockup":
+		cfg.DCache = cfg.DCache.WithKind(regsim.LockupCache)
+	case "lockup-free":
+		cfg.DCache = cfg.DCache.WithKind(regsim.LockupFreeCache)
+	default:
+		return fmt.Errorf("unknown cache organisation %q", ckind)
+	}
+
+	var rec *trace.Recorder
+	if traceN > 0 {
+		rec = trace.NewRecorder(traceN)
+		cfg.Tracer = rec.Hook()
+	}
+	res, err := regsim.Run(cfg, p, budget)
+	if err != nil {
+		return err
+	}
+	if rec != nil {
+		rec.Render(os.Stdout)
+		fmt.Println()
+	}
+
+	fmt.Printf("%s: %d-way, queue %d, %d regs/file, %s exceptions, %s cache\n",
+		p.Name, width, queue, regs, model, ckind)
+	fmt.Printf("  cycles              %12d\n", res.Cycles)
+	fmt.Printf("  committed           %12d   (commit IPC %.3f)\n", res.Committed, res.CommitIPC())
+	fmt.Printf("  executed            %12d   (issue IPC %.3f)\n", res.Issued, res.IssueIPC())
+	fmt.Printf("  executed loads      %12d   (miss rate %.1f%%, %d forwarded)\n",
+		res.IssuedLoads, 100*res.LoadMissRate(), res.ForwardedLoads)
+	fmt.Printf("  executed cond br    %12d   (mispredict rate %.1f%%)\n",
+		res.IssuedCondBr, 100*res.MispredictRate())
+	fmt.Printf("  no-free-reg cycles  %12d   (%.1f%% of run time)\n",
+		res.NoFreeRegCycles, 100*res.NoFreeRegFraction())
+	fmt.Printf("  halted: %v, checksum %#016x\n", res.Halted, res.Checksum)
+	if track {
+		for f := 0; f < 2; f++ {
+			d := stats.Normalize(res.Live[f].TotalLive())
+			fmt.Printf("  %s live registers: p50=%d p90=%d p100=%d\n",
+				isa.RegFile(f), d.Percentile(0.5), d.Percentile(0.9), d.FullCoveragePoint())
+		}
+	}
+	return nil
+}

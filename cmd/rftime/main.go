@@ -1,0 +1,48 @@
+// Command rftime explores the multiported register-file cycle-time model
+// (paper §3.4, Figure 10's timing curves).
+//
+// Usage:
+//
+//	rftime [-read N -write N] [-regs list]     # explicit ports
+//	rftime [-width 4|8] [-fp] [-regs list]     # the paper's provisioning
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"regsim"
+)
+
+func main() {
+	width := flag.Int("width", 4, "issue width used to derive ports (ignored when -read/-write set)")
+	fp := flag.Bool("fp", false, "floating-point file (half the ports)")
+	read := flag.Int("read", 0, "explicit read ports")
+	write := flag.Int("write", 0, "explicit write ports")
+	regList := flag.String("regs", "32,48,64,80,96,128,160,256", "comma-separated register counts")
+	flag.Parse()
+
+	ports := regsim.PortsForWidth(*width, *fp)
+	if *read > 0 || *write > 0 {
+		ports = regsim.TimingPorts{Read: *read, Write: *write}
+	}
+	params := regsim.DefaultTimingParams()
+
+	fmt.Printf("register file timing, %d read / %d write ports (0.5µm model)\n", ports.Read, ports.Write)
+	fmt.Printf("%6s %10s %10s %10s %10s %10s %10s %12s\n",
+		"regs", "decode", "wordline", "bitline", "sense+out", "access", "cycle", "area(mm²)")
+	for _, field := range strings.Split(*regList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "rftime: bad register count %q\n", field)
+			os.Exit(2)
+		}
+		d := params.Delays(n, ports)
+		g := params.Geometry(n, ports)
+		fmt.Printf("%6d %9.3f %10.3f %10.3f %10.3f %10.3f %10.3f %12.3f\n",
+			n, d.Decode, d.Wordline, d.Bitline, d.Sense+d.Output, d.Access, d.Cycle, g.AreaSquareMM)
+	}
+}

@@ -1,0 +1,108 @@
+package regsim_test
+
+import (
+	"fmt"
+	"log"
+
+	"regsim"
+)
+
+// ExampleRun assembles a small program and runs it on the paper's baseline
+// machine; architectural results are identical on every configuration.
+func ExampleRun() {
+	prog, err := regsim.ParseAsm("sum", `
+		    add r1, r31, 0      ; acc
+		    add r2, r31, 100    ; i
+		loop:
+		    add r1, r1, r2
+		    sub r2, r2, 1
+		    bne r2, loop
+		    add r3, r31, 0x100000
+		    st  r1, 0(r3)
+		    halt
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := regsim.Run(regsim.DefaultConfig(), prog, 1<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("halted:", res.Halted)
+	fmt.Println("committed:", res.Committed)
+	// Output:
+	// halted: true
+	// committed: 305
+}
+
+// ExampleWorkloads lists the paper's Table 1 benchmarks.
+func ExampleWorkloads() {
+	for _, name := range regsim.Workloads() {
+		fmt.Println(name)
+	}
+	// Output:
+	// compress
+	// doduc
+	// espresso
+	// gcc1
+	// mdljdp2
+	// mdljsp2
+	// ora
+	// su2cor
+	// tomcatv
+}
+
+// ExamplePortsForWidth shows the paper's register-file port provisioning.
+func ExamplePortsForWidth() {
+	intPorts := regsim.PortsForWidth(4, false)
+	fpPorts := regsim.PortsForWidth(4, true)
+	fmt.Printf("4-way integer file: %dR/%dW\n", intPorts.Read, intPorts.Write)
+	fmt.Printf("4-way FP file:      %dR/%dW\n", fpPorts.Read, fpPorts.Write)
+	// Output:
+	// 4-way integer file: 8R/4W
+	// 4-way FP file:      4R/2W
+}
+
+// ExampleTimingParams demonstrates the paper's central timing asymmetry:
+// doubling the ports costs more than doubling the registers.
+func ExampleTimingParams() {
+	p := regsim.DefaultTimingParams()
+	base := p.CycleTime(80, regsim.PortsForWidth(4, false))
+	moreRegs := p.CycleTime(160, regsim.PortsForWidth(4, false))
+	morePorts := p.CycleTime(80, regsim.PortsForWidth(8, false))
+	fmt.Println("doubling registers slower:", moreRegs > base)
+	fmt.Println("doubling ports slower:", morePorts > base)
+	fmt.Println("ports cost more than registers:", morePorts-base > moreRegs-base)
+	// Output:
+	// doubling registers slower: true
+	// doubling ports slower: true
+	// ports cost more than registers: true
+}
+
+// ExampleNewTraceRecorder attaches the pipeline tracer to a run.
+func ExampleNewTraceRecorder() {
+	prog, _ := regsim.ParseAsm("tiny", "add r1, r31, 1\nadd r2, r1, 2\nhalt\n")
+	rec := regsim.NewTraceRecorder(0)
+	cfg := regsim.DefaultConfig()
+	cfg.Tracer = rec.Hook()
+	if _, err := regsim.Run(cfg, prog, 1<<20); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("instructions traced:", len(rec.Records()))
+	fmt.Println("invariants:", rec.CheckInvariants())
+	// Output:
+	// instructions traced: 3
+	// invariants: <nil>
+}
+
+// ExampleNewSuite runs the Table 1 experiment at a tiny budget.
+func ExampleNewSuite() {
+	s := regsim.NewSuite(1_000)
+	table, err := s.Table1()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("rows:", len(table.Rows))
+	// Output:
+	// rows: 18
+}

@@ -1,0 +1,46 @@
+// Exceptions: compare the precise and imprecise register-freeing models
+// (paper §2.2, §3.2). With few registers the imprecise model's earlier
+// freeing buys real IPC; with many registers the models converge — which is
+// the paper's argument that precise exceptions are cheap.
+//
+//	go run ./examples/exceptions
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"regsim"
+)
+
+func main() {
+	prog, err := regsim.Workload("tomcatv")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("tomcatv, 8-way issue, 64-entry queue (the paper's extreme case):")
+	fmt.Printf("%8s %14s %14s %10s\n", "regs", "precise IPC", "imprecise IPC", "gap")
+	for _, regs := range []int{48, 64, 80, 96, 128, 160, 256} {
+		var ipc [2]float64
+		for i, model := range []regsim.ExceptionModel{regsim.Precise, regsim.Imprecise} {
+			cfg := regsim.DefaultConfig()
+			cfg.Width = 8
+			cfg.QueueSize = 64
+			cfg.RegsPerFile = regs
+			cfg.Model = model
+			res, err := regsim.Run(cfg, prog, 100_000)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ipc[i] = res.CommitIPC()
+		}
+		gap := 0.0
+		if ipc[0] > 0 {
+			gap = 100 * (ipc[1] - ipc[0]) / ipc[0]
+		}
+		fmt.Printf("%8d %14.2f %14.2f %9.1f%%\n", regs, ipc[0], ipc[1], gap)
+	}
+	fmt.Println("\nBoth runs commit identical architectural results — only the timing of")
+	fmt.Println("register reuse differs (verified by the library's equivalence tests).")
+}

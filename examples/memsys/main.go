@@ -1,0 +1,44 @@
+// Memsys: compare the three memory-system organisations of §3.3 — a perfect
+// cache, a lockup (blocking) cache, and the lockup-free cache with inverted
+// MSHRs — on a miss-heavy workload (Figure 7's mechanism).
+//
+//	go run ./examples/memsys
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"regsim"
+)
+
+func main() {
+	prog, err := regsim.Workload("tomcatv")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	kinds := []struct {
+		name string
+		kind regsim.CacheKind
+	}{
+		{"perfect", regsim.PerfectCache},
+		{"lockup-free", regsim.LockupFreeCache},
+		{"lockup", regsim.LockupCache},
+	}
+
+	fmt.Println("tomcatv (a quarter of its loads miss the 64KB cache), 4-way issue, 128 regs:")
+	fmt.Printf("%-14s %12s %12s\n", "cache", "commit IPC", "miss rate")
+	for _, k := range kinds {
+		cfg := regsim.DefaultConfig()
+		cfg.RegsPerFile = 128
+		cfg.DCache = cfg.DCache.WithKind(k.kind)
+		res, err := regsim.Run(cfg, prog, 100_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %12.2f %11.1f%%\n", k.name, res.CommitIPC(), 100*res.LoadMissRate())
+	}
+	fmt.Println("\nThe paper's finding: dynamic scheduling plus aggressive non-blocking")
+	fmt.Println("loads gets close to a perfect memory system; a blocking cache does not.")
+}

@@ -1,0 +1,44 @@
+// Quickstart: build a benchmark, run it on the paper's baseline 4-way
+// machine, and print the headline statistics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"regsim"
+)
+
+func main() {
+	// A SPEC92 stand-in workload: compress (integer, cache-missing hash
+	// probes, data-dependent branches).
+	prog, err := regsim.Workload("compress")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's baseline machine: 4-way issue, 32-entry dispatch queue,
+	// 80 physical registers per file, precise exceptions, 64 KB 2-way
+	// lockup-free data cache with a 16-cycle fetch latency.
+	cfg := regsim.DefaultConfig()
+
+	res, err := regsim.Run(cfg, prog, 200_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("compress on the baseline 4-way machine:\n")
+	fmt.Printf("  commit IPC      %.2f  (architecturally retired work per cycle)\n", res.CommitIPC())
+	fmt.Printf("  issue  IPC      %.2f  (includes speculatively wasted work)\n", res.IssueIPC())
+	fmt.Printf("  load miss rate  %.1f%%\n", 100*res.LoadMissRate())
+	fmt.Printf("  mispredict rate %.1f%%\n", 100*res.MispredictRate())
+	fmt.Printf("  register-starved %.1f%% of cycles\n", 100*res.NoFreeRegFraction())
+
+	// Estimate real performance: divide IPC by the register-file cycle
+	// time from the paper's timing model (§3.4).
+	params := regsim.DefaultTimingParams()
+	cycle := params.CycleTime(cfg.RegsPerFile, regsim.PortsForWidth(cfg.Width, false))
+	fmt.Printf("  est. cycle time %.3f ns  →  %.2f BIPS\n", cycle, regsim.BIPS(res.CommitIPC(), cycle))
+}

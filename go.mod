@@ -1,0 +1,3 @@
+module regsim
+
+go 1.22

@@ -1,0 +1,353 @@
+// Package asm parses textual assembly for the regsim ISA — the same syntax
+// that isa.Disasm prints — into executable programs. Together with the
+// disassembler it completes the toolchain: programs can be written by hand,
+// round-tripped, and fed to the simulator or the reference interpreter.
+//
+// # Syntax
+//
+// One instruction, label or directive per line; ';' and '#' start comments.
+//
+//	.entry main            ; optional entry label (default: first instruction)
+//	.word  0x100000 42     ; initialise a 64-bit data word (address value)
+//	.float 0x100008 2.5    ; initialise a data word with a float64
+//
+//	main:
+//	    add   r1, r31, 100 ; integer ops take a register or immediate
+//	    ld    r2, 8(r1)    ; displacement addressing
+//	    fadd  f1, f2, f3
+//	    beq   r2, done     ; branch targets are labels or absolute indices
+//	    jmp   main
+//	done:
+//	    halt
+package asm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"regsim/internal/isa"
+	"regsim/internal/prog"
+)
+
+// Parse assembles source text into a program named name.
+func Parse(name, src string) (*prog.Program, error) {
+	p := &parser{name: name, labels: map[string]uint64{}}
+	for i, raw := range strings.Split(src, "\n") {
+		if err := p.line(raw); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", name, i+1, err)
+		}
+	}
+	return p.finish()
+}
+
+type fixup struct {
+	idx   int
+	label string
+}
+
+type parser struct {
+	name     string
+	text     []isa.Inst
+	labels   map[string]uint64
+	fixups   []fixup
+	data     []prog.DataWord
+	entry    string
+	entrySet bool
+}
+
+func (p *parser) line(raw string) error {
+	if i := strings.IndexAny(raw, ";#"); i >= 0 {
+		raw = raw[:i]
+	}
+	s := strings.TrimSpace(raw)
+	if s == "" {
+		return nil
+	}
+	if strings.HasPrefix(s, ".") {
+		return p.directive(s)
+	}
+	if name, ok := strings.CutSuffix(s, ":"); ok && !strings.ContainsAny(name, " \t") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return fmt.Errorf("empty label")
+		}
+		if _, dup := p.labels[name]; dup {
+			return fmt.Errorf("duplicate label %q", name)
+		}
+		p.labels[name] = uint64(len(p.text))
+		return nil
+	}
+	return p.instruction(s)
+}
+
+func (p *parser) directive(s string) error {
+	fields := strings.Fields(s)
+	switch fields[0] {
+	case ".entry":
+		if len(fields) != 2 {
+			return fmt.Errorf(".entry wants a label")
+		}
+		p.entry, p.entrySet = fields[1], true
+		return nil
+	case ".word":
+		if len(fields) != 3 {
+			return fmt.Errorf(".word wants an address and a value")
+		}
+		addr, err := strconv.ParseUint(fields[1], 0, 64)
+		if err != nil {
+			return fmt.Errorf("bad address %q", fields[1])
+		}
+		val, err := strconv.ParseUint(fields[2], 0, 64)
+		if err != nil {
+			// Allow negative decimal values.
+			sval, serr := strconv.ParseInt(fields[2], 0, 64)
+			if serr != nil {
+				return fmt.Errorf("bad value %q", fields[2])
+			}
+			val = uint64(sval)
+		}
+		p.data = append(p.data, prog.DataWord{Addr: addr, Value: val})
+		return nil
+	case ".float":
+		if len(fields) != 3 {
+			return fmt.Errorf(".float wants an address and a value")
+		}
+		addr, err := strconv.ParseUint(fields[1], 0, 64)
+		if err != nil {
+			return fmt.Errorf("bad address %q", fields[1])
+		}
+		f, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return fmt.Errorf("bad float %q", fields[2])
+		}
+		p.data = append(p.data, prog.DataWord{Addr: addr, Value: floatBits(f)})
+		return nil
+	}
+	return fmt.Errorf("unknown directive %s", fields[0])
+}
+
+// opsByName maps mnemonics to opcodes.
+var opsByName = func() map[string]isa.Op {
+	m := make(map[string]isa.Op, isa.NumOps)
+	for o := isa.OpInvalid + 1; o < isa.Op(isa.NumOps); o++ {
+		m[o.String()] = o
+	}
+	return m
+}()
+
+func (p *parser) instruction(s string) error {
+	mnemonic, rest, _ := strings.Cut(s, " ")
+	op, ok := opsByName[strings.ToLower(mnemonic)]
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	args := splitArgs(rest)
+	in := isa.Inst{Op: op}
+
+	switch op.Class() {
+	case isa.ClassIntALU, isa.ClassIntMul:
+		if len(args) != 3 {
+			return fmt.Errorf("%s wants rd, ra, rb|imm", op)
+		}
+		rd, err := reg(args[0], 'r')
+		if err != nil {
+			return err
+		}
+		ra, err := reg(args[1], 'r')
+		if err != nil {
+			return err
+		}
+		in.Rd, in.Ra = rd, ra
+		if rb, err2 := reg(args[2], 'r'); err2 == nil {
+			in.Rb = rb
+		} else {
+			imm, err3 := immediate(args[2])
+			if err3 != nil {
+				return fmt.Errorf("bad operand %q", args[2])
+			}
+			in.UseImm, in.Imm = true, imm
+		}
+	case isa.ClassFP, isa.ClassFPDiv:
+		if op == isa.OpItoF || op == isa.OpFtoI {
+			dstKind, srcKind := byte('f'), byte('r')
+			if op == isa.OpFtoI {
+				dstKind, srcKind = 'r', 'f'
+			}
+			if len(args) != 2 {
+				return fmt.Errorf("%s wants two registers", op)
+			}
+			rd, err := reg(args[0], dstKind)
+			if err != nil {
+				return err
+			}
+			ra, err := reg(args[1], srcKind)
+			if err != nil {
+				return err
+			}
+			in.Rd, in.Ra = rd, ra
+			break
+		}
+		if len(args) != 3 {
+			return fmt.Errorf("%s wants fd, fa, fb", op)
+		}
+		for i, spec := range []*uint8{&in.Rd, &in.Ra, &in.Rb} {
+			r, err := reg(args[i], 'f')
+			if err != nil {
+				return err
+			}
+			*spec = r
+		}
+	case isa.ClassLoad, isa.ClassStore:
+		if len(args) != 2 {
+			return fmt.Errorf("%s wants reg, disp(base)", op)
+		}
+		kind := byte('r')
+		if op == isa.OpFLd || op == isa.OpFSt {
+			kind = 'f'
+		}
+		r, err := reg(args[0], kind)
+		if err != nil {
+			return err
+		}
+		disp, base, err := memOperand(args[1])
+		if err != nil {
+			return err
+		}
+		in.Ra, in.Imm = base, disp
+		if op.Class() == isa.ClassLoad {
+			in.Rd = r
+		} else {
+			in.Rb = r
+		}
+	case isa.ClassCondBr:
+		if len(args) != 2 {
+			return fmt.Errorf("%s wants reg, target", op)
+		}
+		kind := byte('r')
+		if op == isa.OpFBeq || op == isa.OpFBne {
+			kind = 'f'
+		}
+		r, err := reg(args[0], kind)
+		if err != nil {
+			return err
+		}
+		in.Ra = r
+		p.target(&in, args[1])
+	case isa.ClassCtrl:
+		switch op {
+		case isa.OpJmp:
+			if len(args) != 1 {
+				return fmt.Errorf("jmp wants a target")
+			}
+			p.target(&in, args[0])
+		case isa.OpCall:
+			if len(args) != 2 {
+				return fmt.Errorf("call wants rd, target")
+			}
+			rd, err := reg(args[0], 'r')
+			if err != nil {
+				return err
+			}
+			in.Rd = rd
+			p.target(&in, args[1])
+		case isa.OpJr:
+			if len(args) != 1 {
+				return fmt.Errorf("jr wants a register")
+			}
+			ra, err := reg(args[0], 'r')
+			if err != nil {
+				return err
+			}
+			in.Ra = ra
+		}
+	case isa.ClassHalt:
+		if len(args) != 0 {
+			return fmt.Errorf("halt takes no operands")
+		}
+	}
+	p.text = append(p.text, in)
+	return nil
+}
+
+// target resolves a numeric target immediately or records a label fixup.
+func (p *parser) target(in *isa.Inst, arg string) {
+	if n, err := strconv.ParseUint(arg, 0, 32); err == nil {
+		in.Imm = int32(n)
+		return
+	}
+	p.fixups = append(p.fixups, fixup{idx: len(p.text), label: arg})
+}
+
+func (p *parser) finish() (*prog.Program, error) {
+	for _, f := range p.fixups {
+		tgt, ok := p.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("%s: undefined label %q", p.name, f.label)
+		}
+		p.text[f.idx].Imm = int32(tgt)
+	}
+	out := &prog.Program{Name: p.name, Text: p.text, Data: p.data}
+	if p.entrySet {
+		e, ok := p.labels[p.entry]
+		if !ok {
+			return nil, fmt.Errorf("%s: undefined entry label %q", p.name, p.entry)
+		}
+		out.Entry = e
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func splitArgs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		a = strings.TrimSpace(a)
+		if a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func reg(s string, kind byte) (uint8, error) {
+	if len(s) < 2 || (s[0] != kind) {
+		return 0, fmt.Errorf("expected %c-register, got %q", kind, s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.NumArchRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func immediate(s string) (int32, error) {
+	n, err := strconv.ParseInt(s, 0, 32)
+	if err != nil {
+		return 0, err
+	}
+	return int32(n), nil
+}
+
+// memOperand parses "disp(rN)".
+func memOperand(s string) (disp int32, base uint8, err error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("expected disp(base), got %q", s)
+	}
+	dispStr := strings.TrimSpace(s[:open])
+	if dispStr == "" {
+		dispStr = "0"
+	}
+	disp, err = immediate(dispStr)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad displacement %q", dispStr)
+	}
+	base, err = reg(strings.TrimSpace(s[open+1:len(s)-1]), 'r')
+	return disp, base, err
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }

@@ -1,0 +1,202 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"regsim/internal/isa"
+	"regsim/internal/prog"
+	"regsim/internal/ref"
+)
+
+func mustParse(t *testing.T, src string) *prog.Program {
+	t.Helper()
+	p, err := Parse("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseBasicProgram(t *testing.T) {
+	p := mustParse(t, `
+		; sum 1..10
+		.word 0x100000 0
+		    add r1, r31, 0
+		    add r2, r31, 10
+		loop:
+		    add r1, r1, r2
+		    sub r2, r2, 1
+		    bne r2, loop
+		    add r3, r31, 0x100000
+		    st  r1, 0(r3)
+		    halt
+	`)
+	it := ref.New(p)
+	if _, err := it.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if !it.Halted {
+		t.Fatal("did not halt")
+	}
+	if got := it.Mem.Read64(0x100000); got != 55 {
+		t.Errorf("sum = %d, want 55", got)
+	}
+}
+
+func TestParseFloatAndDirectives(t *testing.T) {
+	p := mustParse(t, `
+		.float 0x100000 2.5
+		.float 0x100008 4.0
+		.entry main
+		dead:
+		    halt
+		main:
+		    add  r1, r31, 0x100000
+		    fld  f1, 0(r1)
+		    fld  f2, 8(r1)
+		    fmul f3, f1, f2
+		    fdivd f4, f3, f2
+		    ftoi r2, f4
+		    itof f5, r2
+		    fst  f3, 16(r1)
+		    halt
+	`)
+	if p.Entry != 1 {
+		t.Errorf("entry = %d", p.Entry)
+	}
+	it := ref.New(p)
+	if _, err := it.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if got := it.IntReg[2]; got != 2 { // 10/4 truncated
+		t.Errorf("ftoi result = %d, want 2", got)
+	}
+	if got := it.Mem.Read64(0x100010); got != floatBits(10) {
+		t.Errorf("stored bits = %#x", got)
+	}
+}
+
+func TestParseCallJr(t *testing.T) {
+	p := mustParse(t, `
+		    jmp main
+		fn:
+		    add r2, r1, r1
+		    jr r20
+		main:
+		    add r1, r31, 21
+		    call r20, fn
+		    halt
+	`)
+	it := ref.New(p)
+	if _, err := it.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if it.IntReg[2] != 42 {
+		t.Errorf("r2 = %d", it.IntReg[2])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown mnemonic":  "frob r1, r2, r3\nhalt",
+		"bad register":      "add r1, r40, r3\nhalt",
+		"wrong file":        "fadd f1, r2, f3\nhalt",
+		"missing operand":   "add r1, r2\nhalt",
+		"undefined label":   "jmp nowhere\nhalt",
+		"duplicate label":   "x:\nx:\nhalt",
+		"bad displacement":  "ld r1, z(r2)\nhalt",
+		"bad directive":     ".bogus 1 2\nhalt",
+		"halt with operand": "halt r1",
+		"bad entry":         ".entry nowhere\nhalt",
+		"store wants paren": "st r1, r2\nhalt",
+	}
+	for name, src := range cases {
+		if _, err := Parse("bad", src); err == nil {
+			t.Errorf("%s: parsed successfully", name)
+		}
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	p := mustParse(t, "  halt  # trailing comment\n\n; full-line\n")
+	if len(p.Text) != 1 {
+		t.Errorf("text length %d", len(p.Text))
+	}
+}
+
+func TestNegativeImmediatesAndHex(t *testing.T) {
+	p := mustParse(t, `
+		add r1, r31, -42
+		add r2, r31, 0x1f
+		ld  r3, -16(r1)
+		halt
+	`)
+	if p.Text[0].Imm != -42 || p.Text[1].Imm != 31 || p.Text[2].Imm != -16 {
+		t.Errorf("immediates = %d %d %d", p.Text[0].Imm, p.Text[1].Imm, p.Text[2].Imm)
+	}
+}
+
+// TestDisasmRoundTrip: for every operation with random operands,
+// Parse(Disasm(in)) reproduces the canonical instruction (the assembler and
+// disassembler agree on the syntax).
+func TestDisasmRoundTrip(t *testing.T) {
+	f := func(opRaw, rd, ra, rb uint8, useImm bool, imm int32) bool {
+		op := isa.Op(opRaw%uint8(isa.NumOps-1)) + 1
+		in := isa.Canonical(isa.Inst{
+			Op: op, Rd: rd & 31, Ra: ra & 31, Rb: rb & 31,
+			UseImm: useImm, Imm: imm,
+		})
+		// Branch/jump targets must be in range for Validate; pin them to 0.
+		if _, ok := in.Target(); ok {
+			in.Imm = 0
+		}
+		src := isa.Disasm(in) + "\nhalt\n"
+		p, err := Parse("rt", src)
+		if err != nil {
+			t.Logf("%s: %v", src, err)
+			return false
+		}
+		return isa.Canonical(p.Text[0]) == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestProgramRoundTrip disassembles a whole builder-made program and
+// reassembles it; the reference interpreter must produce identical results.
+func TestProgramRoundTrip(t *testing.T) {
+	b := prog.NewBuilder("orig")
+	b.MovI(1, 5)
+	b.MovI(4, prog.DataBase)
+	b.Label("loop")
+	b.Mul(2, 1, 1)
+	b.St(2, 4, 0)
+	b.Ld(3, 4, 0)
+	b.SubI(1, 1, 1)
+	b.Bne(1, "loop")
+	b.Halt()
+	orig := b.MustBuild()
+
+	var sb strings.Builder
+	for _, in := range orig.Text {
+		fmt.Fprintln(&sb, isa.Disasm(in))
+	}
+	re, err := Parse("reassembled", sb.String())
+	if err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	a, bb := ref.New(orig), ref.New(re)
+	if _, err := a.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bb.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if a.Sum.Value() != bb.Sum.Value() {
+		t.Error("round-tripped program behaves differently")
+	}
+}

@@ -1,0 +1,18 @@
+package bpred
+
+import "testing"
+
+// BenchmarkPredictUpdate measures the full per-branch protocol.
+func BenchmarkPredictUpdate(b *testing.B) {
+	p := New()
+	for i := 0; i < b.N; i++ {
+		pc := uint64(i) & 511
+		taken := i&7 != 0
+		pred, snap := p.Predict(pc)
+		p.OnInsert(pred)
+		if pred != taken {
+			p.Recover(snap, taken)
+		}
+		p.Update(pc, snap, taken)
+	}
+}

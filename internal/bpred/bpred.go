@@ -1,0 +1,173 @@
+// Package bpred implements the combining branch predictor of McFarling
+// (DEC WRL TN-36), configured exactly as in Farkas, Jouppi & Chow (WRL
+// 95/10): a 12 Kbit predictor made of a 2048-entry two-bit bimodal table, a
+// 2048-entry two-bit global-history table indexed by the XOR of the global
+// history register and the program-counter word address, and a 2048-entry
+// two-bit selector that tracks which component has been more correct.
+//
+// Update timing follows the paper's dynamically scheduled machine model:
+//
+//   - The global history shift register is updated speculatively with the
+//     predicted direction when the branch is inserted into the dispatch
+//     queue (so already-identified patterns steer the very next fetch).
+//   - The two-bit counters are updated when the branch executes.
+//   - On a misprediction, the history register is restored to the value it
+//     held before the mispredicted branch was inserted, then the actual
+//     direction is shifted in.
+//
+// Unconditional control transfers are assumed 100% predictable (the paper's
+// assumption) and never consult the predictor.
+package bpred
+
+const (
+	tableBits = 11
+	// TableEntries is the number of two-bit counters in each component
+	// table (2048, for the paper's 12 Kbit total).
+	TableEntries = 1 << tableBits
+	tableMask    = TableEntries - 1
+	// HistoryBits is the length of the global history register; it matches
+	// the table index width so the full history participates in the XOR.
+	HistoryBits = tableBits
+	historyMask = TableEntries - 1
+)
+
+// History is a snapshot of the global history register. Each dispatched
+// branch records the pre-insertion snapshot so that recovery can restore it.
+type History uint16
+
+// Kind selects the prediction scheme. The component-only kinds exist for
+// ablation studies quantifying what McFarling's combining buys; the paper's
+// machine always uses Combined.
+type Kind uint8
+
+const (
+	// Combined is McFarling's combining predictor (the paper's scheme).
+	Combined Kind = iota
+	// BimodalOnly uses only the per-PC two-bit counters.
+	BimodalOnly
+	// GshareOnly uses only the global-history-XOR-PC table.
+	GshareOnly
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Combined:
+		return "combined"
+	case BimodalOnly:
+		return "bimodal"
+	case GshareOnly:
+		return "gshare"
+	}
+	return "kind?"
+}
+
+// Predictor is the combining predictor. The zero value predicts weakly
+// not-taken everywhere and is ready to use.
+type Predictor struct {
+	kind     Kind
+	bimodal  [TableEntries]uint8 // 2-bit saturating: ≥2 means taken
+	global   [TableEntries]uint8
+	selector [TableEntries]uint8 // ≥2 means "use global"
+	hist     History
+}
+
+// New returns a combining predictor with all counters initialised weakly
+// not-taken (bimodal/global = 1) and an unbiased selector (= 1), a common
+// cold start.
+func New() *Predictor { return NewKind(Combined) }
+
+// NewKind returns a predictor of the given scheme.
+func NewKind(k Kind) *Predictor {
+	p := &Predictor{kind: k}
+	for i := range p.bimodal {
+		p.bimodal[i] = 1
+		p.global[i] = 1
+		p.selector[i] = 1
+	}
+	return p
+}
+
+func bimodalIndex(pc uint64) int { return int(pc) & tableMask }
+
+func globalIndex(pc uint64, h History) int {
+	return (int(pc) ^ int(h)) & tableMask
+}
+
+// Predict returns the predicted direction for the conditional branch at pc
+// and the history snapshot taken *before* this prediction is inserted. The
+// caller must pass the snapshot back to Update and, on a misprediction, to
+// Recover.
+func (p *Predictor) Predict(pc uint64) (taken bool, snapshot History) {
+	snapshot = p.hist
+	bi := p.bimodal[bimodalIndex(pc)] >= 2
+	gl := p.global[globalIndex(pc, snapshot)] >= 2
+	switch p.kind {
+	case BimodalOnly:
+		taken = bi
+	case GshareOnly:
+		taken = gl
+	default:
+		if p.selector[bimodalIndex(pc)] >= 2 {
+			taken = gl
+		} else {
+			taken = bi
+		}
+	}
+	return taken, snapshot
+}
+
+// OnInsert speculatively shifts the predicted direction into the history
+// register; the paper's machine does this when the branch is inserted into
+// the dispatch queue.
+func (p *Predictor) OnInsert(predicted bool) {
+	p.hist = shift(p.hist, predicted)
+}
+
+// Update adjusts the component counters when the branch executes. snapshot
+// must be the History returned by the corresponding Predict call (the tables
+// are indexed with prediction-time history, as in hardware, where the index
+// travels with the instruction).
+func (p *Predictor) Update(pc uint64, snapshot History, taken bool) {
+	bidx := bimodalIndex(pc)
+	gidx := globalIndex(pc, snapshot)
+	biCorrect := (p.bimodal[bidx] >= 2) == taken
+	glCorrect := (p.global[gidx] >= 2) == taken
+	p.bimodal[bidx] = bump(p.bimodal[bidx], taken)
+	p.global[gidx] = bump(p.global[gidx], taken)
+	// The selector learns toward whichever component was correct when they
+	// disagree (McFarling's scheme).
+	if biCorrect != glCorrect {
+		p.selector[bidx] = bump(p.selector[bidx], glCorrect)
+	}
+}
+
+// Recover restores the history register after a misprediction: back to the
+// pre-insertion snapshot of the mispredicted branch, with the actual
+// direction shifted in.
+func (p *Predictor) Recover(snapshot History, actual bool) {
+	p.hist = shift(snapshot, actual)
+}
+
+// HistoryValue exposes the current history register (for tests).
+func (p *Predictor) HistoryValue() History { return p.hist }
+
+func shift(h History, taken bool) History {
+	h <<= 1
+	if taken {
+		h |= 1
+	}
+	return h & historyMask
+}
+
+func bump(c uint8, up bool) uint8 {
+	if up {
+		if c < 3 {
+			return c + 1
+		}
+		return 3
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return 0
+}

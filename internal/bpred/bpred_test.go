@@ -1,0 +1,202 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// execute runs a stream of (pc, actual) branches through the paper's full
+// protocol — predict, speculative insert, update at execution — and returns
+// the misprediction count. It models a machine with no in-flight branches
+// (update immediately after insert), which is the predictor's best case.
+func execute(p *Predictor, branches []struct {
+	pc    uint64
+	taken bool
+}) int {
+	wrong := 0
+	for _, br := range branches {
+		pred, snap := p.Predict(br.pc)
+		p.OnInsert(pred)
+		if pred != br.taken {
+			wrong++
+			p.Recover(snap, br.taken)
+		}
+		p.Update(br.pc, snap, br.taken)
+	}
+	return wrong
+}
+
+func stream(n int, f func(i int) (uint64, bool)) []struct {
+	pc    uint64
+	taken bool
+} {
+	s := make([]struct {
+		pc    uint64
+		taken bool
+	}, n)
+	for i := range s {
+		s[i].pc, s[i].taken = f(i)
+	}
+	return s
+}
+
+func TestAlwaysTakenLearns(t *testing.T) {
+	p := New()
+	wrong := execute(p, stream(1000, func(i int) (uint64, bool) { return 100, true }))
+	if wrong > 5 {
+		t.Errorf("always-taken branch mispredicted %d/1000", wrong)
+	}
+}
+
+func TestAlwaysNotTakenLearns(t *testing.T) {
+	p := New()
+	wrong := execute(p, stream(1000, func(i int) (uint64, bool) { return 100, false }))
+	if wrong > 5 {
+		t.Errorf("always-not-taken branch mispredicted %d/1000", wrong)
+	}
+}
+
+// TestLoopExitLearnedByGlobal: a loop branch taken n−1 of every n times has
+// a periodic history pattern that the global (history-XOR-PC) component
+// learns almost perfectly, while a bimodal predictor alone would miss every
+// exit (1/n). This is McFarling's motivating case.
+func TestLoopExitLearnedByGlobal(t *testing.T) {
+	p := New()
+	const period = 6
+	wrong := execute(p, stream(6000, func(i int) (uint64, bool) {
+		return 200, i%period != period-1
+	}))
+	// Perfect learning would approach 0; a bimodal-only predictor gets
+	// ~1000 wrong. Allow generous warmup.
+	if wrong > 300 {
+		t.Errorf("periodic loop branch mispredicted %d/6000 (global component not learning)", wrong)
+	}
+}
+
+// TestAlternatingPattern: strict alternation is the classic
+// global-history-learnable pattern.
+func TestAlternatingPattern(t *testing.T) {
+	p := New()
+	wrong := execute(p, stream(2000, func(i int) (uint64, bool) { return 300, i%2 == 0 }))
+	if wrong > 100 {
+		t.Errorf("alternating branch mispredicted %d/2000", wrong)
+	}
+}
+
+// TestBiasedRandomApproachesBias: for an unlearnable biased coin, the best
+// any predictor can do is the minority rate.
+func TestBiasedRandomApproachesBias(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	p := New()
+	const n, bias = 20000, 0.15
+	wrong := execute(p, stream(n, func(i int) (uint64, bool) {
+		return 400, rng.Float64() < bias // taken 15%
+	}))
+	rate := float64(wrong) / n
+	if rate < 0.10 || rate > 0.25 {
+		t.Errorf("biased-random mispredict rate %.3f, want ≈0.15", rate)
+	}
+}
+
+// TestSelectorPicksBetterComponent: interleave a bimodal-friendly branch (one
+// PC, heavily biased) with history noise from other branches; accuracy should
+// stay high because the chooser can fall back to the bimodal component.
+func TestSelectorPicksBetterComponent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := New()
+	wrong := 0
+	const n = 8000
+	for i := 0; i < n; i++ {
+		// Noise branch: random direction, random PC — pollutes global
+		// history and the global table.
+		noisePC := uint64(rng.Intn(512)) + 1000
+		pred, snap := p.Predict(noisePC)
+		p.OnInsert(pred)
+		taken := rng.Intn(2) == 0
+		if pred != taken {
+			p.Recover(snap, taken)
+		}
+		p.Update(noisePC, snap, taken)
+
+		// Stable branch: always taken, fixed PC.
+		pred, snap = p.Predict(77)
+		p.OnInsert(pred)
+		if !pred {
+			wrong++
+			p.Recover(snap, true)
+		}
+		p.Update(77, snap, true)
+	}
+	if rate := float64(wrong) / n; rate > 0.10 {
+		t.Errorf("stable branch under history noise mispredicted %.3f", rate)
+	}
+}
+
+func TestSpeculativeHistoryAndRecover(t *testing.T) {
+	p := New()
+	h0 := p.HistoryValue()
+	_, snap := p.Predict(10)
+	if snap != h0 {
+		t.Fatalf("snapshot %v != pre-insert history %v", snap, h0)
+	}
+	p.OnInsert(true)
+	if p.HistoryValue() != shift(h0, true) {
+		t.Error("OnInsert did not shift the predicted direction in")
+	}
+	// Three more speculative inserts, then a misprediction of the first
+	// branch: history must be the snapshot plus the actual direction.
+	p.OnInsert(false)
+	p.OnInsert(true)
+	p.OnInsert(true)
+	p.Recover(snap, false)
+	if p.HistoryValue() != shift(h0, false) {
+		t.Error("Recover did not restore the pre-insert history with the actual direction")
+	}
+}
+
+func TestHistoryMasked(t *testing.T) {
+	p := New()
+	for i := 0; i < 100; i++ {
+		p.OnInsert(true)
+	}
+	if int(p.HistoryValue()) >= TableEntries {
+		t.Errorf("history %v exceeds %d bits", p.HistoryValue(), HistoryBits)
+	}
+}
+
+func TestCounterSaturation(t *testing.T) {
+	if bump(3, true) != 3 {
+		t.Error("counter overflowed past 3")
+	}
+	if bump(0, false) != 0 {
+		t.Error("counter underflowed past 0")
+	}
+	if bump(1, true) != 2 || bump(2, false) != 1 {
+		t.Error("counter increments wrong")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() int {
+		rng := rand.New(rand.NewSource(3))
+		p := New()
+		return execute(p, stream(5000, func(i int) (uint64, bool) {
+			return uint64(rng.Intn(64)), rng.Intn(3) == 0
+		}))
+	}
+	if run() != run() {
+		t.Error("predictor not deterministic")
+	}
+}
+
+func TestIndexingUsesSnapshotHistory(t *testing.T) {
+	// Two predictions at the same PC with different histories must index
+	// different global-table entries (the XOR indexing of McFarling).
+	if globalIndex(123, 0) == globalIndex(123, 1) {
+		t.Error("global index ignores history")
+	}
+	if globalIndex(123, 0) != globalIndex(123^TableEntries, 0)&tableMask {
+		// PC bits above the table width fold away.
+		t.Log("note: high PC bits masked (expected)")
+	}
+}

@@ -1,0 +1,26 @@
+package cache
+
+import "testing"
+
+// BenchmarkLoadHit measures the steady-state hit path.
+func BenchmarkLoadHit(b *testing.B) {
+	c := NewData(DefaultData())
+	c.Load(0, 0)
+	for now := int64(1); now < 40; now++ {
+		c.Tick(now)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Load(uint64(i%4)*8, int64(i+40))
+	}
+}
+
+// BenchmarkLoadMissStream measures the miss/fill path on a streaming sweep.
+func BenchmarkLoadMissStream(b *testing.B) {
+	c := NewData(DefaultData())
+	for i := 0; i < b.N; i++ {
+		now := int64(i)
+		c.Tick(now)
+		c.Load(uint64(i)*32, now)
+	}
+}

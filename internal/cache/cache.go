@@ -1,0 +1,361 @@
+// Package cache implements the memory-system substrate of the machine model:
+// a set-associative data cache in three organisations — perfect, lockup
+// (blocking), and lockup-free with an inverted-MSHR organisation — plus the
+// instruction cache.
+//
+// The model follows Farkas, Jouppi & Chow (WRL 95/10, §2.1):
+//
+//   - 64 KByte, 2-way set associative, 32-byte lines, 1-cycle hits.
+//   - Misses fetch a block from the next level in a constant, deterministic
+//     fetch latency (16 cycles); writing a register or a cache line takes
+//     one cycle, and the line and all registers with loads outstanding to
+//     the block are written simultaneously.
+//   - Stores are write-through/write-around (no-write-allocate) into a
+//     write buffer that consumes no memory bandwidth and never stalls, so
+//     stores never delay the servicing of cache fetches.
+//   - The lockup-free organisation uses an inverted MSHR (Farkas & Jouppi,
+//     ISCA'94): one potential miss-status slot per destination register, so
+//     the number of outstanding misses is bounded only by the number of
+//     registers, and any number of loads to the same in-flight block merge.
+//   - In-flight fetches whose initiating instructions are squashed are
+//     marked so the returning block neither installs in the cache nor
+//     writes registers.
+//
+// The cache tracks tags and timing only; data values live in the functional
+// memory (the cache never needs the bytes, since the execution-driven core
+// computes load values functionally).
+package cache
+
+import "fmt"
+
+// Kind selects the data-cache organisation.
+type Kind uint8
+
+const (
+	// Perfect is the 100%-hit-rate cache used as the memory-system upper
+	// bound in Figure 7.
+	Perfect Kind = iota
+	// Lockup is a blocking cache: while a miss is being serviced the cache
+	// cannot be probed, so at most one miss is outstanding.
+	Lockup
+	// LockupFree services any number of outstanding misses using the
+	// inverted-MSHR organisation.
+	LockupFree
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Perfect:
+		return "perfect"
+	case Lockup:
+		return "lockup"
+	case LockupFree:
+		return "lockup-free"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Config describes a data cache.
+type Config struct {
+	Kind         Kind
+	SizeBytes    int
+	Assoc        int
+	LineBytes    int
+	HitLatency   int // cycles for a hit (paper: 1)
+	FetchLatency int // cycles to fetch a block from the next level (paper: 16)
+	// MSHREntries bounds the number of simultaneously outstanding block
+	// fetches for a lockup-free cache. Zero is the paper's inverted-MSHR
+	// organisation, which supports as many outstanding misses as there are
+	// registers (effectively unlimited here). N > 0 models N conventional
+	// MSHRs (the design space of Farkas & Jouppi, ISCA'94): a load whose
+	// miss would need a new entry cannot issue while all N are busy;
+	// same-line misses still merge into an existing entry.
+	MSHREntries int
+}
+
+// DefaultData returns the paper's baseline data cache: 64 KByte, 2-way,
+// 32-byte lines, 1-cycle hit, 16-cycle fetch latency, lockup-free.
+func DefaultData() Config {
+	return Config{
+		Kind:         LockupFree,
+		SizeBytes:    64 << 10,
+		Assoc:        2,
+		LineBytes:    32,
+		HitLatency:   1,
+		FetchLatency: 16,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error { return c.check() }
+
+// WithKind returns a copy of the config with the organisation replaced.
+func (c Config) WithKind(k Kind) Config {
+	c.Kind = k
+	return c
+}
+
+func (c Config) check() error {
+	switch {
+	case c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Assoc <= 0:
+		return fmt.Errorf("cache: nonpositive geometry %+v", c)
+	case c.SizeBytes%(c.LineBytes*c.Assoc) != 0:
+		return fmt.Errorf("cache: size %d not divisible by line*assoc", c.SizeBytes)
+	case c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("cache: line size %d not a power of two", c.LineBytes)
+	case c.HitLatency < 1 || c.FetchLatency < 0:
+		return fmt.Errorf("cache: bad latencies %+v", c)
+	case c.MSHREntries < 0:
+		return fmt.Errorf("cache: negative MSHR entries %d", c.MSHREntries)
+	}
+	sets := c.SizeBytes / (c.LineBytes * c.Assoc)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+// Fill is one outstanding block fetch. Loads that miss hold a reference so
+// the core can cancel their interest when they are squashed.
+type Fill struct {
+	lineAddr uint64
+	arriveAt int64
+	// waiters is the number of un-squashed loads wanting this block
+	// (the inverted-MSHR entries pointing at it).
+	waiters int
+	done    bool
+}
+
+// LoadResult describes the timing outcome of issuing a load.
+type LoadResult struct {
+	// DataReady is the cycle at which the loaded value can be bypassed to
+	// consumers (and the destination register is written).
+	DataReady int64
+	// Miss reports whether the access missed.
+	Miss bool
+	// Fill is non-nil for misses on a lockup-free cache; the core must call
+	// CancelWaiter if the load is squashed before DataReady.
+	Fill *Fill
+}
+
+// Stats counts data-cache activity.
+type Stats struct {
+	LoadAccesses int64
+	LoadMisses   int64
+	StoreProbes  int64
+	StoreHits    int64
+	FillsStarted int64
+	FillsMerged  int64
+	FillsDropped int64 // fills whose waiters were all squashed
+}
+
+type line struct {
+	valid bool
+	tag   uint64
+	// lastUse orders lines within a set for LRU replacement.
+	lastUse int64
+}
+
+// DCache is a data cache instance. It is not safe for concurrent use.
+type DCache struct {
+	cfg      Config
+	sets     [][]line
+	setMask  uint64
+	lineShft uint
+
+	// busyUntil blocks all probes of a lockup cache during miss service.
+	busyUntil int64
+	// outstanding maps line address to its in-flight fill (lockup-free).
+	outstanding map[uint64]*Fill
+	// arrivals is the fill completion queue ordered by arrival (fills
+	// start in issue order and have constant latency, so it stays sorted).
+	arrivals []*Fill
+
+	useClock int64
+	stats    Stats
+}
+
+// NewData builds a data cache; it panics on an invalid configuration
+// (configurations are static experiment parameters, not runtime input).
+func NewData(cfg Config) *DCache {
+	if err := cfg.check(); err != nil {
+		panic(err)
+	}
+	nsets := cfg.SizeBytes / (cfg.LineBytes * cfg.Assoc)
+	sets := make([][]line, nsets)
+	backing := make([]line, nsets*cfg.Assoc)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Assoc], backing[cfg.Assoc:]
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.LineBytes {
+		shift++
+	}
+	return &DCache{
+		cfg:         cfg,
+		sets:        sets,
+		setMask:     uint64(nsets - 1),
+		lineShft:    shift,
+		outstanding: make(map[uint64]*Fill),
+	}
+}
+
+// Config returns the cache's configuration.
+func (c *DCache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the access counters.
+func (c *DCache) Stats() Stats { return c.stats }
+
+func (c *DCache) lineAddr(addr uint64) uint64 { return addr >> c.lineShft }
+
+func (c *DCache) set(la uint64) []line { return c.sets[la&c.setMask] }
+
+// probe returns the line holding la, or nil.
+func (c *DCache) probe(la uint64) *line {
+	s := c.set(la)
+	for i := range s {
+		if s[i].valid && s[i].tag == la {
+			return &s[i]
+		}
+	}
+	return nil
+}
+
+func (c *DCache) touch(l *line) {
+	c.useClock++
+	l.lastUse = c.useClock
+}
+
+// install places la into its set, evicting the LRU way.
+func (c *DCache) install(la uint64) {
+	s := c.set(la)
+	victim := &s[0]
+	for i := range s {
+		if !s[i].valid {
+			victim = &s[i]
+			break
+		}
+		if s[i].lastUse < victim.lastUse {
+			victim = &s[i]
+		}
+	}
+	victim.valid = true
+	victim.tag = la
+	c.touch(victim)
+}
+
+// CanAccess reports whether the cache can be probed at the given cycle.
+// Only a lockup cache servicing a miss refuses probes.
+func (c *DCache) CanAccess(now int64) bool {
+	return c.cfg.Kind != Lockup || now >= c.busyUntil
+}
+
+// CanAcceptLoad reports whether a load of addr may issue at the given cycle:
+// the cache must be probeable, and if the access would start a new block
+// fetch there must be a free MSHR (finite-MSHR configurations only).
+func (c *DCache) CanAcceptLoad(addr uint64, now int64) bool {
+	if !c.CanAccess(now) {
+		return false
+	}
+	if c.cfg.Kind != LockupFree || c.cfg.MSHREntries == 0 {
+		return true
+	}
+	la := c.lineAddr(addr)
+	if c.probe(la) != nil || c.outstanding[la] != nil {
+		return true // hit, or merges into an existing entry
+	}
+	return len(c.arrivals) < c.cfg.MSHREntries
+}
+
+// Load issues a load probe at cycle now. The caller must have checked
+// CanAccess. DataReady accounts for the hit latency plus the single
+// load-delay slot on hits, and for fetch latency plus the one-cycle
+// register write on misses.
+func (c *DCache) Load(addr uint64, now int64) LoadResult {
+	c.stats.LoadAccesses++
+	hitReady := now + int64(c.cfg.HitLatency) + 1 // +1: load delay slot
+	if c.cfg.Kind == Perfect {
+		return LoadResult{DataReady: hitReady}
+	}
+	la := c.lineAddr(addr)
+	if l := c.probe(la); l != nil {
+		c.touch(l)
+		return LoadResult{DataReady: hitReady}
+	}
+	if c.cfg.Kind == LockupFree {
+		if f := c.outstanding[la]; f != nil {
+			// Inverted-MSHR merge: another register is already waiting on
+			// this block; the register is written the cycle after arrival.
+			// A merged access is a delayed hit, not a miss — it starts no
+			// fetch — so Miss stays false (this matches the paper's ~33%
+			// tomcatv rate: a pure sequential sweep misses once per line,
+			// not once per element).
+			c.stats.FillsMerged++
+			f.waiters++
+			return LoadResult{DataReady: f.arriveAt + 1, Fill: f}
+		}
+	}
+	c.stats.LoadMisses++
+	arrive := now + int64(c.cfg.HitLatency) + int64(c.cfg.FetchLatency)
+	f := &Fill{lineAddr: la, arriveAt: arrive, waiters: 1}
+	c.stats.FillsStarted++
+	c.arrivals = append(c.arrivals, f)
+	if c.cfg.Kind == LockupFree {
+		c.outstanding[la] = f
+	} else {
+		// Blocking: the cache is unavailable until the line is written.
+		c.busyUntil = arrive + 1
+	}
+	return LoadResult{DataReady: arrive + 1, Miss: true, Fill: f}
+}
+
+// Store issues a write-through/write-around store probe: a hit updates the
+// line (modelled as an LRU touch), a miss does not allocate. Stores never
+// stall (the write buffer consumes no bandwidth), so there is no timing
+// result; a store while a lockup cache is busy simply bypasses to the write
+// buffer without touching the tags.
+func (c *DCache) Store(addr uint64, now int64) {
+	if c.cfg.Kind == Perfect {
+		return
+	}
+	if !c.CanAccess(now) {
+		return
+	}
+	c.stats.StoreProbes++
+	if l := c.probe(c.lineAddr(addr)); l != nil {
+		c.stats.StoreHits++
+		c.touch(l)
+	}
+}
+
+// CancelWaiter removes a squashed load's interest in an in-flight fill. If
+// every waiter is squashed by the time the block returns, the block is not
+// written into the cache (the paper's marking of removed instructions'
+// fetches).
+func (c *DCache) CancelWaiter(f *Fill) {
+	if f != nil && !f.done && f.waiters > 0 {
+		f.waiters--
+	}
+}
+
+// Tick processes block arrivals for cycle now; it must be called once per
+// cycle before loads issue. Arrived blocks with at least one surviving
+// waiter install into the cache.
+func (c *DCache) Tick(now int64) {
+	for len(c.arrivals) > 0 && c.arrivals[0].arriveAt <= now {
+		f := c.arrivals[0]
+		c.arrivals = c.arrivals[1:]
+		f.done = true
+		if c.cfg.Kind == LockupFree {
+			delete(c.outstanding, f.lineAddr)
+		}
+		if f.waiters > 0 {
+			c.install(f.lineAddr)
+		} else {
+			c.stats.FillsDropped++
+		}
+	}
+}
+
+// OutstandingFills returns the number of in-flight block fetches (for tests).
+func (c *DCache) OutstandingFills() int { return len(c.arrivals) }

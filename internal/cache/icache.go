@@ -1,0 +1,76 @@
+package cache
+
+// ICache models the instruction cache: 64 KByte, 2-way set associative,
+// 32-byte lines, 1-cycle hits, and a fixed miss penalty during which the
+// front end stalls. Per the paper's assumption, servicing instruction-cache
+// misses never delays data-cache misses, so the instruction cache is an
+// independent unit with its own path to memory.
+type ICache struct {
+	sets        [][]line
+	setMask     uint64
+	lineShft    uint
+	missPenalty int64
+	useClock    int64
+
+	Accesses int64
+	Misses   int64
+}
+
+// NewICache builds the paper's instruction cache with the given fixed miss
+// penalty in cycles.
+func NewICache(missPenalty int) *ICache {
+	const (
+		sizeBytes = 64 << 10
+		assoc     = 2
+		lineBytes = 32
+	)
+	nsets := sizeBytes / (lineBytes * assoc)
+	sets := make([][]line, nsets)
+	backing := make([]line, nsets*assoc)
+	for i := range sets {
+		sets[i], backing = backing[:assoc], backing[assoc:]
+	}
+	shift := uint(0)
+	for 1<<shift < lineBytes {
+		shift++
+	}
+	return &ICache{
+		sets:        sets,
+		setMask:     uint64(nsets - 1),
+		lineShft:    shift,
+		missPenalty: int64(missPenalty),
+	}
+}
+
+// Fetch probes the cache for the instruction at byte address addr. On a hit
+// it returns (true, 0). On a miss it begins the line fill and returns
+// (false, readyAt): the front end must stall until cycle readyAt, after
+// which the line is present.
+func (c *ICache) Fetch(addr uint64, now int64) (hit bool, readyAt int64) {
+	c.Accesses++
+	la := addr >> c.lineShft
+	s := c.sets[la&c.setMask]
+	for i := range s {
+		if s[i].valid && s[i].tag == la {
+			c.useClock++
+			s[i].lastUse = c.useClock
+			return true, 0
+		}
+	}
+	c.Misses++
+	victim := &s[0]
+	for i := range s {
+		if !s[i].valid {
+			victim = &s[i]
+			break
+		}
+		if s[i].lastUse < victim.lastUse {
+			victim = &s[i]
+		}
+	}
+	victim.valid = true
+	victim.tag = la
+	c.useClock++
+	victim.lastUse = c.useClock
+	return false, now + c.missPenalty
+}

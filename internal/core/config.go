@@ -1,0 +1,159 @@
+// Package core implements the cycle-level, execution-driven out-of-order
+// processor model of Farkas, Jouppi & Chow (WRL 95/10 / HPCA'96): a 4- or
+// 8-way superscalar with register renaming, a single unified dispatch queue,
+// greedy oldest-first scheduling, dynamic memory disambiguation, speculative
+// execution past predicted branches (including full wrong-path execution),
+// non-blocking loads, and the two register-freeing exception models.
+//
+// The simulator is execution-driven in the paper's (ATOM) sense: programs
+// execute functionally as they are fetched, so branch directions, memory
+// addresses and wrong-path behaviour are real rather than replayed from a
+// trace. Architectural effects become permanent only at commit; everything
+// younger than a mispredicted branch is squashed and undone exactly.
+package core
+
+import (
+	"fmt"
+
+	"regsim/internal/bpred"
+	"regsim/internal/cache"
+	"regsim/internal/rename"
+)
+
+// Config selects one machine configuration — the experiment axes of the
+// paper plus fixed structural parameters.
+type Config struct {
+	// Width is the issue width: 4 or 8.
+	Width int
+	// QueueSize is the number of dispatch-queue entries (paper: 8–256;
+	// 32 is the cost-effective choice for 4-way, 64 for 8-way).
+	QueueSize int
+	// RegsPerFile is the number of physical registers in each of the
+	// integer and floating-point files (the paper keeps them equal).
+	// The minimum workable value is 32.
+	RegsPerFile int
+	// Model is the exception model's register-freeing discipline.
+	Model rename.Model
+	// DCache configures the data cache (organisation, geometry, latency).
+	DCache cache.Config
+	// ICacheMissPenalty is the fixed instruction-cache miss penalty in
+	// cycles (paper: 16; instruction misses never delay data misses).
+	ICacheMissPenalty int
+	// FrontEndDelay is the number of extra cycles after a misprediction
+	// before correct-path instructions can be inserted into the dispatch
+	// queue, modelling fetch/decode refill depth.
+	FrontEndDelay int
+	// TrackLiveRegisters enables the per-cycle live-register category
+	// histograms used by Figures 3–5 and 8. It costs a little time and
+	// memory; performance sweeps can leave it off.
+	TrackLiveRegisters bool
+
+	// --- Ablation knobs beyond the paper's fixed assumptions. ---
+	// The zero value of each reproduces the paper's machine exactly.
+
+	// InOrderBranches forces conditional branches to issue in program
+	// order. The paper measured this variant: "the branch prediction
+	// accuracy did improve somewhat with in-order execution of conditional
+	// branches, [but] this improvement occurred at the expense of a notable
+	// decrease in the commit IPC. Hence, we allow branches to execute out
+	// of order."
+	InOrderBranches bool
+	// Predictor selects the branch predictor (default: the paper's
+	// McFarling combining predictor; the component-only variants quantify
+	// what combining buys).
+	Predictor bpred.Kind
+	// WriteBufferEntries bounds the store write buffer. The paper assumes
+	// retiring stores consume no memory bandwidth, so the buffer never
+	// fills (0 = that assumption). With N > 0, stores enter the buffer at
+	// commit, one buffered store drains every WriteBufferDrain cycles, and
+	// commit stalls while the buffer is full.
+	WriteBufferEntries int
+	// WriteBufferDrain is the drain interval in cycles for a finite write
+	// buffer (default 4 when WriteBufferEntries > 0).
+	WriteBufferDrain int
+	// ReadPortsPerFile bounds each register file's read ports as an issue
+	// constraint: instructions stop issuing once a cycle's operand reads
+	// would exceed the budget. Zero is the paper's provisioning (2×width
+	// for the integer file, width for FP), which its issue rules can never
+	// exceed for arithmetic — though FP stores can push FP reads past the
+	// halved FP ports (see the ports study). Hardwired-zero reads are free.
+	ReadPortsPerFile int
+	// SplitQueues replaces the paper's single unified dispatch queue with
+	// three per-class queues (integer+control : floating-point : memory,
+	// splitting QueueSize 2:1:1) — the design alternative the paper
+	// mentions ("processors using this technique have been implemented
+	// with one or more different dispatch queues"; it uses one "because
+	// one queue is simpler"). Splitting loses capacity fungibility:
+	// a full class queue stalls dispatch even when others have room.
+	SplitQueues bool
+	// InsertPerCycle overrides the dispatch-queue insertion bandwidth
+	// (default 1.5× issue width).
+	InsertPerCycle int
+	// CommitPerCycle overrides the commit bandwidth (default 2× width).
+	CommitPerCycle int
+
+	// Tracer, when non-nil, receives one event per pipeline transition
+	// (dispatch, issue, complete, commit, squash, recovery). Tracing a
+	// long run is expensive; it is meant for short pipeline studies.
+	Tracer func(Event)
+}
+
+// DefaultConfig returns the paper's baseline 4-way machine: 32-entry
+// dispatch queue, lockup-free 64KB data cache, precise exceptions, and a
+// given register-file size.
+func DefaultConfig() Config {
+	return Config{
+		Width:              4,
+		QueueSize:          32,
+		RegsPerFile:        80,
+		Model:              rename.Precise,
+		DCache:             cache.DefaultData(),
+		ICacheMissPenalty:  16,
+		FrontEndDelay:      1,
+		TrackLiveRegisters: false,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Width != 4 && c.Width != 8 {
+		return fmt.Errorf("core: issue width %d (must be 4 or 8)", c.Width)
+	}
+	if c.QueueSize < 1 {
+		return fmt.Errorf("core: dispatch queue size %d (must be >= 1)", c.QueueSize)
+	}
+	if c.SplitQueues && c.QueueSize < 4 {
+		return fmt.Errorf("core: split queues need at least 4 entries (2:1:1 split), have %d", c.QueueSize)
+	}
+	if c.RegsPerFile < rename.MinRegsPerFile {
+		return fmt.Errorf("core: %d registers per file (minimum %d; fewer deadlocks)", c.RegsPerFile, rename.MinRegsPerFile)
+	}
+	if c.ICacheMissPenalty < 0 || c.FrontEndDelay < 0 {
+		return fmt.Errorf("core: negative latency in config")
+	}
+	if c.WriteBufferEntries < 0 || c.WriteBufferDrain < 0 {
+		return fmt.Errorf("core: negative write-buffer parameters")
+	}
+	if c.InsertPerCycle < 0 || c.CommitPerCycle < 0 {
+		return fmt.Errorf("core: negative bandwidth override")
+	}
+	if c.ReadPortsPerFile < 0 {
+		return fmt.Errorf("core: negative read-port budget")
+	}
+	if err := c.DCache.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Operation latencies (paper §2.1). Loads are cache-determined; on a hit the
+// single load-delay slot makes the load-to-use latency two cycles.
+const (
+	latIntALU = 1
+	latIntMul = 6 // fully pipelined
+	latFP     = 3 // fully pipelined
+	latFDivS  = 8 // unpipelined
+	latFDivD  = 16
+	latStore  = 1 // "stores take one cycle to be resolved"
+	latBranch = 1
+)

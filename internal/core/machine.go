@@ -1,0 +1,282 @@
+package core
+
+import (
+	"fmt"
+
+	"regsim/internal/bpred"
+	"regsim/internal/cache"
+	"regsim/internal/dispatch"
+	"regsim/internal/isa"
+	"regsim/internal/mem"
+	"regsim/internal/prog"
+	"regsim/internal/ref"
+	"regsim/internal/rename"
+)
+
+// Machine is one configured processor instance executing one program.
+// Create it with New, drive it with Run, and read the statistics from the
+// returned Result. A Machine is single-use and not safe for concurrent use.
+type Machine struct {
+	cfg    Config
+	limits dispatch.Limits
+	text   []isa.Inst
+
+	ren *rename.Unit
+	bp  *bpred.Predictor
+	dc  *cache.DCache
+	ic  *cache.ICache
+	mem *mem.Memory
+
+	win *window
+
+	// Dispatch queue: intrusive list of un-issued uops in program order.
+	// Occupancy is tracked per class group so the split-queue ablation can
+	// enforce per-queue capacities (unified mode checks the sum).
+	unHead, unTail int64
+	qCounts        [3]int
+
+	// Speculative architectural state (functional execution at dispatch).
+	specInt   [isa.NumArchRegs]uint64
+	specFP    [isa.NumArchRegs]uint64
+	specPC    uint64
+	specValid bool
+
+	// Store queue: sequence numbers of un-committed stores, program order.
+	storeQ     []int64
+	storeQHead int
+
+	// Conditional-branch queue for the completion frontier, program order.
+	brQ     []int64
+	brQHead int
+
+	// Completion buckets: a circular calendar of issue completions.
+	buckets [][]int64
+	bmask   int64
+
+	// Unpipelined floating-point divider units.
+	divBusyUntil []int64
+	divOwner     []int64
+
+	now           int64
+	fetchResumeAt int64
+	done          bool
+
+	// Finite write buffer (zero-valued and inert under the paper's
+	// no-bandwidth assumption).
+	wbCount     int
+	wbNextDrain int64
+
+	sum ref.Checksum
+	res Result
+
+	// Per-cycle dispatch stall flags.
+	stallReg   bool
+	stallQueue bool
+
+	// Per-cycle register-file port usage (reset in statsStage).
+	cycleReads  [2]int
+	cycleWrites [2]int
+}
+
+// New builds a machine for the given program. The program's data image is
+// applied to a fresh functional memory.
+func New(cfg Config, p *prog.Program) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	limits, err := dispatch.LimitsFor(cfg.Width)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.InsertPerCycle > 0 {
+		limits.Insert = cfg.InsertPerCycle
+	}
+	if cfg.CommitPerCycle > 0 {
+		limits.Commit = cfg.CommitPerCycle
+	}
+	if cfg.WriteBufferEntries > 0 && cfg.WriteBufferDrain == 0 {
+		cfg.WriteBufferDrain = 4
+	}
+	ren, err := rename.NewUnit(cfg.RegsPerFile, cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:       cfg,
+		limits:    limits,
+		text:      p.Text,
+		ren:       ren,
+		bp:        bpred.NewKind(cfg.Predictor),
+		dc:        cache.NewData(cfg.DCache),
+		ic:        cache.NewICache(cfg.ICacheMissPenalty),
+		mem:       mem.New(),
+		win:       newWindow(2 * cfg.QueueSize),
+		unHead:    noSeq,
+		unTail:    noSeq,
+		specPC:    p.Entry,
+		specValid: true,
+	}
+	for _, dw := range p.Data {
+		m.mem.Write64(dw.Addr, dw.Value)
+	}
+	// The completion calendar must cover the longest issue-to-completion
+	// latency: a miss (hit + fetch + register write) or a double divide.
+	maxLat := int64(cfg.DCache.HitLatency + cfg.DCache.FetchLatency + 2)
+	if maxLat < latFDivD {
+		maxLat = latFDivD
+	}
+	n := int64(2)
+	for n < maxLat+2 {
+		n <<= 1
+	}
+	m.buckets = make([][]int64, n)
+	m.bmask = n - 1
+	m.divBusyUntil = make([]int64, limits.FPDivUnits())
+	m.divOwner = make([]int64, limits.FPDivUnits())
+	for i := range m.divOwner {
+		m.divOwner[i] = noSeq
+	}
+	if cfg.TrackLiveRegisters {
+		m.res.Live[isa.IntFile] = newLiveHist(cfg.RegsPerFile)
+		m.res.Live[isa.FPFile] = newLiveHist(cfg.RegsPerFile)
+		m.res.Ports[isa.IntFile] = newPortHist()
+		m.res.Ports[isa.FPFile] = newPortHist()
+	}
+	return m, nil
+}
+
+// watchdogCycles bounds how long the machine may go without committing an
+// instruction before Run declares a deadlock (a simulator bug or a malformed
+// program; the paper's machine cannot legitimately stall this long).
+const watchdogCycles = 1 << 20
+
+// Run simulates until the program halts or maxCommit instructions have
+// committed, and returns the run statistics.
+func (m *Machine) Run(maxCommit int64) (*Result, error) {
+	lastProgress := m.now
+	lastCommitted := m.res.Committed
+	for !m.done && m.res.Committed < maxCommit {
+		m.step()
+		if m.res.Committed != lastCommitted {
+			lastCommitted = m.res.Committed
+			lastProgress = m.now
+		} else if m.now-lastProgress > watchdogCycles {
+			return nil, fmt.Errorf("core: no commit in %d cycles at cycle %d (pc=%d, committed=%d): deadlock", watchdogCycles, m.now, m.specPC, m.res.Committed)
+		}
+		if !m.specValid && m.win.occupied() == 0 && !m.done {
+			return nil, fmt.Errorf("core: execution ran off the text segment at pc=%d with an empty window", m.specPC)
+		}
+	}
+	m.res.Checksum = m.sum.Value()
+	m.res.DCache = m.dc.Stats()
+	m.res.ICacheAccesses = m.ic.Accesses
+	m.res.ICacheMisses = m.ic.Misses
+	r := m.res
+	return &r, nil
+}
+
+// Rename exposes the rename unit for invariant checks in tests.
+func (m *Machine) Rename() *rename.Unit { return m.ren }
+
+// Cycles returns the current cycle number.
+func (m *Machine) Cycles() int64 { return m.now }
+
+// --- speculative register file helpers ---
+
+func (m *Machine) readSpec(r isa.Reg) uint64 {
+	if r.IsZero() {
+		return 0
+	}
+	if r.File == isa.IntFile {
+		return m.specInt[r.Idx]
+	}
+	return m.specFP[r.Idx]
+}
+
+func (m *Machine) writeSpec(f isa.RegFile, idx uint8, v uint64) {
+	if idx == isa.ZeroReg {
+		return
+	}
+	if f == isa.IntFile {
+		m.specInt[idx] = v
+	} else {
+		m.specFP[idx] = v
+	}
+}
+
+// loadSpec returns the functional value a load of addr observes at dispatch:
+// the youngest earlier un-committed store to the same address, else memory.
+func (m *Machine) loadSpec(addr uint64) (val uint64, depStore int64) {
+	for i := len(m.storeQ) - 1; i >= m.storeQHead; i-- {
+		s := m.win.at(m.storeQ[i])
+		if s.addr == addr {
+			return s.result, s.seq
+		}
+	}
+	return m.mem.Read64(addr), noSeq
+}
+
+// --- dispatch-queue intrusive list ---
+
+// queueGroup maps an instruction class to its dispatch queue in split mode:
+// 0 integer+control, 1 floating point, 2 memory.
+func queueGroup(c isa.Class) int {
+	switch c {
+	case isa.ClassFP, isa.ClassFPDiv:
+		return 1
+	case isa.ClassLoad, isa.ClassStore:
+		return 2
+	}
+	return 0
+}
+
+// queueCapacity returns the capacity of a class group's queue: the full
+// unified queue, or a 2:1:1 split of it.
+func (m *Machine) queueCapacity(group int) int {
+	if !m.cfg.SplitQueues {
+		return m.cfg.QueueSize
+	}
+	if group == 0 {
+		return m.cfg.QueueSize / 2
+	}
+	return m.cfg.QueueSize / 4
+}
+
+// queueFull reports whether the queue feeding class c cannot accept another
+// instruction.
+func (m *Machine) queueFull(c isa.Class) bool {
+	if m.cfg.SplitQueues {
+		g := queueGroup(c)
+		return m.qCounts[g] >= m.queueCapacity(g)
+	}
+	return m.qCounts[0]+m.qCounts[1]+m.qCounts[2] >= m.cfg.QueueSize
+}
+
+func (m *Machine) unissuedPush(u *uop) {
+	u.prevUn, u.nextUn = m.unTail, noSeq
+	if m.unTail != noSeq {
+		m.win.at(m.unTail).nextUn = u.seq
+	} else {
+		m.unHead = u.seq
+	}
+	m.unTail = u.seq
+	m.qCounts[queueGroup(u.class)]++
+}
+
+func (m *Machine) unissuedRemove(u *uop) {
+	if u.prevUn != noSeq {
+		m.win.at(u.prevUn).nextUn = u.nextUn
+	} else {
+		m.unHead = u.nextUn
+	}
+	if u.nextUn != noSeq {
+		m.win.at(u.nextUn).prevUn = u.prevUn
+	} else {
+		m.unTail = u.prevUn
+	}
+	u.prevUn, u.nextUn = noSeq, noSeq
+	m.qCounts[queueGroup(u.class)]--
+}

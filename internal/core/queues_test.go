@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"regsim/internal/isa"
+	"regsim/internal/prog"
+)
+
+// fpHeavy builds a long run of independent FP adds with a few integer ops.
+func fpHeavy(n int) *prog.Program {
+	b := prog.NewBuilder("fpheavy")
+	for i := 0; i < n; i++ {
+		b.FAdd(uint8(1+i%24), 25, 26)
+		if i%8 == 0 {
+			b.AddI(uint8(1+i%20), 21, 1)
+		}
+	}
+	b.Halt()
+	return b.MustBuild()
+}
+
+// TestSplitQueuesFragmentCapacity: an FP-dominated stream fills the split
+// machine's quarter-size FP queue while the integer queue idles; the
+// unified queue gives the FP stream the whole capacity. The split machine
+// must be slower (this is the cost the ablation measures).
+func TestSplitQueuesFragmentCapacity(t *testing.T) {
+	p := fpHeavy(600)
+	run := func(split bool) *Result {
+		cfg := DefaultConfig()
+		cfg.RegsPerFile = 256
+		cfg.ICacheMissPenalty = 0
+		cfg.SplitQueues = split
+		m, err := New(cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run(1 << 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	unified, splitQ := run(false), run(true)
+	if splitQ.Cycles < unified.Cycles {
+		t.Errorf("split queues faster (%d vs %d cycles) on an FP-dominated stream",
+			splitQ.Cycles, unified.Cycles)
+	}
+	if splitQ.DispatchQueueFullStalls == 0 {
+		t.Error("split FP queue never filled on an FP-dominated stream")
+	}
+	// Architectural results are unaffected.
+	if unified.Checksum != splitQ.Checksum {
+		t.Error("queue organisation changed architectural results")
+	}
+}
+
+func TestSplitQueuesValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SplitQueues = true
+	cfg.QueueSize = 3
+	if _, err := New(cfg, fpHeavy(4)); err == nil {
+		t.Error("3-entry split queue accepted")
+	}
+}
+
+func TestQueueGroups(t *testing.T) {
+	// Class → queue-group mapping used by the split organisation.
+	cases := map[string]int{
+		"int": 0, "imul": 0, "cbr": 0, "ctrl": 0, "halt": 0,
+		"fp": 1, "fdiv": 1,
+		"load": 2, "store": 2,
+	}
+	found := 0
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		if want, ok := cases[c.String()]; ok {
+			found++
+			if got := queueGroup(c); got != want {
+				t.Errorf("queueGroup(%s) = %d, want %d", c, got, want)
+			}
+		}
+	}
+	if found != len(cases) {
+		t.Fatalf("covered %d classes, want %d", found, len(cases))
+	}
+}

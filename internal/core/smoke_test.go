@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"regsim/internal/cache"
+	"regsim/internal/prog"
+	"regsim/internal/ref"
+	"regsim/internal/rename"
+)
+
+// sumLoop builds: r1 = sum of i for i in [1,n]; store r1 to DataBase; halt.
+func sumLoop(n int32) *prog.Program {
+	b := prog.NewBuilder("sumloop")
+	b.MovI(1, 0) // r1 = acc
+	b.MovI(2, n) // r2 = i
+	b.Label("loop")
+	b.Add(1, 1, 2)   // acc += i
+	b.SubI(2, 2, 1)  // i--
+	b.Bne(2, "loop") // until i == 0
+	b.MovI(3, prog.DataBase)
+	b.St(1, 3, 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+func runBoth(t *testing.T, p *prog.Program, cfg Config) (*Result, *ref.Interp) {
+	t.Helper()
+	it := ref.New(p)
+	if _, err := it.Run(10_000_000); err != nil {
+		t.Fatalf("ref: %v", err)
+	}
+	if !it.Halted {
+		t.Fatalf("ref did not halt")
+	}
+	m, err := New(cfg, p)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := m.Run(10_000_000)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Halted {
+		t.Fatalf("machine did not halt (committed %d, cycles %d)", res.Committed, res.Cycles)
+	}
+	if res.Checksum != it.Sum.Value() {
+		t.Fatalf("checksum mismatch: machine %#x vs ref %#x (committed %d vs %d)",
+			res.Checksum, it.Sum.Value(), res.Committed, it.Retired)
+	}
+	if res.Committed != int64(it.Retired) {
+		t.Fatalf("committed %d != ref retired %d", res.Committed, it.Retired)
+	}
+	if err := m.Rename().CheckInvariants(); err != nil {
+		t.Fatalf("rename invariants: %v", err)
+	}
+	return res, it
+}
+
+func TestSmokeSumLoop(t *testing.T) {
+	p := sumLoop(100)
+	cfg := DefaultConfig()
+	cfg.TrackLiveRegisters = true
+	res, it := runBoth(t, p, cfg)
+	want := it.Mem.Read64(prog.DataBase)
+	if want != 5050 {
+		t.Fatalf("ref computed %d, want 5050", want)
+	}
+	if res.CommitIPC() <= 0 {
+		t.Fatalf("nonpositive commit IPC")
+	}
+	t.Logf("cycles=%d committed=%d issued=%d ipc=%.2f mispred=%.1f%%",
+		res.Cycles, res.Committed, res.Issued, res.CommitIPC(), 100*res.MispredictRate())
+}
+
+func TestSmokeAllConfigs(t *testing.T) {
+	p := sumLoop(500)
+	for _, width := range []int{4, 8} {
+		for _, q := range []int{8, 32, 64} {
+			for _, regs := range []int{32, 40, 80, 256} {
+				for _, model := range []rename.Model{rename.Precise, rename.Imprecise} {
+					for _, kind := range []cache.Kind{cache.Perfect, cache.Lockup, cache.LockupFree} {
+						cfg := DefaultConfig()
+						cfg.Width = width
+						cfg.QueueSize = q
+						cfg.RegsPerFile = regs
+						cfg.Model = model
+						cfg.DCache = cfg.DCache.WithKind(kind)
+						runBoth(t, p, cfg)
+					}
+				}
+			}
+		}
+	}
+}

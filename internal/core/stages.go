@@ -1,0 +1,535 @@
+package core
+
+import (
+	"regsim/internal/dispatch"
+	"regsim/internal/isa"
+	"regsim/internal/mem"
+	"regsim/internal/prog"
+	"regsim/internal/rename"
+)
+
+// step advances the machine one clock cycle. Stage order within a cycle:
+//
+//  1. data-cache block arrivals (fills install);
+//  2. completions (results produced; branch predictor counters updated;
+//     mispredictions detected);
+//  3. misprediction recovery (squash, rename rollback, fetch redirect);
+//  4. conditional-branch frontier advance (arms imprecise kills);
+//  5. in-order commit of up to 2× issue width;
+//  6. issue of up to issue-width ready instructions, oldest first;
+//  7. insertion of up to 1.5× issue width instructions into the dispatch
+//     queue, with renaming and functional execution;
+//  8. statistics;
+//  9. end-of-cycle register frees (freed registers usable next cycle).
+//
+// Running completion before issue gives single-cycle-operation back-to-back
+// bypassing; running issue before dispatch means an instruction cannot issue
+// in its insertion cycle.
+func (m *Machine) step() {
+	m.now++
+	m.stallReg, m.stallQueue = false, false
+
+	m.dc.Tick(m.now)
+	m.drainWriteBuffer()
+	recoverSeq := m.completionStage()
+	if recoverSeq != noSeq {
+		m.recover(recoverSeq)
+	}
+	m.advanceFrontier()
+	m.commitStage()
+	if !m.done {
+		m.issueStage()
+		m.dispatchStage()
+	}
+	m.statsStage()
+	m.ren.EndCycle()
+}
+
+// drainWriteBuffer retires one buffered store to memory every
+// WriteBufferDrain cycles (finite-write-buffer configurations only; the
+// paper's infinite buffer needs no draining).
+func (m *Machine) drainWriteBuffer() {
+	if m.cfg.WriteBufferEntries <= 0 || m.wbCount == 0 {
+		return
+	}
+	if m.now >= m.wbNextDrain {
+		m.wbCount--
+		m.wbNextDrain = m.now + int64(m.cfg.WriteBufferDrain)
+	}
+}
+
+// completionStage retires this cycle's completion-calendar bucket. It
+// returns the sequence number of the oldest mispredicted branch completing
+// this cycle (noSeq if none): recovery always rolls back to the oldest
+// offender.
+func (m *Machine) completionStage() int64 {
+	recoverSeq := noSeq
+	bucket := m.buckets[m.now&m.bmask]
+	for _, seq := range bucket {
+		if !m.win.valid(seq) {
+			continue // squashed and slot since reused
+		}
+		u := m.win.at(seq)
+		if u.state != sIssued || u.completeAt != m.now {
+			continue // squashed (dead) or stale
+		}
+		u.state = sCompleted
+		m.emit(EvComplete, u)
+		for i := 0; i < int(u.nsrc); i++ {
+			m.ren.OnReaderDone(u.srcFile[i], u.srcPhys[i])
+		}
+		if u.hasDst {
+			m.ren.OnWriterDone(u.dstFile, u.dstPhys, u.dstVirt, u.seq)
+			m.cycleWrites[u.dstFile]++
+		}
+		if u.class == isa.ClassCondBr {
+			m.bp.Update(u.pc, u.snapshot, u.taken)
+			if u.mispredict {
+				m.res.Mispredicts++
+				if recoverSeq == noSeq || u.seq < recoverSeq {
+					recoverSeq = u.seq
+				}
+			}
+		}
+	}
+	m.buckets[m.now&m.bmask] = bucket[:0]
+	return recoverSeq
+}
+
+// recover squashes everything younger than the mispredicted branch at
+// boundary, restores the speculative register state and rename maps, redirects
+// fetch down the branch's actual path, and restores the branch history.
+func (m *Machine) recover(boundary int64) {
+	for seq := m.win.nextSeq - 1; seq > boundary; seq-- {
+		u := m.win.at(seq)
+		if u.seq != seq || u.state == sDead {
+			continue // already a hole from a nested squash
+		}
+		m.squash(u)
+	}
+	// Drop squashed stores (they are the youngest entries).
+	for len(m.storeQ) > m.storeQHead && m.storeQ[len(m.storeQ)-1] > boundary {
+		m.storeQ = m.storeQ[:len(m.storeQ)-1]
+	}
+	// Drop squashed conditional branches from the frontier queue.
+	for len(m.brQ) > m.brQHead && m.brQ[len(m.brQ)-1] > boundary {
+		m.brQ = m.brQ[:len(m.brQ)-1]
+	}
+	m.ren.DropKillsAfter(boundary)
+
+	br := m.win.at(boundary)
+	m.emit(EvRecover, br)
+	m.bp.Recover(br.snapshot, br.taken)
+	if br.taken {
+		m.specPC = uint64(uint32(br.in.Imm))
+	} else {
+		m.specPC = br.pc + 1
+	}
+	m.specValid = true
+	m.fetchResumeAt = m.now + 1 + int64(m.cfg.FrontEndDelay)
+}
+
+// squash undoes one instruction (newest-first within a recovery).
+func (m *Machine) squash(u *uop) {
+	if u.state == sQueued {
+		m.unissuedRemove(u)
+	}
+	if u.hasDst {
+		m.writeSpec(u.dstFile, u.dstVirt, u.oldSpecVal)
+	}
+	var srcF []isa.RegFile
+	var srcP []rename.Phys
+	if u.nsrc > 0 {
+		srcF, srcP = u.srcFile[:u.nsrc], u.srcPhys[:u.nsrc]
+	}
+	m.ren.OnSquash(u.dstFile, u.dstVirt, u.dstPhys, u.oldPhys, u.hasDst, u.state == sCompleted, srcF, srcP)
+	if u.state == sIssued {
+		if u.fill != nil {
+			m.dc.CancelWaiter(u.fill)
+		}
+		if u.class == isa.ClassFPDiv {
+			// The divider occupied by a removed instruction is available
+			// again the next cycle (paper §2.2).
+			for i := range m.divOwner {
+				if m.divOwner[i] == u.seq {
+					m.divOwner[i] = noSeq
+					m.divBusyUntil[i] = m.now + 1
+				}
+			}
+		}
+	}
+	u.state = sDead
+	m.emit(EvSquash, u)
+}
+
+// advanceFrontier pops resolved conditional branches off the head of the
+// branch queue and tells the rename unit the oldest still-unresolved one
+// (which gates imprecise mapping kills).
+func (m *Machine) advanceFrontier() {
+	for m.brQHead < len(m.brQ) {
+		seq := m.brQ[m.brQHead]
+		if seq >= m.win.headSeq {
+			u := m.win.at(seq)
+			if u.seq == seq && u.state != sDead && u.state != sCompleted {
+				break
+			}
+		}
+		m.brQHead++
+	}
+	frontier := rename.NoFrontier
+	if m.brQHead < len(m.brQ) {
+		frontier = m.brQ[m.brQHead]
+	}
+	if m.brQHead > 1024 && m.brQHead*2 > len(m.brQ) {
+		m.brQ = append(m.brQ[:0], m.brQ[m.brQHead:]...)
+		m.brQHead = 0
+	}
+	m.ren.SetFrontier(frontier)
+}
+
+// commitStage retires completed instructions in program order, up to twice
+// the issue width per cycle.
+func (m *Machine) commitStage() {
+	budget := m.limits.Commit
+	for budget > 0 && m.win.headSeq < m.win.nextSeq {
+		u := m.win.at(m.win.headSeq)
+		if u.seq != m.win.headSeq || u.state == sDead {
+			m.win.headSeq++ // squash hole: not an instruction
+			continue
+		}
+		if u.state != sCompleted {
+			break
+		}
+		if u.class == isa.ClassStore && m.cfg.WriteBufferEntries > 0 && m.wbCount >= m.cfg.WriteBufferEntries {
+			m.res.WriteBufferStalls++
+			break // the write buffer is full: the store cannot commit
+		}
+		m.commit(u)
+		m.win.headSeq++
+		budget--
+		if m.done {
+			break
+		}
+	}
+}
+
+func (m *Machine) commit(u *uop) {
+	m.res.Committed++
+	m.emit(EvCommit, u)
+	m.sum.Add(u.pc, u.in.Op, u.result)
+	switch u.class {
+	case isa.ClassLoad:
+		m.res.CommittedLoads++
+	case isa.ClassCondBr:
+		m.res.CommittedCondBr++
+	case isa.ClassStore:
+		// Architectural memory is written at commit via the write buffer
+		// (which, under the paper's assumption, consumes no bandwidth and
+		// never stalls; a finite buffer was counted before we got here).
+		m.wbCount++
+		m.mem.Write64(u.addr, u.result)
+		if m.storeQHead >= len(m.storeQ) || m.storeQ[m.storeQHead] != u.seq {
+			panic("core: store queue out of sync at commit")
+		}
+		m.storeQHead++
+		if m.storeQHead > 1024 && m.storeQHead*2 > len(m.storeQ) {
+			m.storeQ = append(m.storeQ[:0], m.storeQ[m.storeQHead:]...)
+			m.storeQHead = 0
+		}
+	case isa.ClassHalt:
+		m.done = true
+		m.res.Halted = true
+	}
+	if u.hasDst {
+		m.ren.OnCommitRetire(u.dstFile, u.oldPhys)
+	}
+}
+
+// issueStage selects ready dispatch-queue instructions oldest-first, subject
+// to the per-class issue limits (and, when configured, the register-file
+// read-port budget).
+func (m *Machine) issueStage() {
+	slots := dispatch.NewSlots(m.limits)
+	for seq := m.unHead; seq != noSeq && !slots.Full(); {
+		u := m.win.at(seq)
+		next := u.nextUn
+		if m.canIssue(u) && m.readPortsAvailable(u) && slots.TryIssue(u.class) {
+			m.issue(u)
+		}
+		seq = next
+	}
+}
+
+// readPortsAvailable checks the per-cycle read-port budget for an
+// instruction's operands (cycleReads accumulates as instructions issue).
+func (m *Machine) readPortsAvailable(u *uop) bool {
+	budget := m.cfg.ReadPortsPerFile
+	if budget == 0 {
+		return true
+	}
+	var need [2]int
+	for i := 0; i < int(u.nsrc); i++ {
+		if u.srcPhys[i] != rename.PhysZero {
+			need[u.srcFile[i]]++
+		}
+	}
+	return m.cycleReads[0]+need[0] <= budget && m.cycleReads[1]+need[1] <= budget
+}
+
+// canIssue checks operand readiness and structural conditions other than the
+// per-class issue slots.
+func (m *Machine) canIssue(u *uop) bool {
+	for i := 0; i < int(u.nsrc); i++ {
+		if !m.ren.Ready(u.srcFile[i], u.srcPhys[i]) {
+			return false
+		}
+	}
+	switch u.class {
+	case isa.ClassFPDiv:
+		return m.freeDivider() >= 0
+	case isa.ClassLoad:
+		if u.depStore != noSeq && u.depStore >= m.win.headSeq {
+			dep := m.win.at(u.depStore)
+			if dep.seq == u.depStore && dep.state != sCompleted && dep.state != sDead {
+				// The matching earlier store has not resolved yet.
+				return false
+			}
+		}
+		if !u.forwarded && !m.dc.CanAcceptLoad(u.addr, m.now) {
+			return false
+		}
+	case isa.ClassCondBr:
+		if m.cfg.InOrderBranches && !m.isOldestUnissuedBranch(u.seq) {
+			return false
+		}
+	}
+	return true
+}
+
+// isOldestUnissuedBranch reports whether seq is the oldest conditional
+// branch still waiting in the dispatch queue (the InOrderBranches ablation).
+func (m *Machine) isOldestUnissuedBranch(seq int64) bool {
+	for i := m.brQHead; i < len(m.brQ); i++ {
+		s := m.brQ[i]
+		if s >= seq {
+			return true
+		}
+		if s < m.win.headSeq {
+			continue
+		}
+		u := m.win.at(s)
+		if u.seq == s && u.state == sQueued {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Machine) freeDivider() int {
+	for i, busy := range m.divBusyUntil {
+		if busy <= m.now {
+			return i
+		}
+	}
+	return -1
+}
+
+func (m *Machine) issue(u *uop) {
+	u.state = sIssued
+	m.emit(EvIssue, u)
+	m.unissuedRemove(u)
+	m.res.Issued++
+
+	switch u.class {
+	case isa.ClassIntALU, isa.ClassHalt:
+		u.completeAt = m.now + latIntALU
+	case isa.ClassIntMul:
+		u.completeAt = m.now + latIntMul
+	case isa.ClassFP:
+		u.completeAt = m.now + latFP
+	case isa.ClassFPDiv:
+		lat := int64(latFDivS)
+		if u.in.Op == isa.OpFDivD {
+			lat = latFDivD
+		}
+		u.completeAt = m.now + lat
+		d := m.freeDivider()
+		m.divBusyUntil[d] = m.now + lat
+		m.divOwner[d] = u.seq
+	case isa.ClassLoad:
+		m.res.IssuedLoads++
+		if u.forwarded {
+			m.res.ForwardedLoads++
+			u.completeAt = m.now + int64(m.cfg.DCache.HitLatency) + 1
+		} else {
+			r := m.dc.Load(u.addr, m.now)
+			u.completeAt = r.DataReady
+			u.fill = r.Fill
+			if r.Miss {
+				m.res.LoadMisses++
+			}
+		}
+	case isa.ClassStore:
+		m.res.IssuedStores++
+		m.dc.Store(u.addr, m.now)
+		u.completeAt = m.now + latStore
+	case isa.ClassCondBr:
+		m.res.IssuedCondBr++
+		u.completeAt = m.now + latBranch
+	case isa.ClassCtrl:
+		u.completeAt = m.now + latBranch
+	}
+	if u.hasDst {
+		m.ren.OnIssue(u.dstFile, u.dstPhys)
+	}
+	for i := 0; i < int(u.nsrc); i++ {
+		if u.srcPhys[i] != rename.PhysZero {
+			m.cycleReads[u.srcFile[i]]++
+		}
+	}
+	m.buckets[u.completeAt&m.bmask] = append(m.buckets[u.completeAt&m.bmask], u.seq)
+}
+
+// dispatchStage fetches along the predicted path, functionally executes,
+// renames, and inserts instructions into the dispatch queue.
+func (m *Machine) dispatchStage() {
+	if !m.specValid || m.now < m.fetchResumeAt {
+		return
+	}
+	for inserted := 0; inserted < m.limits.Insert; inserted++ {
+		if m.specPC >= uint64(len(m.text)) {
+			// Wrong-path execution ran off the text segment (e.g. an
+			// indirect jump through a garbage register). Fetch idles until
+			// the mispredicted branch recovers.
+			m.specValid = false
+			return
+		}
+		in := m.text[m.specPC]
+		if m.queueFull(in.Op.Class()) {
+			m.stallQueue = true
+			return
+		}
+		if hit, readyAt := m.ic.Fetch(prog.PCByteAddr(m.specPC), m.now); !hit && readyAt > m.now {
+			m.fetchResumeAt = readyAt
+			return
+		}
+		dst, hasDst := in.Dst()
+		hasDst = hasDst && !dst.IsZero()
+		if hasDst && !m.ren.HasFree(dst.File) {
+			m.stallReg = true
+			return
+		}
+		m.dispatchOne(in, dst, hasDst)
+		if !m.specValid {
+			return // halt fetched: nothing sensible follows
+		}
+	}
+}
+
+// dispatchOne functionally executes and inserts a single instruction.
+func (m *Machine) dispatchOne(in isa.Inst, dst isa.Reg, hasDst bool) {
+	u := m.win.alloc()
+	u.pc = m.specPC
+	u.in = in
+	u.class = in.Op.Class()
+
+	var srcBuf [2]isa.Reg
+	srcs := in.Srcs(srcBuf[:0])
+	u.nsrc = uint8(len(srcs))
+	var srcVals [2]uint64
+	for i, r := range srcs {
+		u.srcFile[i] = r.File
+		u.srcPhys[i] = m.ren.Lookup(r)
+		srcVals[i] = m.readSpec(r)
+		m.ren.AddReader(r.File, u.srcPhys[i])
+	}
+
+	nextPC := u.pc + 1
+	switch u.class {
+	case isa.ClassIntALU, isa.ClassIntMul:
+		b := srcVals[1]
+		if in.UseImm {
+			b = uint64(int64(in.Imm))
+		}
+		u.result = isa.EvalInt(in.Op, srcVals[0], b)
+	case isa.ClassFP:
+		switch in.Op {
+		case isa.OpItoF:
+			u.result = isa.EvalItoF(srcVals[0])
+		case isa.OpFtoI:
+			u.result = isa.EvalFtoI(srcVals[0])
+		default:
+			u.result = isa.EvalFP(in.Op, srcVals[0], srcVals[1])
+		}
+	case isa.ClassFPDiv:
+		u.result = isa.EvalFP(in.Op, srcVals[0], srcVals[1])
+	case isa.ClassLoad:
+		u.addr = mem.Align(srcVals[0] + uint64(int64(in.Imm)))
+		u.result, u.depStore = m.loadSpec(u.addr)
+		u.forwarded = u.depStore != noSeq
+	case isa.ClassStore:
+		u.addr = mem.Align(srcVals[0] + uint64(int64(in.Imm)))
+		u.result = srcVals[1]
+		m.storeQ = append(m.storeQ, u.seq)
+	case isa.ClassCondBr:
+		u.taken = isa.CondTaken(in.Op, srcVals[0])
+		u.predTaken, u.snapshot = m.bp.Predict(u.pc)
+		m.bp.OnInsert(u.predTaken)
+		u.mispredict = u.taken != u.predTaken
+		if u.taken {
+			u.result = 1
+		}
+		if u.predTaken {
+			nextPC = uint64(uint32(in.Imm))
+		}
+		m.brQ = append(m.brQ, u.seq)
+	case isa.ClassCtrl:
+		switch in.Op {
+		case isa.OpJmp:
+			nextPC = uint64(uint32(in.Imm))
+		case isa.OpCall:
+			u.result = u.pc + 1
+			nextPC = uint64(uint32(in.Imm))
+		case isa.OpJr:
+			nextPC = srcVals[0]
+		}
+	case isa.ClassHalt:
+		m.specValid = false
+	}
+
+	if hasDst {
+		u.hasDst = true
+		u.dstFile = dst.File
+		u.dstVirt = dst.Idx
+		u.dstPhys, u.oldPhys = m.ren.Rename(u.seq, dst)
+		u.oldSpecVal = m.readSpec(dst)
+		m.writeSpec(dst.File, dst.Idx, u.result)
+	}
+
+	u.state = sQueued
+	m.unissuedPush(u)
+	m.specPC = nextPC
+	m.emit(EvDispatch, u)
+}
+
+// statsStage records per-cycle statistics.
+func (m *Machine) statsStage() {
+	m.res.Cycles = m.now
+	if m.ren.FreeCount(isa.IntFile) == 0 || m.ren.FreeCount(isa.FPFile) == 0 {
+		m.res.NoFreeRegCycles++
+	}
+	if m.stallReg {
+		m.res.DispatchRegStalls++
+	}
+	if m.stallQueue {
+		m.res.DispatchQueueFullStalls++
+	}
+	if m.cfg.TrackLiveRegisters {
+		m.res.Live[isa.IntFile].record(m.ren.LiveByCat(isa.IntFile))
+		m.res.Live[isa.FPFile].record(m.ren.LiveByCat(isa.FPFile))
+		m.res.Ports[isa.IntFile].record(m.cycleReads[isa.IntFile], m.cycleWrites[isa.IntFile])
+		m.res.Ports[isa.FPFile].record(m.cycleReads[isa.FPFile], m.cycleWrites[isa.FPFile])
+	}
+	m.cycleReads = [2]int{}
+	m.cycleWrites = [2]int{}
+}

@@ -1,0 +1,361 @@
+package core
+
+import (
+	"testing"
+
+	"regsim/internal/cache"
+	"regsim/internal/prog"
+)
+
+// runCycles executes p to halt and returns the cycle count.
+func runCycles(t *testing.T, p *prog.Program, mut ...func(*Config)) *Result {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.RegsPerFile = 256
+	// The microbenchmarks here measure execution-core timing; straight-line
+	// code would otherwise be dominated by compulsory instruction-cache
+	// misses (one line per four instructions).
+	cfg.ICacheMissPenalty = 0
+	for _, m := range mut {
+		m(&cfg)
+	}
+	mach, err := New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mach.Run(1 << 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted {
+		t.Fatal("did not halt")
+	}
+	return res
+}
+
+func straightLine(n int, emit func(b *prog.Builder, i int)) *prog.Program {
+	b := prog.NewBuilder("straight")
+	for i := 0; i < n; i++ {
+		emit(b, i)
+	}
+	b.Halt()
+	return b.MustBuild()
+}
+
+// TestDependentChainThroughput: a chain of N dependent single-cycle adds
+// must take ≈N cycles regardless of issue width (one issue per cycle).
+func TestDependentChainThroughput(t *testing.T) {
+	const n = 400
+	p := straightLine(n, func(b *prog.Builder, i int) { b.AddI(1, 1, 1) })
+	for _, width := range []int{4, 8} {
+		res := runCycles(t, p, func(c *Config) { c.Width = width; c.QueueSize = 8 * width })
+		// N execution cycles plus a small pipeline prologue/epilogue.
+		if res.Cycles < n || res.Cycles > n+20 {
+			t.Errorf("width %d: dependent chain of %d took %d cycles", width, n, res.Cycles)
+		}
+	}
+}
+
+// TestIndependentIntThroughput: independent adds sustain the integer issue
+// limit (4 per cycle at 4-way, 8 at 8-way — but insertion at 1.5× width
+// bounds sustained throughput to 6 at 8-way... no: 8-way inserts 12/cycle,
+// so the issue width of 8 binds).
+func TestIndependentIntThroughput(t *testing.T) {
+	const n = 1200
+	p := straightLine(n, func(b *prog.Builder, i int) { b.AddI(uint8(1+i%24), 25, 1) })
+	for _, tc := range []struct {
+		width int
+		ipc   float64
+	}{{4, 4}, {8, 8}} {
+		res := runCycles(t, p, func(c *Config) { c.Width = tc.width; c.QueueSize = 8 * tc.width })
+		min := int64(float64(n)/tc.ipc) - 1
+		max := int64(float64(n)/tc.ipc) + 25
+		if res.Cycles < min || res.Cycles > max {
+			t.Errorf("width %d: %d independent adds took %d cycles (want ≈%d)",
+				tc.width, n, res.Cycles, n/int(tc.ipc))
+		}
+	}
+}
+
+// TestFPIssueLimit: independent FP adds are limited to 2 per cycle at 4-way.
+func TestFPIssueLimit(t *testing.T) {
+	const n = 800
+	p := straightLine(n, func(b *prog.Builder, i int) { b.FAdd(uint8(1+i%24), 25, 26) })
+	res := runCycles(t, p)
+	want := int64(n / 2)
+	if res.Cycles < want || res.Cycles > want+25 {
+		t.Errorf("%d FP adds took %d cycles, want ≈%d (2/cycle)", n, res.Cycles, want)
+	}
+}
+
+// TestMemIssueLimit: loads are limited to 2 per cycle at 4-way.
+func TestMemIssueLimit(t *testing.T) {
+	const n = 800
+	p := straightLine(n, func(b *prog.Builder, i int) { b.Ld(uint8(1+i%24), 31, int32(8*(i%16))) })
+	res := runCycles(t, p)
+	want := int64(n / 2)
+	if res.Cycles < want || res.Cycles > want+40 {
+		t.Errorf("%d loads took %d cycles, want ≈%d (2/cycle)", n, res.Cycles, want)
+	}
+}
+
+// TestLoadDelaySlot: a load-use chain costs two cycles per link on hits (the
+// paper's single load-delay slot).
+func TestLoadDelaySlot(t *testing.T) {
+	const n = 300
+	b := prog.NewBuilder("loaduse")
+	b.MovI(1, prog.DataBase)
+	for i := 0; i < n; i++ {
+		b.Ld(2, 1, 0)  // hit after warmup
+		b.Add(1, 1, 2) // depends on the load; result 0 keeps the address
+	}
+	b.Halt()
+	p := b.MustBuild()
+	res := runCycles(t, p)
+	// Each load-add pair costs loadLatency(2) + add(1) = 3 cycles on the
+	// critical path, minus overlap of the add with the next load's issue:
+	// the chain is ld→add→ld→add…, so ≈3 cycles per pair.
+	want := int64(3 * n)
+	if res.Cycles < want-20 || res.Cycles > want+60 {
+		t.Errorf("load-use chain of %d took %d cycles, want ≈%d", n, res.Cycles, want)
+	}
+}
+
+// TestIntMulLatency: a dependent multiply chain runs at 6 cycles per link.
+func TestIntMulLatency(t *testing.T) {
+	const n = 100
+	p := straightLine(n, func(b *prog.Builder, i int) { b.MulI(1, 1, 3) })
+	res := runCycles(t, p)
+	want := int64(6 * n)
+	if res.Cycles < want-5 || res.Cycles > want+20 {
+		t.Errorf("multiply chain of %d took %d cycles, want ≈%d", n, res.Cycles, want)
+	}
+}
+
+// TestFPLatency: a dependent FP add chain runs at 3 cycles per link.
+func TestFPLatency(t *testing.T) {
+	const n = 100
+	p := straightLine(n, func(b *prog.Builder, i int) { b.FAdd(1, 1, 2) })
+	res := runCycles(t, p)
+	want := int64(3 * n)
+	if res.Cycles < want-5 || res.Cycles > want+20 {
+		t.Errorf("FP chain of %d took %d cycles, want ≈%d", n, res.Cycles, want)
+	}
+}
+
+// TestDividerUnpipelined: independent single-precision divides serialise on
+// the 4-way machine's one divider (8 cycles each); the 8-way machine's two
+// dividers double the throughput.
+func TestDividerUnpipelined(t *testing.T) {
+	const n = 60
+	p := straightLine(n, func(b *prog.Builder, i int) { b.FDivS(uint8(1+i%24), 25, 26) })
+	res4 := runCycles(t, p, func(c *Config) { c.Width = 4; c.QueueSize = 32 })
+	want4 := int64(8 * n)
+	if res4.Cycles < want4-8 || res4.Cycles > want4+30 {
+		t.Errorf("4-way: %d divides took %d cycles, want ≈%d (one 8-cycle divider)", n, res4.Cycles, want4)
+	}
+	res8 := runCycles(t, p, func(c *Config) { c.Width = 8; c.QueueSize = 64 })
+	want8 := int64(8 * n / 2)
+	if res8.Cycles < want8-8 || res8.Cycles > want8+30 {
+		t.Errorf("8-way: %d divides took %d cycles, want ≈%d (two dividers)", n, res8.Cycles, want8)
+	}
+}
+
+// TestDoubleDivideLatency: 64-bit divides take 16 cycles.
+func TestDoubleDivideLatency(t *testing.T) {
+	const n = 40
+	p := straightLine(n, func(b *prog.Builder, i int) { b.FDivD(uint8(1+i%24), 25, 26) })
+	res := runCycles(t, p)
+	want := int64(16 * n)
+	if res.Cycles < want-16 || res.Cycles > want+30 {
+		t.Errorf("%d double divides took %d cycles, want ≈%d", n, res.Cycles, want)
+	}
+}
+
+// TestMissLatency: a dependent chain of missing loads costs ≈18 cycles per
+// load (1 probe + 16 fetch + 1 register write).
+func TestMissLatency(t *testing.T) {
+	const n = 50
+	b := prog.NewBuilder("misses")
+	b.MovI(1, 1<<24)
+	for i := 0; i < n; i++ {
+		b.Ld(2, 1, 0)
+		b.AddI(1, 1, 4096) // a new line (and set) every time: always miss
+		b.Add(1, 1, 2)     // serialise on the load
+	}
+	b.Halt()
+	res := runCycles(t, b.MustBuild())
+	want := int64(19 * n) // 18-cycle load + 1-cycle add per link
+	if res.Cycles < want-20 || res.Cycles > want+40 {
+		t.Errorf("miss chain of %d took %d cycles, want ≈%d", n, res.Cycles, want)
+	}
+	if res.LoadMisses != n {
+		t.Errorf("misses = %d, want %d", res.LoadMisses, n)
+	}
+}
+
+// TestLockupSerialisesMisses vs lockup-free overlap: independent missing
+// loads overlap on a lockup-free cache but serialise on a blocking one.
+func TestLockupSerialisesMisses(t *testing.T) {
+	const n = 64
+	b := prog.NewBuilder("overlap")
+	b.MovI(1, 1<<24)
+	for i := 0; i < n; i++ {
+		b.Ld(uint8(2+i%20), 1, int32(i*4096)) // independent, all miss
+	}
+	b.Halt()
+	p := b.MustBuild()
+	free := runCycles(t, p)
+	block := runCycles(t, p, func(c *Config) { c.DCache = c.DCache.WithKind(cache.Lockup) })
+	// Lockup-free: misses pipeline behind the 2/cycle memory slots and the
+	// 16-cycle latency (≈ n/2 + 18). Lockup: ≥ 18 cycles each.
+	if free.Cycles > int64(n/2+60) {
+		t.Errorf("lockup-free: %d independent misses took %d cycles (no overlap?)", n, free.Cycles)
+	}
+	if block.Cycles < int64(18*n) {
+		t.Errorf("lockup: %d misses took %d cycles (blocking cache overlapped?)", n, block.Cycles)
+	}
+}
+
+// TestCommitBandwidth: completed instructions retire at most 2× width per
+// cycle. A long stall followed by a burst exposes the limit: after the head
+// of the window completes, draining W×k completed instructions takes ≥ k/2
+// additional cycles... exercised indirectly: total cycles for n instructions
+// is at least n / (2×width).
+func TestCommitBandwidth(t *testing.T) {
+	const n = 960
+	p := straightLine(n, func(b *prog.Builder, i int) { b.AddI(uint8(1+i%24), 25, 1) })
+	res := runCycles(t, p, func(c *Config) { c.Width = 8; c.QueueSize = 64 })
+	if res.Committed != n+1 {
+		t.Fatalf("committed %d", res.Committed)
+	}
+	if res.Cycles < n/16 {
+		t.Errorf("%d instructions in %d cycles exceeds commit bandwidth", n, res.Cycles)
+	}
+}
+
+// TestMispredictPenalty: a chain of deterministic-but-unlearned first-
+// encounter branches... instead, measure that a fully mispredicted stream
+// costs several cycles per branch: alternate taken/not-taken on a data
+// pattern the predictor CAN learn, versus one it cannot, and require the
+// unpredictable version to be substantially slower.
+func TestMispredictPenalty(t *testing.T) {
+	mk := func(xorshift bool) *prog.Program {
+		b := prog.NewBuilder("mispred")
+		b.MovI(1, 12345)
+		b.MovI(2, 400) // iterations
+		b.Label("loop")
+		if xorshift {
+			// Unlearnable pseudo-random condition.
+			b.ShlI(3, 1, 13)
+			b.Xor(1, 1, 3)
+			b.ShrI(3, 1, 7)
+			b.Xor(1, 1, 3)
+			b.ShlI(3, 1, 17)
+			b.Xor(1, 1, 3)
+			b.ShrI(4, 1, 24)
+			b.AndI(4, 4, 1)
+		} else {
+			// Learnable: always 0.
+			b.MovI(4, 0)
+			b.Nop()
+			b.Nop()
+			b.Nop()
+			b.Nop()
+			b.Nop()
+			b.Nop()
+			b.Nop()
+		}
+		b.Beq(4, "skip")
+		b.AddI(5, 5, 1)
+		b.Label("skip")
+		b.SubI(2, 2, 1)
+		b.Bne(2, "loop")
+		b.Halt()
+		return b.MustBuild()
+	}
+	random := runCycles(t, mk(true))
+	steady := runCycles(t, mk(false))
+	if random.MispredictRate() < 0.1 {
+		t.Fatalf("random branch mispredict rate %.2f too low to test", random.MispredictRate())
+	}
+	if steady.MispredictRate() > 0.05 {
+		t.Fatalf("constant branch mispredict rate %.2f too high", steady.MispredictRate())
+	}
+	if random.Cycles < steady.Cycles+3*random.Mispredicts {
+		t.Errorf("mispredictions too cheap: random %d cycles (%d wrong) vs steady %d",
+			random.Cycles, random.Mispredicts, steady.Cycles)
+	}
+}
+
+// TestRegisterStarvationStalls: with the minimum register file, dispatch
+// stalls dominate and IPC collapses, but execution stays correct.
+func TestRegisterStarvationStalls(t *testing.T) {
+	const n = 500
+	p := straightLine(n, func(b *prog.Builder, i int) { b.AddI(uint8(1+i%24), 25, 1) })
+	res := runCycles(t, p, func(c *Config) { c.RegsPerFile = 32 })
+	if res.NoFreeRegCycles == 0 || res.DispatchRegStalls == 0 {
+		t.Error("minimum register file reported no starvation")
+	}
+	big := runCycles(t, p)
+	if res.Cycles <= big.Cycles {
+		t.Error("32-register machine not slower than 256-register machine")
+	}
+}
+
+// TestStoreLoadForwarding: a load that hits an earlier in-flight store gets
+// the value without a cache probe.
+func TestStoreLoadForwarding(t *testing.T) {
+	b := prog.NewBuilder("fwd")
+	b.MovI(1, prog.DataBase)
+	b.MovI(2, 99)
+	for i := 0; i < 20; i++ {
+		b.St(2, 1, int32(8*i))
+		b.Ld(3, 1, int32(8*i))
+		b.Add(2, 2, 3)
+	}
+	b.Halt()
+	res := runCycles(t, b.MustBuild())
+	if res.ForwardedLoads == 0 {
+		t.Error("no loads forwarded from the store queue")
+	}
+	// A load whose producing store has already committed legitimately reads
+	// memory (and may miss, since stores are write-around); but most of
+	// this tight sequence must forward.
+	if res.ForwardedLoads < 10 {
+		t.Errorf("only %d of 20 loads forwarded", res.ForwardedLoads)
+	}
+}
+
+// TestLoadWaitsForMatchingStore: a load must not issue before an older store
+// to the same address has resolved; with different addresses it may bypass.
+// Verified architecturally by the equivalence suite; here we check timing:
+// a store-load same-address chain is slower than disjoint addresses.
+func TestLoadWaitsForMatchingStore(t *testing.T) {
+	mk := func(same bool) *prog.Program {
+		b := prog.NewBuilder("alias")
+		b.MovI(1, prog.DataBase)
+		b.MovI(2, 7)
+		for i := 0; i < 200; i++ {
+			b.MulI(2, 2, 3) // 6-cycle producer delays the store's data
+			b.St(2, 1, 0)
+			disp := int32(256)
+			if same {
+				disp = 0
+			}
+			b.Ld(3, 1, disp)
+			b.Or(2, 3, 2) // the next multiply depends on the load
+		}
+		b.Halt()
+		return b.MustBuild()
+	}
+	same := runCycles(t, mk(true))
+	disjoint := runCycles(t, mk(false))
+	// Same address: the load waits for the store's one-cycle resolution
+	// after the 6-cycle multiply, adding ≈3 cycles per iteration to the
+	// carried chain versus the disjoint version, whose load issues early.
+	if same.Cycles < disjoint.Cycles+200 {
+		t.Errorf("aliased load (%d cycles) not sufficiently slower than disjoint (%d)",
+			same.Cycles, disjoint.Cycles)
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"regsim/internal/isa"
+)
+
+// EventKind identifies a pipeline transition.
+type EventKind uint8
+
+const (
+	// EvDispatch: the instruction was renamed and inserted into the
+	// dispatch queue (and functionally executed).
+	EvDispatch EventKind = iota
+	// EvIssue: the instruction was selected and sent to a functional unit.
+	EvIssue
+	// EvComplete: the result was produced (register written / store
+	// resolved / branch executed).
+	EvComplete
+	// EvCommit: the instruction retired architecturally.
+	EvCommit
+	// EvSquash: the instruction was removed by a misprediction recovery.
+	EvSquash
+	// EvRecover: a mispredicted branch (Seq) triggered a recovery; fetch
+	// was redirected.
+	EvRecover
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvDispatch:
+		return "dispatch"
+	case EvIssue:
+		return "issue"
+	case EvComplete:
+		return "complete"
+	case EvCommit:
+		return "commit"
+	case EvSquash:
+		return "squash"
+	case EvRecover:
+		return "recover"
+	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
+
+// Event is one pipeline transition, delivered to Config.Tracer.
+type Event struct {
+	Kind  EventKind
+	Cycle int64
+	// Seq is the instruction's global dispatch sequence number (squashed
+	// sequence numbers are never reused).
+	Seq int64
+	PC  uint64
+	In  isa.Inst
+	// Mispredict is set on the EvComplete of a mispredicted conditional
+	// branch (the EvRecover that follows names the same Seq).
+	Mispredict bool
+}
+
+func (m *Machine) emit(kind EventKind, u *uop) {
+	if m.cfg.Tracer == nil {
+		return
+	}
+	m.cfg.Tracer(Event{
+		Kind:       kind,
+		Cycle:      m.now,
+		Seq:        u.seq,
+		PC:         u.pc,
+		In:         u.in,
+		Mispredict: kind == EvComplete && u.mispredict,
+	})
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"regsim/internal/bpred"
+	"regsim/internal/cache"
+	"regsim/internal/isa"
+	"regsim/internal/rename"
+)
+
+// uop states.
+const (
+	sDead      uint8 = iota // squashed, or a hole left behind by a squash
+	sQueued                 // in the dispatch queue, not yet issued
+	sIssued                 // executing
+	sCompleted              // result produced, awaiting commit
+)
+
+// noSeq marks empty linked-list references and absent dependencies.
+const noSeq int64 = -1
+
+// uop is one in-flight instruction.
+type uop struct {
+	seq   int64
+	pc    uint64
+	in    isa.Inst
+	class isa.Class
+	state uint8
+
+	// Renaming.
+	nsrc    uint8
+	hasDst  bool
+	dstVirt uint8
+	srcFile [2]isa.RegFile
+	srcPhys [2]rename.Phys
+	dstFile isa.RegFile
+	dstPhys rename.Phys
+	oldPhys rename.Phys
+
+	// Functional results (computed at dispatch).
+	result     uint64 // destination value; store value; 1/0 for branches
+	addr       uint64 // aligned effective address for memory operations
+	oldSpecVal uint64 // previous speculative value of the destination (undo)
+
+	// Loads.
+	depStore  int64 // seq of the youngest earlier store to the same address
+	fill      *cache.Fill
+	forwarded bool
+
+	// Branches.
+	taken      bool
+	predTaken  bool
+	mispredict bool
+	snapshot   bpred.History
+
+	// Timing.
+	completeAt int64
+
+	// Unissued (dispatch queue) intrusive list, in program order.
+	prevUn, nextUn int64
+}
+
+// window is a ring buffer of uops indexed by sequence number. Sequence
+// numbers are never reused — a squash leaves dead holes between the youngest
+// surviving instruction and the next sequence number — so all cross-
+// references (dependencies, completion buckets, the dispatch-queue list) can
+// safely be sequence numbers.
+type window struct {
+	buf     []uop
+	mask    int64
+	headSeq int64 // oldest not-yet-committed sequence number
+	nextSeq int64 // next sequence number to assign
+}
+
+func newWindow(sizeHint int) *window {
+	n := int64(256)
+	for n < int64(sizeHint) {
+		n <<= 1
+	}
+	return &window{buf: make([]uop, n), mask: n - 1}
+}
+
+func (w *window) at(seq int64) *uop { return &w.buf[seq&w.mask] }
+
+// valid reports whether seq refers to a live (not yet overwritten) slot.
+func (w *window) valid(seq int64) bool {
+	return seq >= w.headSeq && seq < w.nextSeq && w.buf[seq&w.mask].seq == seq
+}
+
+func (w *window) occupied() int64 { return w.nextSeq - w.headSeq }
+
+func (w *window) full() bool { return w.occupied() >= int64(len(w.buf)) }
+
+// alloc reserves the next slot, growing the ring if necessary, and returns
+// the uop zeroed except for its sequence number.
+func (w *window) alloc() *uop {
+	if w.full() {
+		w.grow()
+	}
+	u := w.at(w.nextSeq)
+	*u = uop{seq: w.nextSeq, depStore: noSeq, prevUn: noSeq, nextUn: noSeq}
+	w.nextSeq++
+	return u
+}
+
+func (w *window) grow() {
+	old := w.buf
+	oldMask := w.mask
+	n := int64(len(old)) * 2
+	w.buf = make([]uop, n)
+	w.mask = n - 1
+	for seq := w.headSeq; seq < w.nextSeq; seq++ {
+		w.buf[seq&w.mask] = old[seq&oldMask]
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestWindowAllocAndValid(t *testing.T) {
+	w := newWindow(4) // rounds up to the 256 minimum
+	if len(w.buf) != 256 {
+		t.Fatalf("initial capacity %d", len(w.buf))
+	}
+	u0 := w.alloc()
+	u1 := w.alloc()
+	if u0.seq != 0 || u1.seq != 1 {
+		t.Fatalf("seqs %d,%d", u0.seq, u1.seq)
+	}
+	if !w.valid(0) || !w.valid(1) || w.valid(2) {
+		t.Error("validity wrong")
+	}
+	if w.at(1) != u1 {
+		t.Error("at() mismatch")
+	}
+	if w.occupied() != 2 {
+		t.Errorf("occupied %d", w.occupied())
+	}
+}
+
+func TestWindowGrowPreservesContents(t *testing.T) {
+	w := newWindow(1)
+	cap0 := len(w.buf)
+	for i := 0; i < cap0*3; i++ {
+		u := w.alloc()
+		u.pc = uint64(i * 7)
+	}
+	if len(w.buf) <= cap0 {
+		t.Fatal("window did not grow")
+	}
+	for seq := int64(0); seq < int64(cap0*3); seq++ {
+		u := w.at(seq)
+		if u.seq != seq || u.pc != uint64(seq*7) {
+			t.Fatalf("seq %d corrupted after growth: %+v", seq, u)
+		}
+	}
+}
+
+func TestWindowHeadAdvance(t *testing.T) {
+	w := newWindow(1)
+	for i := 0; i < 10; i++ {
+		w.alloc()
+	}
+	w.headSeq = 4
+	if w.valid(3) {
+		t.Error("committed seq still valid")
+	}
+	if !w.valid(4) {
+		t.Error("head seq invalid")
+	}
+	if w.occupied() != 6 {
+		t.Errorf("occupied %d", w.occupied())
+	}
+}
+
+// TestWindowReuseAfterWrap: once headSeq passes, slots are reused by new
+// sequence numbers; valid() must distinguish old from new occupants.
+func TestWindowReuseAfterWrap(t *testing.T) {
+	w := newWindow(1)
+	capacity := int64(len(w.buf))
+	for i := int64(0); i < capacity; i++ {
+		w.alloc()
+	}
+	w.headSeq = capacity // everything committed
+	u := w.alloc()       // reuses slot 0
+	if u.seq != capacity {
+		t.Fatalf("reused seq %d", u.seq)
+	}
+	if w.valid(0) {
+		t.Error("stale seq 0 still valid after slot reuse")
+	}
+	if !w.valid(capacity) {
+		t.Error("new occupant invalid")
+	}
+}

@@ -1,0 +1,156 @@
+package dispatch
+
+import (
+	"testing"
+
+	"regsim/internal/isa"
+)
+
+func TestLimitsFor(t *testing.T) {
+	l4, err := LimitsFor(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l4.Width != 4 || l4.Insert != 6 || l4.Commit != 8 {
+		t.Errorf("4-way bandwidths = %+v", l4)
+	}
+	// Paper §2.1: at most four integer, one FP divide, two FP, two memory,
+	// one control-flow operation per 4-way cycle.
+	for class, want := range map[isa.Class]int{
+		isa.ClassIntALU: 4, isa.ClassFP: 2, isa.ClassFPDiv: 1,
+		isa.ClassLoad: 2, isa.ClassStore: 2, isa.ClassCondBr: 1, isa.ClassCtrl: 1,
+	} {
+		if got := l4.ClassLimit(class); got != want {
+			t.Errorf("4-way %v limit = %d, want %d", class, got, want)
+		}
+	}
+	l8, err := LimitsFor(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l8.Width != 8 || l8.Insert != 12 || l8.Commit != 16 {
+		t.Errorf("8-way bandwidths = %+v", l8)
+	}
+	if l8.ClassLimit(isa.ClassFPDiv) != 2 || l8.FPDivUnits() != 2 {
+		t.Error("8-way does not double the divide units")
+	}
+	for _, w := range []int{0, 1, 2, 3, 5, 6, 16} {
+		if _, err := LimitsFor(w); err == nil {
+			t.Errorf("width %d accepted", w)
+		}
+	}
+}
+
+func fill(t *testing.T, s *Slots, c isa.Class, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if !s.TryIssue(c) {
+			t.Fatalf("issue %d of class %v rejected", i+1, c)
+		}
+	}
+}
+
+func TestIntegerLimit(t *testing.T) {
+	l, _ := LimitsFor(4)
+	s := NewSlots(l)
+	fill(t, &s, isa.ClassIntALU, 4)
+	if s.TryIssue(isa.ClassIntALU) {
+		t.Error("fifth integer op issued")
+	}
+	if s.TryIssue(isa.ClassIntMul) {
+		t.Error("multiply issued past the integer limit (shares slots)")
+	}
+	if !s.Full() {
+		t.Error("four ops at 4-way not full")
+	}
+}
+
+func TestFPAndDivideLimits(t *testing.T) {
+	l, _ := LimitsFor(4)
+	s := NewSlots(l)
+	fill(t, &s, isa.ClassFPDiv, 1)
+	if s.TryIssue(isa.ClassFPDiv) {
+		t.Error("second divide issued at 4-way")
+	}
+	fill(t, &s, isa.ClassFP, 1) // the divide consumed one of the two FP slots
+	if s.TryIssue(isa.ClassFP) {
+		t.Error("third FP op issued")
+	}
+
+	s2 := NewSlots(l)
+	fill(t, &s2, isa.ClassFP, 2)
+	if s2.TryIssue(isa.ClassFPDiv) {
+		t.Error("divide issued with FP slots exhausted")
+	}
+}
+
+func TestMemorySharedSlots(t *testing.T) {
+	l, _ := LimitsFor(4)
+	for _, mix := range [][2]int{{2, 0}, {0, 2}, {1, 1}} {
+		s := NewSlots(l)
+		fill(t, &s, isa.ClassLoad, mix[0])
+		fill(t, &s, isa.ClassStore, mix[1])
+		if s.TryIssue(isa.ClassLoad) || s.TryIssue(isa.ClassStore) {
+			t.Errorf("third memory op issued with mix %v", mix)
+		}
+	}
+}
+
+func TestControlSharedSlots(t *testing.T) {
+	l, _ := LimitsFor(4)
+	s := NewSlots(l)
+	fill(t, &s, isa.ClassCondBr, 1)
+	if s.TryIssue(isa.ClassCtrl) {
+		t.Error("jump issued with the control slot taken by a branch")
+	}
+	s2 := NewSlots(l)
+	fill(t, &s2, isa.ClassCtrl, 1)
+	if s2.TryIssue(isa.ClassCondBr) {
+		t.Error("branch issued with the control slot taken by a jump")
+	}
+}
+
+func TestTotalWidthCaps(t *testing.T) {
+	l, _ := LimitsFor(4)
+	s := NewSlots(l)
+	fill(t, &s, isa.ClassIntALU, 2)
+	fill(t, &s, isa.ClassLoad, 1)
+	fill(t, &s, isa.ClassCondBr, 1)
+	if s.Issued() != 4 || !s.Full() {
+		t.Fatalf("issued = %d full = %v", s.Issued(), s.Full())
+	}
+	if s.TryIssue(isa.ClassFP) {
+		t.Error("issue past total width")
+	}
+}
+
+func TestEightWayDoubles(t *testing.T) {
+	l, _ := LimitsFor(8)
+	s := NewSlots(l)
+	fill(t, &s, isa.ClassLoad, 4)
+	if s.TryIssue(isa.ClassLoad) {
+		t.Error("fifth memory op at 8-way")
+	}
+	fill(t, &s, isa.ClassFPDiv, 2)
+	if s.TryIssue(isa.ClassFPDiv) {
+		t.Error("third divide at 8-way")
+	}
+	fill(t, &s, isa.ClassCondBr, 2)
+	if s.TryIssue(isa.ClassCtrl) {
+		t.Error("third control op at 8-way")
+	}
+	if s.Issued() != 8 || !s.Full() {
+		t.Errorf("issued = %d", s.Issued())
+	}
+}
+
+func TestRejectionConsumesNothing(t *testing.T) {
+	l, _ := LimitsFor(4)
+	s := NewSlots(l)
+	fill(t, &s, isa.ClassCondBr, 1)
+	s.TryIssue(isa.ClassCondBr) // rejected
+	fill(t, &s, isa.ClassIntALU, 3)
+	if s.Issued() != 4 {
+		t.Errorf("rejected issue consumed bandwidth: %d", s.Issued())
+	}
+}

@@ -1,0 +1,567 @@
+package exper
+
+import (
+	"fmt"
+	"io"
+
+	"regsim/internal/bpred"
+	"regsim/internal/cache"
+	"regsim/internal/core"
+	"regsim/internal/prog"
+	"regsim/internal/workload"
+)
+
+// Ablation studies for the design choices the paper fixes by fiat (or
+// mentions measuring without publishing). Each varies one assumption of the
+// machine model and reports the average commit IPC (and, where relevant,
+// rates) over the nine benchmarks. Defaults of every knob reproduce the
+// paper's machine, so the first row/column of each study doubles as a
+// regression anchor for the main results.
+
+// runCustom simulates one benchmark with an arbitrary configuration
+// (ablations do not share configurations, so there is nothing to memoise).
+func (s *Suite) runCustom(bench string, mutate func(*core.Config)) (*core.Result, error) {
+	p, err := workload.Build(bench)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig()
+	cfg.RegsPerFile = MeasureRegs
+	mutate(&cfg)
+	m, err := core.New(cfg, p)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run(s.Budget)
+}
+
+// averages runs every benchmark with the mutation and returns mean commit
+// IPC and mean conditional-branch misprediction rate.
+func (s *Suite) averages(mutate func(*core.Config)) (ipc, misp float64, err error) {
+	n := 0
+	for _, bench := range workload.Names() {
+		res, rerr := s.runCustom(bench, mutate)
+		if rerr != nil {
+			return 0, 0, rerr
+		}
+		ipc += res.CommitIPC()
+		misp += res.MispredictRate()
+		n++
+	}
+	return ipc / float64(n), misp / float64(n), nil
+}
+
+// BranchOrderAblation reproduces the paper's unpublished measurement: "the
+// branch prediction accuracy did improve somewhat with in-order execution of
+// conditional branches, [but] this improvement occurred at the expense of a
+// notable decrease in the commit IPC."
+type BranchOrderAblation struct {
+	Budget int64
+	// Indexed by width.
+	OutOfOrderIPC, InOrderIPC   map[int]float64
+	OutOfOrderMisp, InOrderMisp map[int]float64
+}
+
+// BranchOrder runs the in-order-branches comparison at both widths.
+func (s *Suite) BranchOrder() (*BranchOrderAblation, error) {
+	a := &BranchOrderAblation{
+		Budget:        s.Budget,
+		OutOfOrderIPC: map[int]float64{}, InOrderIPC: map[int]float64{},
+		OutOfOrderMisp: map[int]float64{}, InOrderMisp: map[int]float64{},
+	}
+	for _, width := range Widths {
+		w := width
+		ipc, misp, err := s.averages(func(c *core.Config) {
+			c.Width = w
+			c.QueueSize = CostEffectiveQueue(w)
+		})
+		if err != nil {
+			return nil, err
+		}
+		a.OutOfOrderIPC[w], a.OutOfOrderMisp[w] = ipc, misp
+		ipc, misp, err = s.averages(func(c *core.Config) {
+			c.Width = w
+			c.QueueSize = CostEffectiveQueue(w)
+			c.InOrderBranches = true
+		})
+		if err != nil {
+			return nil, err
+		}
+		a.InOrderIPC[w], a.InOrderMisp[w] = ipc, misp
+	}
+	return a, nil
+}
+
+// Print renders the comparison.
+func (a *BranchOrderAblation) Print(w io.Writer) {
+	fmt.Fprintf(w, "Ablation: conditional-branch issue order (paper §3: out-of-order chosen)\n")
+	fmt.Fprintf(w, "  %6s | %12s %10s | %12s %10s\n", "width", "OoO IPC", "mispred", "in-ord IPC", "mispred")
+	for _, width := range Widths {
+		fmt.Fprintf(w, "  %6d | %12.2f %9.1f%% | %12.2f %9.1f%%\n",
+			width, a.OutOfOrderIPC[width], 100*a.OutOfOrderMisp[width],
+			a.InOrderIPC[width], 100*a.InOrderMisp[width])
+	}
+}
+
+// PredictorAblation quantifies McFarling's combining against its components
+// (the paper adopts the combined scheme from TN-36). The nine workload
+// stand-ins cannot separate the schemes — their branches are either fully
+// learnable loop branches or pattern-free biased coins, on which all three
+// schemes tie — so this study uses McFarling's own methodology: branch
+// microbenchmarks with short periodic patterns (where only global history
+// helps), biased random directions (where history is useless), and a mix.
+type PredictorAblation struct {
+	Budget int64
+	// Misp[workload][kind] is the misprediction rate.
+	Misp map[string]map[bpred.Kind]float64
+}
+
+// PredictorKinds lists the compared schemes.
+var PredictorKinds = []bpred.Kind{bpred.Combined, bpred.BimodalOnly, bpred.GshareOnly}
+
+// predictorWorkloads are the branch microbenchmarks, in print order.
+var predictorWorkloads = []string{"periodic", "biased", "mixed"}
+
+// branchMicro builds a branch-pattern microbenchmark: periodic emits two
+// short counted inner loops (period 4 and 7 — global-history learnable,
+// bimodal gets the exits wrong); biased emits a pattern-free 30% coin;
+// mixed alternates both.
+func branchMicro(kind string) *prog.Program {
+	b := prog.NewBuilder("bpred-" + kind)
+	const rOuter, rInner, rRnd, rT, rCmp = 1, 2, 3, 4, 5
+	b.MovI(rOuter, outerAblationIterations)
+	b.MovI(rRnd, 777)
+	b.Label("outer")
+	if kind == "periodic" || kind == "mixed" {
+		for i, trip := range []int32{4, 7} {
+			loop := fmt.Sprintf("inner%d", i)
+			b.MovI(rInner, trip)
+			b.Label(loop)
+			b.AddI(10, 10, 1)
+			b.SubI(rInner, rInner, 1)
+			b.Bne(rInner, loop)
+		}
+	}
+	if kind == "biased" || kind == "mixed" {
+		b.ShlI(rT, rRnd, 13)
+		b.Xor(rRnd, rRnd, rT)
+		b.ShrI(rT, rRnd, 7)
+		b.Xor(rRnd, rRnd, rT)
+		b.ShlI(rT, rRnd, 17)
+		b.Xor(rRnd, rRnd, rT)
+		b.ShrI(rCmp, rRnd, 24)
+		b.AndI(rCmp, rCmp, 1023)
+		b.CmpLI(rCmp, rCmp, 307)
+		b.Beq(rCmp, "skip")
+		b.AddI(11, 11, 1)
+		b.Label("skip")
+	}
+	b.SubI(rOuter, rOuter, 1)
+	b.Bne(rOuter, "outer")
+	b.Halt()
+	return b.MustBuild()
+}
+
+const outerAblationIterations = 1 << 30
+
+// Predictor runs the predictor-component comparison on the branch
+// microbenchmarks (4-way baseline machine).
+func (s *Suite) Predictor() (*PredictorAblation, error) {
+	a := &PredictorAblation{Budget: s.Budget, Misp: map[string]map[bpred.Kind]float64{}}
+	for _, wl := range predictorWorkloads {
+		p := branchMicro(wl)
+		a.Misp[wl] = map[bpred.Kind]float64{}
+		for _, kind := range PredictorKinds {
+			cfg := core.DefaultConfig()
+			cfg.RegsPerFile = MeasureRegs
+			cfg.Predictor = kind
+			m, err := core.New(cfg, p)
+			if err != nil {
+				return nil, err
+			}
+			res, err := m.Run(s.Budget)
+			if err != nil {
+				return nil, err
+			}
+			a.Misp[wl][kind] = res.MispredictRate()
+		}
+	}
+	return a, nil
+}
+
+// Print renders the comparison.
+func (a *PredictorAblation) Print(w io.Writer) {
+	fmt.Fprintf(w, "Ablation: branch predictor components (mispredict rate on branch microbenchmarks;\n")
+	fmt.Fprintf(w, "          the paper uses the 12Kbit combined scheme)\n")
+	fmt.Fprintf(w, "  %-10s", "pattern")
+	for _, k := range PredictorKinds {
+		fmt.Fprintf(w, " %10s", k)
+	}
+	fmt.Fprintln(w)
+	for _, wl := range predictorWorkloads {
+		fmt.Fprintf(w, "  %-10s", wl)
+		for _, k := range PredictorKinds {
+			fmt.Fprintf(w, " %9.1f%%", 100*a.Misp[wl][k])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// MSHRAblation explores conventional MSHR counts against the paper's
+// inverted-MSHR organisation (the design space of Farkas & Jouppi, ISCA'94,
+// which the paper builds on): how many outstanding misses does the machine
+// actually need?
+type MSHRAblation struct {
+	Budget  int64
+	Entries []int // 0 = inverted (unlimited)
+	// IPC[width][entries].
+	IPC map[int]map[int]float64
+}
+
+// MSHREntries is the swept design space.
+var MSHREntries = []int{1, 2, 4, 8, 0}
+
+// MSHR runs the sweep over the memory-bound benchmarks (the others are
+// insensitive by construction).
+func (s *Suite) MSHR() (*MSHRAblation, error) {
+	benches := []string{"compress", "su2cor", "tomcatv"}
+	a := &MSHRAblation{Budget: s.Budget, Entries: MSHREntries, IPC: map[int]map[int]float64{}}
+	for _, width := range Widths {
+		a.IPC[width] = map[int]float64{}
+		for _, entries := range MSHREntries {
+			sum := 0.0
+			for _, bench := range benches {
+				w, e := width, entries
+				res, err := s.runCustom(bench, func(c *core.Config) {
+					c.Width = w
+					c.QueueSize = CostEffectiveQueue(w)
+					c.DCache.MSHREntries = e
+				})
+				if err != nil {
+					return nil, err
+				}
+				sum += res.CommitIPC()
+			}
+			a.IPC[width][entries] = sum / float64(len(benches))
+		}
+	}
+	return a, nil
+}
+
+// Print renders the sweep.
+func (a *MSHRAblation) Print(w io.Writer) {
+	fmt.Fprintf(w, "Ablation: MSHR entries (memory-bound benchmarks; 0 = the paper's inverted MSHR)\n")
+	fmt.Fprintf(w, "  %8s |", "width")
+	for _, e := range a.Entries {
+		label := fmt.Sprint(e)
+		if e == 0 {
+			label = "inv"
+		}
+		fmt.Fprintf(w, " %8s", label)
+	}
+	fmt.Fprintln(w)
+	for _, width := range Widths {
+		fmt.Fprintf(w, "  %8d |", width)
+		for _, e := range a.Entries {
+			fmt.Fprintf(w, " %8.2f", a.IPC[width][e])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteBufferAblation tests the paper's "stores consume no memory bandwidth"
+// assumption: an eight-entry write buffer whose drain interval (cycles per
+// retired store) is swept. At fast drain rates the paper's assumption is
+// harmless; slow drains back commit up behind full buffers.
+type WriteBufferAblation struct {
+	Budget int64
+	Drains []int // 0 = the paper's infinite, never-stalling buffer
+	IPC    map[int]float64
+}
+
+// WriteBufferDrains is the swept design space (cycles per drained store).
+var WriteBufferDrains = []int{1, 2, 4, 8, 16, 0}
+
+// WriteBuffer runs the sweep at 4-way issue with an 8-entry buffer.
+func (s *Suite) WriteBuffer() (*WriteBufferAblation, error) {
+	a := &WriteBufferAblation{Budget: s.Budget, Drains: WriteBufferDrains, IPC: map[int]float64{}}
+	for _, drain := range WriteBufferDrains {
+		d := drain
+		ipc, _, err := s.averages(func(c *core.Config) {
+			if d > 0 {
+				c.WriteBufferEntries = 8
+				c.WriteBufferDrain = d
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		a.IPC[d] = ipc
+	}
+	return a, nil
+}
+
+// Print renders the sweep.
+func (a *WriteBufferAblation) Print(w io.Writer) {
+	fmt.Fprintf(w, "Ablation: write-buffer drain interval (4-way, 8 entries; inf = the paper's\n")
+	fmt.Fprintf(w, "          never-stalling buffer)\n ")
+	for _, d := range a.Drains {
+		label := fmt.Sprint(d)
+		if d == 0 {
+			label = "inf"
+		}
+		fmt.Fprintf(w, " %5s=%0.2f", label, a.IPC[d])
+	}
+	fmt.Fprintln(w)
+}
+
+// BandwidthAblation varies the paper's insertion (1.5×width) and commit
+// (2×width) bandwidth choices.
+type BandwidthAblation struct {
+	Budget int64
+	// IPC[insertFactor][commitFactor] at 4-way: factors ×width.
+	IPC map[string]float64
+}
+
+var (
+	insertFactors = []float64{1.0, 1.5, 2.0}
+	commitFactors = []float64{1.0, 2.0, 4.0}
+)
+
+func bwKey(ins, com float64) string { return fmt.Sprintf("i%.1f/c%.1f", ins, com) }
+
+// Bandwidth runs the insertion/commit bandwidth matrix at 4-way issue.
+func (s *Suite) Bandwidth() (*BandwidthAblation, error) {
+	a := &BandwidthAblation{Budget: s.Budget, IPC: map[string]float64{}}
+	for _, ins := range insertFactors {
+		for _, com := range commitFactors {
+			i, c := int(ins*4), int(com*4)
+			ipc, _, err := s.averages(func(cfg *core.Config) {
+				cfg.InsertPerCycle = i
+				cfg.CommitPerCycle = c
+			})
+			if err != nil {
+				return nil, err
+			}
+			a.IPC[bwKey(ins, com)] = ipc
+		}
+	}
+	return a, nil
+}
+
+// Print renders the matrix.
+func (a *BandwidthAblation) Print(w io.Writer) {
+	fmt.Fprintf(w, "Ablation: insertion/commit bandwidth (4-way; paper uses 1.5×/2.0×)\n")
+	fmt.Fprintf(w, "  %12s |", "insert\\commit")
+	for _, com := range commitFactors {
+		fmt.Fprintf(w, " %8.1f×", com)
+	}
+	fmt.Fprintln(w)
+	for _, ins := range insertFactors {
+		fmt.Fprintf(w, "  %11.1f× |", ins)
+		for _, com := range commitFactors {
+			fmt.Fprintf(w, " %9.2f", a.IPC[bwKey(ins, com)])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// ReadPortAblation sweeps the register-file read-port budget as an issue
+// constraint (4-way issue). The paper provisions 8 integer read ports
+// (2×width); the ports study shows p90 demand around 5 — this sweep shows
+// what narrower porting would cost, connecting the measured distributions
+// to performance.
+type ReadPortAblation struct {
+	Budget int64
+	Ports  []int // 0 = unbounded (the paper's conflict-free assumption)
+	IPC    map[int]float64
+}
+
+// ReadPortBudgets is the swept design space.
+var ReadPortBudgets = []int{2, 4, 6, 8, 0}
+
+// ReadPorts runs the sweep at 4-way issue.
+func (s *Suite) ReadPorts() (*ReadPortAblation, error) {
+	a := &ReadPortAblation{Budget: s.Budget, Ports: ReadPortBudgets, IPC: map[int]float64{}}
+	for _, ports := range ReadPortBudgets {
+		pb := ports
+		ipc, _, err := s.averages(func(c *core.Config) { c.ReadPortsPerFile = pb })
+		if err != nil {
+			return nil, err
+		}
+		a.IPC[pb] = ipc
+	}
+	return a, nil
+}
+
+// Print renders the sweep.
+func (a *ReadPortAblation) Print(w io.Writer) {
+	fmt.Fprintf(w, "Ablation: register-file read ports as an issue constraint (4-way; paper provisions 8)\n ")
+	for _, p := range a.Ports {
+		label := fmt.Sprint(p)
+		if p == 0 {
+			label = "inf"
+		}
+		fmt.Fprintf(w, " %5s=%0.2f", label, a.IPC[p])
+	}
+	fmt.Fprintln(w)
+}
+
+// QueueSplitAblation compares the paper's single unified dispatch queue with
+// per-class split queues (the alternative the paper names and rejects as
+// more complex; splitting also loses capacity fungibility).
+type QueueSplitAblation struct {
+	Budget int64
+	// Indexed by width.
+	UnifiedIPC, SplitIPC map[int]float64
+}
+
+// QueueSplit runs the comparison at both widths.
+func (s *Suite) QueueSplit() (*QueueSplitAblation, error) {
+	a := &QueueSplitAblation{Budget: s.Budget, UnifiedIPC: map[int]float64{}, SplitIPC: map[int]float64{}}
+	for _, width := range Widths {
+		w := width
+		ipc, _, err := s.averages(func(c *core.Config) {
+			c.Width = w
+			c.QueueSize = CostEffectiveQueue(w)
+		})
+		if err != nil {
+			return nil, err
+		}
+		a.UnifiedIPC[w] = ipc
+		ipc, _, err = s.averages(func(c *core.Config) {
+			c.Width = w
+			c.QueueSize = CostEffectiveQueue(w)
+			c.SplitQueues = true
+		})
+		if err != nil {
+			return nil, err
+		}
+		a.SplitIPC[w] = ipc
+	}
+	return a, nil
+}
+
+// Print renders the comparison.
+func (a *QueueSplitAblation) Print(w io.Writer) {
+	fmt.Fprintf(w, "Ablation: dispatch-queue organisation (paper uses one unified queue)\n")
+	fmt.Fprintf(w, "  %6s | %12s %18s\n", "width", "unified IPC", "split (2:1:1) IPC")
+	for _, width := range Widths {
+		fmt.Fprintf(w, "  %6d | %12.2f %18.2f\n", width, a.UnifiedIPC[width], a.SplitIPC[width])
+	}
+}
+
+// FetchLatencyAblation sweeps the memory fetch latency for the lockup-free
+// and lockup organisations: non-blocking loads tolerate latency, blocking
+// caches compound it.
+type FetchLatencyAblation struct {
+	Budget    int64
+	Latencies []int
+	// IPC[kind][latency] at 4-way.
+	IPC map[cache.Kind]map[int]float64
+}
+
+// FetchLatencies is the swept space (the paper fixes 16).
+var FetchLatencies = []int{4, 8, 16, 32, 64}
+
+// FetchLatency runs the sweep at 4-way issue.
+func (s *Suite) FetchLatency() (*FetchLatencyAblation, error) {
+	a := &FetchLatencyAblation{
+		Budget: s.Budget, Latencies: FetchLatencies,
+		IPC: map[cache.Kind]map[int]float64{},
+	}
+	for _, kind := range []cache.Kind{cache.LockupFree, cache.Lockup} {
+		a.IPC[kind] = map[int]float64{}
+		for _, lat := range FetchLatencies {
+			k, l := kind, lat
+			ipc, _, err := s.averages(func(c *core.Config) {
+				c.DCache = c.DCache.WithKind(k)
+				c.DCache.FetchLatency = l
+			})
+			if err != nil {
+				return nil, err
+			}
+			a.IPC[k][l] = ipc
+		}
+	}
+	return a, nil
+}
+
+// Print renders the sweep.
+func (a *FetchLatencyAblation) Print(w io.Writer) {
+	fmt.Fprintf(w, "Ablation: memory fetch latency (4-way; paper fixes 16 cycles)\n")
+	fmt.Fprintf(w, "  %-12s |", "organisation")
+	for _, l := range a.Latencies {
+		fmt.Fprintf(w, " %7d", l)
+	}
+	fmt.Fprintln(w)
+	for _, kind := range []cache.Kind{cache.LockupFree, cache.Lockup} {
+		fmt.Fprintf(w, "  %-12s |", kind)
+		for _, l := range a.Latencies {
+			fmt.Fprintf(w, " %7.2f", a.IPC[kind][l])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Ablations bundles every study.
+type Ablations struct {
+	BranchOrder  *BranchOrderAblation
+	Predictor    *PredictorAblation
+	MSHR         *MSHRAblation
+	WriteBuffer  *WriteBufferAblation
+	Bandwidth    *BandwidthAblation
+	ReadPorts    *ReadPortAblation
+	QueueSplit   *QueueSplitAblation
+	FetchLatency *FetchLatencyAblation
+}
+
+// RunAblations executes every study.
+func (s *Suite) RunAblations() (*Ablations, error) {
+	var a Ablations
+	var err error
+	if a.BranchOrder, err = s.BranchOrder(); err != nil {
+		return nil, err
+	}
+	if a.Predictor, err = s.Predictor(); err != nil {
+		return nil, err
+	}
+	if a.MSHR, err = s.MSHR(); err != nil {
+		return nil, err
+	}
+	if a.WriteBuffer, err = s.WriteBuffer(); err != nil {
+		return nil, err
+	}
+	if a.Bandwidth, err = s.Bandwidth(); err != nil {
+		return nil, err
+	}
+	if a.ReadPorts, err = s.ReadPorts(); err != nil {
+		return nil, err
+	}
+	if a.QueueSplit, err = s.QueueSplit(); err != nil {
+		return nil, err
+	}
+	if a.FetchLatency, err = s.FetchLatency(); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}
+
+// Print renders every study.
+func (a *Ablations) Print(w io.Writer) {
+	a.BranchOrder.Print(w)
+	fmt.Fprintln(w)
+	a.Predictor.Print(w)
+	fmt.Fprintln(w)
+	a.MSHR.Print(w)
+	fmt.Fprintln(w)
+	a.WriteBuffer.Print(w)
+	fmt.Fprintln(w)
+	a.Bandwidth.Print(w)
+	fmt.Fprintln(w)
+	a.ReadPorts.Print(w)
+	fmt.Fprintln(w)
+	a.QueueSplit.Print(w)
+	fmt.Fprintln(w)
+	a.FetchLatency.Print(w)
+}

@@ -1,0 +1,200 @@
+package exper
+
+import (
+	"strings"
+	"testing"
+
+	"regsim/internal/bpred"
+	"regsim/internal/cache"
+)
+
+const ablBudget = 8_000
+
+func TestBranchOrderAblation(t *testing.T) {
+	s := NewSuite(ablBudget)
+	a, err := s.BranchOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, width := range Widths {
+		// Forcing in-order branch issue can only remove scheduling freedom:
+		// commit IPC must not improve.
+		if a.InOrderIPC[width] > a.OutOfOrderIPC[width]*1.01 {
+			t.Errorf("w%d: in-order branches improved IPC (%.2f > %.2f)",
+				width, a.InOrderIPC[width], a.OutOfOrderIPC[width])
+		}
+		if a.OutOfOrderIPC[width] <= 0 || a.InOrderMisp[width] <= 0 {
+			t.Errorf("w%d: empty ablation cells", width)
+		}
+	}
+	var sb strings.Builder
+	a.Print(&sb)
+	if !strings.Contains(sb.String(), "issue order") {
+		t.Error("print malformed")
+	}
+}
+
+// TestPredictorAblation asserts McFarling's comparison: the combined scheme
+// is at least as accurate as both components on every pattern, the global
+// component dominates on periodic patterns, and the bimodal component on
+// pattern-free biased coins.
+func TestPredictorAblation(t *testing.T) {
+	s := NewSuite(20_000)
+	a, err := s.Predictor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wl := range predictorWorkloads {
+		comb := a.Misp[wl][bpred.Combined]
+		bi := a.Misp[wl][bpred.BimodalOnly]
+		gs := a.Misp[wl][bpred.GshareOnly]
+		if comb > bi+0.02 || comb > gs+0.02 {
+			t.Errorf("%s: combined %.3f worse than a component (bimodal %.3f, gshare %.3f)",
+				wl, comb, bi, gs)
+		}
+	}
+	// Periodic patterns: global history learns the loop exits that per-PC
+	// counters cannot (bimodal stuck near the 1-in-4 / 1-in-7 exits).
+	if a.Misp["periodic"][bpred.GshareOnly] > 0.05 {
+		t.Errorf("gshare mispredicts periodic pattern at %.3f", a.Misp["periodic"][bpred.GshareOnly])
+	}
+	if a.Misp["periodic"][bpred.BimodalOnly] < 0.08 {
+		t.Errorf("bimodal implausibly good on periodic pattern: %.3f", a.Misp["periodic"][bpred.BimodalOnly])
+	}
+	// Biased coins: nobody beats the bias by much; gshare pays table
+	// dilution.
+	if a.Misp["biased"][bpred.BimodalOnly] > a.Misp["biased"][bpred.GshareOnly]+0.02 {
+		t.Errorf("bimodal worse than gshare on a pattern-free coin")
+	}
+}
+
+func TestMSHRAblation(t *testing.T) {
+	s := NewSuite(ablBudget)
+	a, err := s.MSHR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, width := range Widths {
+		// IPC is monotone (within noise) in MSHR count, and a single MSHR
+		// loses most of the non-blocking benefit (Farkas & Jouppi '94).
+		prev := -1.0
+		for _, e := range []int{1, 2, 4, 8} {
+			if a.IPC[width][e] < prev*0.97 {
+				t.Errorf("w%d: IPC fell from %.2f to %.2f at %d MSHRs", width, prev, a.IPC[width][e], e)
+			}
+			prev = a.IPC[width][e]
+		}
+		inv := a.IPC[width][0]
+		if a.IPC[width][1] > 0.6*inv {
+			t.Errorf("w%d: one MSHR keeps %.0f%% of the inverted organisation",
+				width, 100*a.IPC[width][1]/inv)
+		}
+		if a.IPC[width][8] < 0.9*inv {
+			t.Errorf("w%d: eight MSHRs reach only %.0f%% of inverted", width, 100*a.IPC[width][8]/inv)
+		}
+	}
+}
+
+func TestWriteBufferAblation(t *testing.T) {
+	s := NewSuite(ablBudget)
+	a, err := s.WriteBuffer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf := a.IPC[0]
+	// Fast drains validate the paper's assumption; slow drains hurt.
+	if a.IPC[1] < 0.97*inf {
+		t.Errorf("1-cycle drain IPC %.2f well below the infinite buffer %.2f", a.IPC[1], inf)
+	}
+	if a.IPC[16] > 0.85*inf {
+		t.Errorf("16-cycle drain IPC %.2f does not show the bandwidth bottleneck (inf %.2f)", a.IPC[16], inf)
+	}
+	if a.IPC[16] > a.IPC[2]*1.02 {
+		t.Error("slower drains not worse")
+	}
+}
+
+func TestBandwidthAblation(t *testing.T) {
+	s := NewSuite(ablBudget)
+	a, err := s.Bandwidth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More insertion bandwidth never hurts; the paper's 1.5× choice sits
+	// between 1.0× and 2.0×.
+	for _, com := range commitFactors {
+		if a.IPC[bwKey(1.0, com)] > a.IPC[bwKey(1.5, com)]*1.01 {
+			t.Errorf("1.0× insertion beats 1.5× at commit %.1f×", com)
+		}
+		if a.IPC[bwKey(1.5, com)] > a.IPC[bwKey(2.0, com)]*1.02 {
+			t.Errorf("1.5× insertion beats 2.0× at commit %.1f×", com)
+		}
+	}
+}
+
+func TestFetchLatencyAblation(t *testing.T) {
+	s := NewSuite(ablBudget)
+	a, err := s.FetchLatency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []cache.Kind{cache.LockupFree, cache.Lockup} {
+		prev := 1e9
+		for _, l := range a.Latencies {
+			if a.IPC[kind][l] > prev*1.02 {
+				t.Errorf("%s: IPC rose with latency at %d cycles", kind, l)
+			}
+			prev = a.IPC[kind][l]
+		}
+	}
+	// Non-blocking loads tolerate latency far better: the blocking cache's
+	// relative loss from 4 to 64 cycles must be larger.
+	lfLoss := a.IPC[cache.LockupFree][64] / a.IPC[cache.LockupFree][4]
+	lkLoss := a.IPC[cache.Lockup][64] / a.IPC[cache.Lockup][4]
+	if lkLoss >= lfLoss {
+		t.Errorf("blocking cache (%.2f retained) tolerates latency as well as lockup-free (%.2f)",
+			lkLoss, lfLoss)
+	}
+}
+
+func TestRunAblationsAndPrint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full ablation bundle")
+	}
+	s := NewSuite(3_000)
+	a, err := s.RunAblations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	a.Print(&sb)
+	for _, want := range []string{"issue order", "predictor components", "MSHR", "write-buffer", "bandwidth", "fetch latency"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("bundle print missing %q", want)
+		}
+	}
+}
+
+func TestReadPortAblation(t *testing.T) {
+	s := NewSuite(ablBudget)
+	a, err := s.ReadPorts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, p := range []int{2, 4, 6, 8} {
+		if a.IPC[p] < prev*0.98 {
+			t.Errorf("IPC fell from %.2f to %.2f at %d read ports", prev, a.IPC[p], p)
+		}
+		prev = a.IPC[p]
+	}
+	// Two read ports choke a 4-way machine badly; the paper's eight are
+	// indistinguishable from unlimited (its issue rules bound arithmetic
+	// demand below eight).
+	if a.IPC[2] > 0.75*a.IPC[0] {
+		t.Errorf("two read ports keep %.0f%% of unbounded IPC", 100*a.IPC[2]/a.IPC[0])
+	}
+	if a.IPC[8] < 0.97*a.IPC[0] {
+		t.Errorf("eight read ports lose %.0f%% vs unbounded", 100*(1-a.IPC[8]/a.IPC[0]))
+	}
+}

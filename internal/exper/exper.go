@@ -1,0 +1,129 @@
+// Package exper orchestrates the paper's experiments: it maps every table
+// and figure of Farkas, Jouppi & Chow (WRL 95/10) to the machine
+// configurations that produce it, runs the simulations, and renders the same
+// rows and series the paper reports.
+//
+// Experiment index (see DESIGN.md §5):
+//
+//	Table 1  — per-benchmark dynamic statistics at both issue widths.
+//	Figure 3 — IPC and 90th-percentile live registers vs dispatch-queue
+//	           size, decomposed into the four register states.
+//	Figure 4 — average register-usage coverage curves, precise vs
+//	           imprecise, integer and FP files, both widths.
+//	Figure 5 — tomcatv FP-register coverage (8-way, 64-entry queue).
+//	Figure 6 — commit IPC and register pressure vs register-file size.
+//	Figure 7 — commit IPC for perfect / lockup-free / lockup caches.
+//	Figure 8 — compress integer-register coverage under the three caches.
+//	Figure 10 — register-file cycle time and BIPS vs register-file size.
+//
+// Like the paper (whose Figure 2 machine model runs precise exceptions with
+// an "imprecise exception estimation of register usage"), the register-usage
+// figures (3, 4, 5, 8) come from precise-model runs with a large (2048)
+// register file and passive classification; the performance figures (6, 7,
+// 10) run real machines under each exception model and register-file size.
+package exper
+
+import (
+	"fmt"
+
+	"regsim/internal/cache"
+	"regsim/internal/core"
+	"regsim/internal/rename"
+	"regsim/internal/workload"
+)
+
+// MeasureRegs is the register-file size used for usage-measurement runs; the
+// paper uses 2048 so that fewer than 1% of cycles stall for registers.
+const MeasureRegs = 2048
+
+// CostEffectiveQueue returns the paper's cost-effective dispatch-queue size
+// for an issue width (32 entries for 4-way, 64 for 8-way; §3.1).
+func CostEffectiveQueue(width int) int { return width * 8 }
+
+// Spec identifies one simulation run.
+type Spec struct {
+	Bench  string
+	Width  int
+	Queue  int
+	Regs   int
+	Model  rename.Model
+	Cache  cache.Kind
+	Track  bool
+	Budget int64
+}
+
+// Suite runs simulations with memoisation, so figures that share
+// configurations (e.g. Figure 7's lockup-free points and Figure 6) reuse
+// results. A Suite is not safe for concurrent use.
+type Suite struct {
+	// Budget is the per-run commit budget used when a Spec leaves
+	// Budget zero.
+	Budget int64
+	// Progress, when non-nil, receives a line per completed run.
+	Progress func(string)
+
+	memo map[Spec]*core.Result
+}
+
+// NewSuite returns a Suite with the given default per-run commit budget.
+func NewSuite(budget int64) *Suite {
+	return &Suite{Budget: budget, memo: make(map[Spec]*core.Result)}
+}
+
+// Run simulates one spec (memoised).
+func (s *Suite) Run(spec Spec) (*core.Result, error) {
+	if spec.Budget == 0 {
+		spec.Budget = s.Budget
+	}
+	if s.memo == nil {
+		s.memo = make(map[Spec]*core.Result)
+	}
+	if r, ok := s.memo[spec]; ok {
+		return r, nil
+	}
+	p, err := workload.Build(spec.Bench)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig()
+	cfg.Width = spec.Width
+	cfg.QueueSize = spec.Queue
+	cfg.RegsPerFile = spec.Regs
+	cfg.Model = spec.Model
+	cfg.DCache = cfg.DCache.WithKind(spec.Cache)
+	cfg.TrackLiveRegisters = spec.Track
+	m, err := core.New(cfg, p)
+	if err != nil {
+		return nil, fmt.Errorf("exper %v: %w", spec, err)
+	}
+	res, err := m.Run(spec.Budget)
+	if err != nil {
+		return nil, fmt.Errorf("exper %v: %w", spec, err)
+	}
+	s.memo[spec] = res
+	if s.Progress != nil {
+		s.Progress(fmt.Sprintf("ran %-9s w=%d q=%-3d regs=%-4d %s/%s: IPC %.2f",
+			spec.Bench, spec.Width, spec.Queue, spec.Regs, spec.Model, spec.Cache, res.CommitIPC()))
+	}
+	return res, nil
+}
+
+// measureSpec is the usage-measurement configuration for one benchmark at a
+// given width and queue size: 2048 registers, lockup-free cache, precise
+// exceptions, classification on.
+func measureSpec(bench string, width, queue int) Spec {
+	return Spec{
+		Bench: bench, Width: width, Queue: queue,
+		Regs: MeasureRegs, Model: rename.Precise,
+		Cache: cache.LockupFree, Track: true,
+	}
+}
+
+// Widths are the paper's issue widths.
+var Widths = []int{4, 8}
+
+// QueueSizes is Figure 3's dispatch-queue axis.
+var QueueSizes = []int{8, 16, 32, 64, 128, 256}
+
+// RegSizes is the register-file axis of Figures 6, 7 and 10.
+var RegSizes = []int{32, 48, 64, 80, 96, 128, 160, 256}

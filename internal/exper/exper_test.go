@@ -1,0 +1,316 @@
+package exper
+
+import (
+	"strings"
+	"testing"
+
+	"regsim/internal/cache"
+	"regsim/internal/rename"
+	"regsim/internal/workload"
+)
+
+// Suites in this file use tiny budgets: the assertions are structural
+// (completeness, monotonicity, orderings), not quantitative.
+const testBudget = 6_000
+
+func TestSuiteMemoisation(t *testing.T) {
+	s := NewSuite(testBudget)
+	spec := Spec{Bench: "espresso", Width: 4, Queue: 32, Regs: 64, Model: rename.Precise, Cache: cache.LockupFree}
+	a, err := s.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("identical specs were re-simulated")
+	}
+	c, err := s.Run(Spec{Bench: "espresso", Width: 4, Queue: 32, Regs: 65, Model: rename.Precise, Cache: cache.LockupFree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("different specs shared a result")
+	}
+}
+
+func TestSuiteUnknownBenchmark(t *testing.T) {
+	s := NewSuite(testBudget)
+	if _, err := s.Run(Spec{Bench: "nosuch", Width: 4, Queue: 32, Regs: 64}); err == nil {
+		t.Error("unknown benchmark ran")
+	}
+}
+
+func TestCostEffectiveQueue(t *testing.T) {
+	if CostEffectiveQueue(4) != 32 || CostEffectiveQueue(8) != 64 {
+		t.Error("cost-effective queue sizes do not match §3.1")
+	}
+}
+
+func TestTable1Complete(t *testing.T) {
+	s := NewSuite(testBudget)
+	tab, err := s.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(workload.Names())*2 {
+		t.Fatalf("%d rows, want %d", len(tab.Rows), len(workload.Names())*2)
+	}
+	for _, r := range tab.Rows {
+		if r.Committed < testBudget {
+			t.Errorf("%s w%d committed only %d", r.Bench, r.Width, r.Committed)
+		}
+		if r.Executed < r.Committed {
+			t.Errorf("%s w%d executed %d < committed %d", r.Bench, r.Width, r.Executed, r.Committed)
+		}
+		if r.IssueIPC < r.CommitIPC {
+			t.Errorf("%s w%d issue IPC below commit IPC", r.Bench, r.Width)
+		}
+	}
+	var sb strings.Builder
+	tab.Print(&sb)
+	for _, name := range workload.Names() {
+		if !strings.Contains(sb.String(), name) {
+			t.Errorf("printed table missing %s", name)
+		}
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	s := NewSuite(testBudget)
+	f, err := s.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Points) != len(Widths)*len(QueueSizes) {
+		t.Fatalf("%d points", len(f.Points))
+	}
+	for _, pt := range f.Points {
+		for file := 0; file < 2; file++ {
+			r := pt.Regs[file]
+			// Cumulative percentiles must be ordered.
+			if !(r.InQueue <= r.InFlight && r.InFlight <= r.Imprecise && r.Imprecise <= r.Precise) {
+				t.Errorf("w%d q%d file%d: unordered cumulative percentiles %+v", pt.Width, pt.Queue, file, r)
+			}
+			// The paper's floor: at least ~32 registers are always live.
+			if r.Precise < 32 {
+				t.Errorf("w%d q%d file%d: precise requirement %d below the 32-register floor", pt.Width, pt.Queue, file, r.Precise)
+			}
+		}
+	}
+	// Commit IPC must not decrease with queue size (up to noise), and the
+	// in-queue register component must grow with the queue.
+	for _, width := range Widths {
+		var prev *Fig3Point
+		for i := range f.Points {
+			pt := &f.Points[i]
+			if pt.Width != width {
+				continue
+			}
+			if prev != nil {
+				if pt.CommitIPC < prev.CommitIPC*0.93 {
+					t.Errorf("w%d: commit IPC fell from %.2f (q%d) to %.2f (q%d)",
+						width, prev.CommitIPC, prev.Queue, pt.CommitIPC, pt.Queue)
+				}
+			}
+			prev = pt
+		}
+		first, last := f.Points[0], f.Points[0]
+		for _, pt := range f.Points {
+			if pt.Width == width {
+				if pt.Queue < first.Queue || first.Width != width {
+					first = pt
+				}
+				if pt.Queue > last.Queue || last.Width != width {
+					last = pt
+				}
+			}
+		}
+		if last.Regs[0].InQueue <= first.Regs[0].InQueue {
+			t.Errorf("w%d: in-queue registers did not grow with queue size", width)
+		}
+	}
+	var sb strings.Builder
+	f.Print(&sb)
+	if !strings.Contains(sb.String(), "Figure 3") {
+		t.Error("print output malformed")
+	}
+}
+
+func TestFig4And5(t *testing.T) {
+	s := NewSuite(testBudget)
+	f4, err := s.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f4.Curves) != 4 {
+		t.Fatalf("%d curves", len(f4.Curves))
+	}
+	for _, c := range f4.Curves {
+		if err := c.Precise.Validate(); err != nil {
+			t.Errorf("w%d %s precise: %v", c.Width, c.File, err)
+		}
+		// The paper's §3.2 trend: the imprecise curve is shifted toward
+		// zero, so its 90th percentile cannot exceed the precise one.
+		if c.Imprecise.Percentile(0.9) > c.Precise.Percentile(0.9) {
+			t.Errorf("w%d %s: imprecise p90 %d > precise p90 %d",
+				c.Width, c.File, c.Imprecise.Percentile(0.9), c.Precise.Percentile(0.9))
+		}
+	}
+	f5, err := s.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f5.Imprecise.Percentile(0.9) > f5.Precise.Percentile(0.9) {
+		t.Error("tomcatv: imprecise needs more registers than precise")
+	}
+	var sb strings.Builder
+	f4.Print(&sb)
+	f5.Print(&sb)
+	if !strings.Contains(sb.String(), "tomcatv") {
+		t.Error("fig5 print malformed")
+	}
+}
+
+func TestFig6Trends(t *testing.T) {
+	s := NewSuite(testBudget)
+	f, err := s.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, width := range Widths {
+		for _, model := range []rename.Model{rename.Precise, rename.Imprecise} {
+			prevIPC := -1.0
+			prevFree := 2.0
+			for _, regs := range RegSizes {
+				pt, ok := f.Point(width, regs, model)
+				if !ok {
+					t.Fatalf("missing point w%d r%d %s", width, regs, model)
+				}
+				// IPC grows (within noise) and pressure falls with more
+				// registers.
+				if pt.CommitIPC < prevIPC*0.95 {
+					t.Errorf("w%d %s: IPC fell to %.2f at %d regs", width, model, pt.CommitIPC, regs)
+				}
+				if pt.NoFreeFrac > prevFree+0.02 {
+					t.Errorf("w%d %s: register pressure rose to %.2f at %d regs", width, model, pt.NoFreeFrac, regs)
+				}
+				prevIPC = pt.CommitIPC
+				prevFree = pt.NoFreeFrac
+			}
+		}
+		// At the smallest sizes the imprecise model must be at least as
+		// fast as precise (the paper's Figure 6 gap).
+		p32, _ := f.Point(width, 48, rename.Precise)
+		i32, _ := f.Point(width, 48, rename.Imprecise)
+		if i32.CommitIPC < p32.CommitIPC*0.98 {
+			t.Errorf("w%d: imprecise IPC %.2f below precise %.2f at 48 regs",
+				width, i32.CommitIPC, p32.CommitIPC)
+		}
+	}
+}
+
+func TestFig7CacheOrdering(t *testing.T) {
+	s := NewSuite(testBudget)
+	f, err := s.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range []rename.Model{rename.Precise, rename.Imprecise} {
+		for _, width := range Widths {
+			for _, regs := range []int{96, 160, 256} {
+				pf, _ := f.Point(width, regs, model, cache.Perfect)
+				lf, _ := f.Point(width, regs, model, cache.LockupFree)
+				lk, _ := f.Point(width, regs, model, cache.Lockup)
+				if !(pf.CommitIPC >= lf.CommitIPC*0.99 && lf.CommitIPC >= lk.CommitIPC) {
+					t.Errorf("w%d r%d %s: cache ordering violated: perfect %.2f, lockup-free %.2f, lockup %.2f",
+						width, regs, model, pf.CommitIPC, lf.CommitIPC, lk.CommitIPC)
+				}
+				// §3.3: lockup is *significantly* worse.
+				if lk.CommitIPC > 0.8*lf.CommitIPC {
+					t.Errorf("w%d r%d %s: blocking cache only %.0f%% below lockup-free",
+						width, regs, model, 100*(1-lk.CommitIPC/lf.CommitIPC))
+				}
+			}
+		}
+	}
+}
+
+func TestFig8(t *testing.T) {
+	s := NewSuite(testBudget)
+	f, err := s.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §3.3: the lockup-free organisation needs more registers than the
+	// perfect cache for the same coverage; the lockup cache's needs are
+	// between/lower with less variance.
+	pf := f.Dist[cache.Perfect].Percentile(0.9)
+	lf := f.Dist[cache.LockupFree].Percentile(0.9)
+	if lf < pf {
+		t.Errorf("compress: lockup-free p90 %d below perfect-cache p90 %d", lf, pf)
+	}
+	var sb strings.Builder
+	f.Print(&sb)
+	if !strings.Contains(sb.String(), "compress") {
+		t.Error("fig8 print malformed")
+	}
+}
+
+func TestFig10AndFindings(t *testing.T) {
+	s := NewSuite(testBudget)
+	f6, err := s.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f10, err := s.Fig10(f6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f10.Points) != len(Widths)*len(RegSizes) {
+		t.Fatalf("%d points", len(f10.Points))
+	}
+	for _, pt := range f10.Points {
+		if pt.IntCycleNS <= pt.FPCycleNS {
+			t.Errorf("w%d r%d: int file (%0.3f ns) not slower than FP file (%.3f ns)",
+				pt.Width, pt.Regs, pt.IntCycleNS, pt.FPCycleNS)
+		}
+		if pt.BIPS[rename.Imprecise] < pt.BIPS[rename.Precise]*0.98 {
+			t.Errorf("w%d r%d: imprecise BIPS below precise", pt.Width, pt.Regs)
+		}
+	}
+	// The BIPS curves must have interior maxima (§3.4: too few registers
+	// stall the machine; too many slow the clock).
+	for _, width := range Widths {
+		peakRegs, peakBIPS := f10.Peak(width, rename.Precise)
+		if peakRegs == RegSizes[len(RegSizes)-1] {
+			t.Errorf("w%d: BIPS still rising at %d registers (no interior maximum)", width, peakRegs)
+		}
+		if peakBIPS <= 0 {
+			t.Errorf("w%d: no peak", width)
+		}
+	}
+
+	fd, err := s.Findings(nil, f6, f10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, width := range Widths {
+		if fd.ImpreciseSavings[width] <= 0 || fd.ImpreciseSavings[width] > 0.7 {
+			t.Errorf("w%d: implausible imprecise savings %.2f", width, fd.ImpreciseSavings[width])
+		}
+		if fd.SaturationRegs[width] == 0 {
+			t.Errorf("w%d: no saturation point", width)
+		}
+	}
+	if fd.SaturationRegs[8] < fd.SaturationRegs[4] {
+		t.Error("8-way saturates with fewer registers than 4-way")
+	}
+	var sb strings.Builder
+	fd.Print(&sb)
+	if !strings.Contains(sb.String(), "Reproduced conclusions") {
+		t.Error("findings print malformed")
+	}
+}

@@ -1,0 +1,103 @@
+package exper
+
+import (
+	"fmt"
+	"io"
+
+	"regsim/internal/rename"
+	"regsim/internal/rftiming"
+)
+
+// Fig10Point is one x-position of Figure 10: register-file cycle times and
+// the resulting machine performance estimate for one issue width and
+// register-file size. Following the paper, the machine cycle time is assumed
+// proportional to the integer register file's cycle time, and BIPS divides
+// Figure 6's average commit IPC by it.
+type Fig10Point struct {
+	Width int
+	Regs  int
+	// IntCycleNS and FPCycleNS are the register-file cycle times (the
+	// integer file has 2×width read and width write ports; FP half).
+	IntCycleNS float64
+	FPCycleNS  float64
+	// BIPS maps each exception model to estimated billions of
+	// instructions per second.
+	BIPS map[rename.Model]float64
+}
+
+// Fig10 combines the Figure 6 IPC sweep with the timing model.
+type Fig10 struct {
+	Budget int64
+	Points []Fig10Point
+}
+
+// Fig10 derives the figure from a (possibly shared) Fig6 result.
+func (s *Suite) Fig10(f6 *Fig6) (*Fig10, error) {
+	if f6 == nil {
+		var err error
+		f6, err = s.Fig6()
+		if err != nil {
+			return nil, err
+		}
+	}
+	params := rftiming.Default05um()
+	f := &Fig10{Budget: s.Budget}
+	for _, width := range Widths {
+		for _, regs := range RegSizes {
+			pt := Fig10Point{
+				Width:      width,
+				Regs:       regs,
+				IntCycleNS: params.CycleTime(regs, rftiming.PortsFor(width, false)),
+				FPCycleNS:  params.CycleTime(regs, rftiming.PortsFor(width, true)),
+				BIPS:       map[rename.Model]float64{},
+			}
+			for _, model := range []rename.Model{rename.Precise, rename.Imprecise} {
+				p6, ok := f6.Point(width, regs, model)
+				if !ok {
+					return nil, fmt.Errorf("fig10: missing fig6 point w=%d regs=%d %s", width, regs, model)
+				}
+				pt.BIPS[model] = rftiming.BIPS(p6.CommitIPC, pt.IntCycleNS)
+			}
+			f.Points = append(f.Points, pt)
+		}
+	}
+	return f, nil
+}
+
+// Peak returns the register count and BIPS at the maximum of a width/model
+// curve.
+func (f *Fig10) Peak(width int, model rename.Model) (regs int, bips float64) {
+	for _, pt := range f.Points {
+		if pt.Width == width && pt.BIPS[model] > bips {
+			bips = pt.BIPS[model]
+			regs = pt.Regs
+		}
+	}
+	return regs, bips
+}
+
+// Print renders the two panels.
+func (f *Fig10) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 10: register file timing and estimated machine performance\n")
+	for _, width := range Widths {
+		fmt.Fprintf(w, "\n%d-way issue (int file %dR/%dW ports, FP half):\n",
+			width, 2*width, width)
+		fmt.Fprintf(w, "  %6s %9s %9s %12s %12s\n", "regs", "int-ns", "fp-ns", "BIPS-prec", "BIPS-impr")
+		for _, pt := range f.Points {
+			if pt.Width != width {
+				continue
+			}
+			fmt.Fprintf(w, "  %6d %9.3f %9.3f %12.2f %12.2f\n",
+				pt.Regs, pt.IntCycleNS, pt.FPCycleNS,
+				pt.BIPS[rename.Precise], pt.BIPS[rename.Imprecise])
+		}
+		r, b := f.Peak(width, rename.Precise)
+		fmt.Fprintf(w, "  peak (precise): %.2f BIPS at %d registers\n", b, r)
+	}
+	r4, b4 := f.Peak(4, rename.Precise)
+	r8, b8 := f.Peak(8, rename.Precise)
+	if b4 > 0 {
+		fmt.Fprintf(w, "\n8-way peak / 4-way peak = %.2f (paper: ~1.20) [peaks at %d and %d regs]\n",
+			b8/b4, r8, r4)
+	}
+}

@@ -1,0 +1,48 @@
+package exper
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestResultsMarshalToJSON: every experiment result type must serialise
+// (cmd/paper -json depends on it).
+func TestResultsMarshalToJSON(t *testing.T) {
+	s := NewSuite(2_000)
+	t1, err := s.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f3, err := s.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f4, err := s.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f6, err := s.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f10, err := s.Fig10(f6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pu, err := s.Ports()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]any{
+		"table1": t1, "fig3": f3, "fig4": f4, "fig6": f6, "fig10": f10, "ports": pu,
+	} {
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if len(data) < 20 {
+			t.Errorf("%s: suspiciously small JSON (%d bytes)", name, len(data))
+		}
+	}
+}

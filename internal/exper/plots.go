@@ -1,0 +1,179 @@
+package exper
+
+import (
+	"fmt"
+	"io"
+
+	"regsim/internal/cache"
+	"regsim/internal/isa"
+	"regsim/internal/plot"
+	"regsim/internal/rename"
+	"regsim/internal/stats"
+)
+
+// ASCII-chart renderings of the figures, for terminals. Each Plot method
+// complements the corresponding Print (which stays the tabular record).
+
+// coverageSeries samples a distribution's coverage curve at the given
+// register counts (as percentages).
+func coverageSeries(d stats.Dist, grid []int) []plot.Point {
+	pts := make([]plot.Point, 0, len(grid))
+	for _, n := range grid {
+		pts = append(pts, plot.Point{X: float64(n), Y: 100 * d.CoverageAt(n)})
+	}
+	return pts
+}
+
+var coverageGrid = []int{32, 40, 48, 56, 64, 72, 80, 96, 112, 128, 160, 192, 224, 256, 320, 384, 448, 512}
+
+// Plot renders Figure 4's coverage curves as charts (one per width × file).
+func (f *Fig4) Plot(w io.Writer) {
+	for _, c := range f.Curves {
+		ch := &plot.Chart{
+			Title:  fmt.Sprintf("Figure 4 (%d-way, %s registers): run-time coverage vs registers", c.Width, c.File),
+			XLabel: "registers", YLabel: "coverage %",
+			YMin: 0, YMax: 100, Height: 12,
+		}
+		ch.Add("precise", coverageSeries(c.Precise, coverageGrid))
+		ch.Add("imprecise", coverageSeries(c.Imprecise, coverageGrid))
+		ch.Render(w)
+		fmt.Fprintln(w)
+	}
+}
+
+// Plot renders Figure 5's tomcatv curves.
+func (f *Fig5) Plot(w io.Writer) {
+	ch := &plot.Chart{
+		Title:  "Figure 5 (tomcatv, 8-way): FP-register coverage",
+		XLabel: "registers", YLabel: "coverage %",
+		YMin: 0, YMax: 100, Height: 12,
+	}
+	ch.Add("precise", coverageSeries(f.Precise, coverageGrid))
+	ch.Add("imprecise", coverageSeries(f.Imprecise, coverageGrid))
+	ch.Render(w)
+}
+
+// Plot renders Figure 6's IPC sweeps (one chart per width).
+func (f *Fig6) Plot(w io.Writer) {
+	for _, width := range Widths {
+		ch := &plot.Chart{
+			Title:  fmt.Sprintf("Figure 6 (%d-way): average commit IPC vs register-file size", width),
+			XLabel: "registers per file", YLabel: "commit IPC", Height: 12,
+		}
+		for _, model := range []rename.Model{rename.Precise, rename.Imprecise} {
+			var pts []plot.Point
+			for _, regs := range RegSizes {
+				if pt, ok := f.Point(width, regs, model); ok {
+					pts = append(pts, plot.Point{X: float64(regs), Y: pt.CommitIPC})
+				}
+			}
+			ch.Add(model.String(), pts)
+		}
+		ch.Render(w)
+		fmt.Fprintln(w)
+	}
+}
+
+// Plot renders Figure 7's cache comparison (precise model, one chart per
+// width).
+func (f *Fig7) Plot(w io.Writer) {
+	for _, width := range Widths {
+		ch := &plot.Chart{
+			Title:  fmt.Sprintf("Figure 7 (%d-way, precise): commit IPC by memory system", width),
+			XLabel: "registers per file", YLabel: "commit IPC", Height: 12,
+		}
+		for _, kind := range []cache.Kind{cache.Perfect, cache.LockupFree, cache.Lockup} {
+			var pts []plot.Point
+			for _, regs := range RegSizes {
+				if pt, ok := f.Point(width, regs, rename.Precise, kind); ok {
+					pts = append(pts, plot.Point{X: float64(regs), Y: pt.CommitIPC})
+				}
+			}
+			ch.Add(kind.String(), pts)
+		}
+		ch.Render(w)
+		fmt.Fprintln(w)
+	}
+}
+
+// Plot renders Figure 8's compress curves.
+func (f *Fig8) Plot(w io.Writer) {
+	ch := &plot.Chart{
+		Title:  "Figure 8 (compress, 4-way, precise): integer-register coverage by memory system",
+		XLabel: "registers", YLabel: "coverage %",
+		YMin: 0, YMax: 100, Height: 12,
+	}
+	for _, kind := range []cache.Kind{cache.Perfect, cache.LockupFree, cache.Lockup} {
+		ch.Add(kind.String(), coverageSeries(f.Dist[kind], coverageGrid))
+	}
+	ch.Render(w)
+}
+
+// Plot renders Figure 10's BIPS curves (both widths, precise model, plus the
+// cycle times).
+func (f *Fig10) Plot(w io.Writer) {
+	ch := &plot.Chart{
+		Title:  "Figure 10: estimated BIPS vs register-file size (machine cycle ∝ int register file)",
+		XLabel: "registers per file", YLabel: "BIPS", Height: 14,
+	}
+	for _, width := range Widths {
+		for _, model := range []rename.Model{rename.Precise, rename.Imprecise} {
+			var pts []plot.Point
+			for _, pt := range f.Points {
+				if pt.Width == width {
+					pts = append(pts, plot.Point{X: float64(pt.Regs), Y: pt.BIPS[model]})
+				}
+			}
+			ch.Add(fmt.Sprintf("%dw-%s", width, model), pts)
+		}
+	}
+	ch.Render(w)
+	fmt.Fprintln(w)
+
+	ct := &plot.Chart{
+		Title:  "Figure 10: register-file cycle time",
+		XLabel: "registers per file", YLabel: "ns", Height: 10,
+	}
+	for _, width := range Widths {
+		var ipts, fpts []plot.Point
+		for _, pt := range f.Points {
+			if pt.Width == width {
+				ipts = append(ipts, plot.Point{X: float64(pt.Regs), Y: pt.IntCycleNS})
+				fpts = append(fpts, plot.Point{X: float64(pt.Regs), Y: pt.FPCycleNS})
+			}
+		}
+		ct.Add(fmt.Sprintf("%dw-int", width), ipts)
+		ct.Add(fmt.Sprintf("%dw-fp", width), fpts)
+	}
+	ct.Render(w)
+}
+
+// Plot renders Figure 3's live-register decomposition (precise totals and
+// the imprecise boundary) for the integer file at both widths.
+func (f *Fig3) Plot(w io.Writer) {
+	for _, width := range Widths {
+		ch := &plot.Chart{
+			Title:  fmt.Sprintf("Figure 3 (%d-way, int): 90th-pct live registers vs dispatch queue", width),
+			XLabel: "queue entries", YLabel: "registers", Height: 12,
+		}
+		kinds := []struct {
+			name string
+			get  func(Fig3Regs) int
+		}{
+			{"precise", func(r Fig3Regs) int { return r.Precise }},
+			{"imprecise", func(r Fig3Regs) int { return r.Imprecise }},
+			{"in-queue", func(r Fig3Regs) int { return r.InQueue }},
+		}
+		for _, k := range kinds {
+			var pts []plot.Point
+			for _, pt := range f.Points {
+				if pt.Width == width {
+					pts = append(pts, plot.Point{X: float64(pt.Queue), Y: float64(k.get(pt.Regs[isa.IntFile]))})
+				}
+			}
+			ch.Add(k.name, pts)
+		}
+		ch.Render(w)
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,77 @@
+package exper
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFigurePlots renders every figure's ASCII chart and checks for the
+// expected titles and series legends.
+func TestFigurePlots(t *testing.T) {
+	s := NewSuite(4_000)
+
+	f3, err := s.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	f3.Plot(&sb)
+	mustContain(t, sb.String(), "Figure 3", "precise", "imprecise", "in-queue")
+
+	f4, err := s.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	f4.Plot(&sb)
+	mustContain(t, sb.String(), "Figure 4", "coverage %", "* precise", "o imprecise")
+
+	f5, err := s.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	f5.Plot(&sb)
+	mustContain(t, sb.String(), "tomcatv", "precise")
+
+	f6, err := s.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	f6.Plot(&sb)
+	mustContain(t, sb.String(), "Figure 6", "commit IPC", "registers per file")
+
+	f7, err := s.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	f7.Plot(&sb)
+	mustContain(t, sb.String(), "Figure 7", "perfect", "lockup-free", "lockup")
+
+	f8, err := s.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	f8.Plot(&sb)
+	mustContain(t, sb.String(), "Figure 8", "compress")
+
+	f10, err := s.Fig10(f6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	f10.Plot(&sb)
+	mustContain(t, sb.String(), "Figure 10", "BIPS", "cycle time", "4w-int", "8w-fp")
+}
+
+func mustContain(t *testing.T, out string, wants ...string) {
+	t.Helper()
+	for _, w := range wants {
+		if !strings.Contains(out, w) {
+			t.Errorf("plot output missing %q", w)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package exper
+
+import (
+	"strings"
+	"testing"
+
+	"regsim/internal/isa"
+	"regsim/internal/workload"
+)
+
+func workloadInfo(name string) (*workload.Info, error) { return workload.Get(name) }
+
+func TestPortUsage(t *testing.T) {
+	s := NewSuite(8_000)
+	p, err := s.Ports()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, width := range Widths {
+		for file := 0; file < 2; file++ {
+			reads := p.Reads[width][file]
+			writes := p.Writes[width][file]
+			if reads == nil || writes == nil {
+				t.Fatalf("w%d file%d: missing distributions", width, file)
+			}
+			if err := reads.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			// Read demand is bounded by the issue rules: ≤2 operands per
+			// issued instruction, ≤width instructions, plus the paper's
+			// note that memory-class stores also read the file. The hard
+			// architectural bound is 2×width + stores' value reads.
+			bound := 2*width + width/2
+			if got := reads.FullCoveragePoint(); got > bound {
+				t.Errorf("w%d %s: %d reads in one cycle exceeds the issue-rule bound %d",
+					width, isa.RegFile(file), got, bound)
+			}
+			// There must be real demand.
+			if reads.Mean() <= 0 || writes.Mean() <= 0 {
+				t.Errorf("w%d file%d: no port activity", width, file)
+			}
+		}
+		// The integer file sees more read traffic than the FP file (every
+		// benchmark has integer address arithmetic; only FP codes touch
+		// the FP file).
+		if p.Reads[width][isa.IntFile].Mean() <= p.Reads[width][isa.FPFile].Mean() {
+			t.Errorf("w%d: FP read traffic exceeds integer", width)
+		}
+	}
+	// Write bursts above the provisioned budget must occur (the cache-fill
+	// clustering the paper sizes its write ports for).
+	intWrites := p.Writes[4][isa.IntFile]
+	if intWrites.FullCoveragePoint() <= p.Provisioned[4][isa.IntFile][1] {
+		t.Error("no write bursts above the base write-port budget observed")
+	}
+	var sb strings.Builder
+	p.Print(&sb)
+	if !strings.Contains(sb.String(), "provisioned") {
+		t.Error("print malformed")
+	}
+}
+
+func TestQueueSplitAblation(t *testing.T) {
+	s := NewSuite(8_000)
+	a, err := s.QueueSplit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, width := range Widths {
+		if a.UnifiedIPC[width] <= 0 || a.SplitIPC[width] <= 0 {
+			t.Fatalf("w%d: empty cells", width)
+		}
+		// The unified queue's capacity fungibility must win (the paper's
+		// single queue is not just simpler, it is at least as effective).
+		if a.SplitIPC[width] > a.UnifiedIPC[width]*1.01 {
+			t.Errorf("w%d: split queues (%.2f) beat the unified queue (%.2f)",
+				width, a.SplitIPC[width], a.UnifiedIPC[width])
+		}
+	}
+}
+
+func TestRegReq(t *testing.T) {
+	s := NewSuite(8_000)
+	r, err := s.RegReq()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 18 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		for file := 0; file < 2; file++ {
+			if row.Imprecise[file] > row.Precise[file] {
+				t.Errorf("%s w%d file%d: imprecise %d > precise %d",
+					row.Bench, row.Width, file, row.Imprecise[file], row.Precise[file])
+			}
+			if row.Precise[file] > row.P100[file] {
+				t.Errorf("%s w%d file%d: p90 above p100", row.Bench, row.Width, file)
+			}
+			// The ≥32 floor (31 reset mappings + the hardwired zero).
+			if row.Imprecise[file] < 32 {
+				t.Errorf("%s w%d file%d: requirement %d below the 32-register floor",
+					row.Bench, row.Width, file, row.Imprecise[file])
+			}
+		}
+		info, _ := workloadInfo(row.Bench)
+		// Integer-only benchmarks never allocate FP registers.
+		if !info.FP && row.Precise[1] != 32 {
+			t.Errorf("%s: integer benchmark holds %d FP registers", row.Bench, row.Precise[1])
+		}
+	}
+}

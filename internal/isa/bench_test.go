@@ -1,0 +1,23 @@
+package isa
+
+import "testing"
+
+// BenchmarkEncodeDecode measures the machine-word codec.
+func BenchmarkEncodeDecode(b *testing.B) {
+	in := Inst{Op: OpAdd, Rd: 1, Ra: 2, UseImm: true, Imm: 1234}
+	for i := 0; i < b.N; i++ {
+		w := Encode(in)
+		if _, err := Decode(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvalInt measures the integer ALU semantics.
+func BenchmarkEvalInt(b *testing.B) {
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc = EvalInt(OpAdd, acc, uint64(i))
+	}
+	_ = acc
+}

@@ -1,0 +1,54 @@
+package isa
+
+import "fmt"
+
+// Disasm renders an instruction in the assembler syntax documented on each
+// opcode constant, e.g. "add r1, r2, 8" or "fld f3, 16(r4)".
+func Disasm(i Inst) string {
+	op := i.Op
+	switch op.Class() {
+	case ClassIntALU, ClassIntMul:
+		if i.UseImm {
+			return fmt.Sprintf("%s r%d, r%d, %d", op, i.Rd, i.Ra, i.Imm)
+		}
+		return fmt.Sprintf("%s r%d, r%d, r%d", op, i.Rd, i.Ra, i.Rb)
+	case ClassFP:
+		switch op {
+		case OpItoF:
+			return fmt.Sprintf("itof f%d, r%d", i.Rd, i.Ra)
+		case OpFtoI:
+			return fmt.Sprintf("ftoi r%d, f%d", i.Rd, i.Ra)
+		}
+		return fmt.Sprintf("%s f%d, f%d, f%d", op, i.Rd, i.Ra, i.Rb)
+	case ClassFPDiv:
+		return fmt.Sprintf("%s f%d, f%d, f%d", op, i.Rd, i.Ra, i.Rb)
+	case ClassLoad:
+		if op == OpFLd {
+			return fmt.Sprintf("fld f%d, %d(r%d)", i.Rd, i.Imm, i.Ra)
+		}
+		return fmt.Sprintf("ld r%d, %d(r%d)", i.Rd, i.Imm, i.Ra)
+	case ClassStore:
+		if op == OpFSt {
+			return fmt.Sprintf("fst f%d, %d(r%d)", i.Rb, i.Imm, i.Ra)
+		}
+		return fmt.Sprintf("st r%d, %d(r%d)", i.Rb, i.Imm, i.Ra)
+	case ClassCondBr:
+		reg := fmt.Sprintf("r%d", i.Ra)
+		if op == OpFBeq || op == OpFBne {
+			reg = fmt.Sprintf("f%d", i.Ra)
+		}
+		return fmt.Sprintf("%s %s, %d", op, reg, i.Imm)
+	case ClassCtrl:
+		switch op {
+		case OpJmp:
+			return fmt.Sprintf("jmp %d", i.Imm)
+		case OpCall:
+			return fmt.Sprintf("call r%d, %d", i.Rd, i.Imm)
+		case OpJr:
+			return fmt.Sprintf("jr r%d", i.Ra)
+		}
+	case ClassHalt:
+		return "halt"
+	}
+	return fmt.Sprintf("%s ?", op)
+}

@@ -1,0 +1,98 @@
+package isa
+
+import "fmt"
+
+// Instructions have a fixed 64-bit machine encoding:
+//
+//	bits 63..56  opcode
+//	bits 55..51  Rd
+//	bits 50..46  Ra
+//	bits 45..41  Rb
+//	bit  40      UseImm
+//	bits 39..32  reserved (zero)
+//	bits 31..0   Imm (two's complement)
+//
+// The encoding exists so that programs are concrete artifacts (they can be
+// serialised, hashed and round-tripped in property tests); the simulator
+// itself operates on decoded Inst values.
+
+// Encode packs an instruction into its 64-bit machine form.
+func Encode(i Inst) uint64 {
+	var w uint64
+	w |= uint64(i.Op) << 56
+	w |= uint64(i.Rd&0x1f) << 51
+	w |= uint64(i.Ra&0x1f) << 46
+	w |= uint64(i.Rb&0x1f) << 41
+	if i.UseImm {
+		w |= 1 << 40
+	}
+	w |= uint64(uint32(i.Imm))
+	return w
+}
+
+// Decode unpacks a 64-bit machine word into an instruction. It returns an
+// error for undefined opcodes or nonzero reserved bits.
+func Decode(w uint64) (Inst, error) {
+	op := Op(w >> 56)
+	if !op.Valid() {
+		return Inst{}, fmt.Errorf("isa: undefined opcode %d in %#016x", uint8(op), w)
+	}
+	if (w>>32)&0xff != 0 {
+		return Inst{}, fmt.Errorf("isa: nonzero reserved bits in %#016x", w)
+	}
+	return Inst{
+		Op:     op,
+		Rd:     uint8(w>>51) & 0x1f,
+		Ra:     uint8(w>>46) & 0x1f,
+		Rb:     uint8(w>>41) & 0x1f,
+		UseImm: w&(1<<40) != 0,
+		Imm:    int32(uint32(w)),
+	}, nil
+}
+
+// Canonical normalises the don't-care fields of an instruction: register
+// fields that the operation does not use are zeroed, UseImm is cleared for
+// operations without an immediate form, and Imm is cleared for operations
+// without an immediate operand. Two instructions with equal Canonical forms
+// behave identically; Encode∘Decode preserves Canonical forms exactly.
+func Canonical(i Inst) Inst {
+	c := Inst{Op: i.Op}
+	if d, ok := i.Dst(); ok {
+		c.Rd = d.Idx & 0x1f
+	}
+	var buf [2]Reg
+	srcs := i.Srcs(buf[:0])
+	switch i.Op.Class() {
+	case ClassIntALU, ClassIntMul:
+		c.Ra = i.Ra & 0x1f
+		if i.UseImm {
+			c.UseImm = true
+			c.Imm = i.Imm
+		} else {
+			c.Rb = i.Rb & 0x1f
+		}
+	case ClassFP:
+		c.Ra = i.Ra & 0x1f
+		if len(srcs) == 2 {
+			c.Rb = i.Rb & 0x1f
+		}
+	case ClassFPDiv:
+		c.Ra, c.Rb = i.Ra&0x1f, i.Rb&0x1f
+	case ClassLoad:
+		c.Ra, c.Imm = i.Ra&0x1f, i.Imm
+	case ClassStore:
+		c.Ra, c.Rb, c.Imm = i.Ra&0x1f, i.Rb&0x1f, i.Imm
+	case ClassCondBr:
+		c.Ra, c.Imm = i.Ra&0x1f, i.Imm
+	case ClassCtrl:
+		switch i.Op {
+		case OpJmp:
+			c.Imm = i.Imm
+		case OpCall:
+			c.Imm = i.Imm
+		case OpJr:
+			c.Ra = i.Ra & 0x1f
+		}
+	}
+	return c
+}

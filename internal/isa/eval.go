@@ -1,0 +1,110 @@
+package isa
+
+import "math"
+
+// Functional semantics. Floating-point registers hold IEEE-754 double values
+// stored as their bit patterns (uint64); these helpers are shared by the
+// reference interpreter and the execution-driven pipeline so that both
+// produce bit-identical architectural results.
+
+// EvalInt computes the result of an integer ALU or multiply operation.
+// The caller substitutes the immediate for b when Inst.UseImm is set.
+func EvalInt(op Op, a, b uint64) uint64 {
+	switch op {
+	case OpAdd:
+		return a + b
+	case OpSub:
+		return a - b
+	case OpAnd:
+		return a & b
+	case OpOr:
+		return a | b
+	case OpXor:
+		return a ^ b
+	case OpShl:
+		return a << (b & 63)
+	case OpShr:
+		return a >> (b & 63)
+	case OpSra:
+		return uint64(int64(a) >> (b & 63))
+	case OpCmpL:
+		if int64(a) < int64(b) {
+			return 1
+		}
+		return 0
+	case OpCmpE:
+		if a == b {
+			return 1
+		}
+		return 0
+	case OpMul:
+		return a * b
+	}
+	return 0
+}
+
+// EvalFP computes the result of a floating-point operation on register bit
+// patterns, returning the result bit pattern.
+func EvalFP(op Op, abits, bbits uint64) uint64 {
+	a, b := math.Float64frombits(abits), math.Float64frombits(bbits)
+	var r float64
+	switch op {
+	case OpFAdd:
+		r = a + b
+	case OpFSub:
+		r = a - b
+	case OpFMul:
+		r = a * b
+	case OpFDivS, OpFDivD:
+		if b == 0 {
+			// Wrong-path execution can divide by zero; the paper's machine
+			// does not model arithmetic exceptions, so the result is simply
+			// a quiet zero rather than a trap.
+			r = 0
+		} else {
+			r = a / b
+		}
+	case OpFCmpL:
+		if a < b {
+			r = 1
+		} else {
+			r = 0
+		}
+	}
+	return math.Float64bits(r)
+}
+
+// EvalItoF converts an integer register value to a floating-point register
+// bit pattern (value conversion, like Alpha CVTQT).
+func EvalItoF(a uint64) uint64 { return math.Float64bits(float64(int64(a))) }
+
+// EvalFtoI truncates a floating-point register value to an integer register
+// value (like Alpha CVTTQ). NaNs and out-of-range values convert to zero so
+// that wrong-path execution stays total.
+func EvalFtoI(abits uint64) uint64 {
+	a := math.Float64frombits(abits)
+	if math.IsNaN(a) || a >= math.MaxInt64 || a <= math.MinInt64 {
+		return 0
+	}
+	return uint64(int64(a))
+}
+
+// CondTaken reports whether a conditional branch is taken given the tested
+// register's raw contents (integer value, or FP bit pattern for FP branches).
+func CondTaken(op Op, raw uint64) bool {
+	switch op {
+	case OpBeq:
+		return raw == 0
+	case OpBne:
+		return raw != 0
+	case OpBlt:
+		return int64(raw) < 0
+	case OpBge:
+		return int64(raw) >= 0
+	case OpFBeq:
+		return math.Float64frombits(raw) == 0
+	case OpFBne:
+		return math.Float64frombits(raw) != 0
+	}
+	return false
+}

@@ -1,0 +1,91 @@
+package isa
+
+// Inst is one decoded instruction. The interpretation of the register fields
+// depends on the operation:
+//
+//   - Three-operand ALU/FP ops:  Rd = destination, Ra/Rb = sources
+//     (Rb is replaced by Imm when UseImm is set, integer ops only).
+//   - Loads:                     Rd = destination, Ra = base, Imm = displacement.
+//   - Stores:                    Rb = value source, Ra = base, Imm = displacement.
+//   - Conditional branches:      Ra = tested register, Imm = target instruction index.
+//   - Jmp:                       Imm = target instruction index.
+//   - Call:                      Rd = link register, Imm = target instruction index.
+//   - Jr:                        Ra = target-address register.
+//
+// Branch and jump targets hold absolute instruction indices (resolved by the
+// program builder); the machine's notion of a PC is an instruction index.
+type Inst struct {
+	Op     Op
+	Rd     uint8
+	Ra     uint8
+	Rb     uint8
+	UseImm bool
+	Imm    int32
+}
+
+// Dst returns the destination register and whether the instruction writes one.
+// Writes to a hardwired zero register are architecturally discarded; callers
+// that allocate rename resources should additionally check Reg.IsZero.
+func (i Inst) Dst() (Reg, bool) {
+	switch i.Op {
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpShl, OpShr, OpSra, OpCmpL, OpCmpE, OpMul, OpLd, OpFtoI:
+		return Reg{IntFile, i.Rd}, true
+	case OpCall:
+		return Reg{IntFile, i.Rd}, true
+	case OpFAdd, OpFSub, OpFMul, OpFCmpL, OpFDivS, OpFDivD, OpFLd, OpItoF:
+		return Reg{FPFile, i.Rd}, true
+	}
+	return Reg{}, false
+}
+
+// Srcs appends the source registers of the instruction to dst and returns the
+// extended slice. Zero registers are included (they read as zero and are not
+// renamed). dst may be a stack-allocated buffer: srcs := i.Srcs(buf[:0]).
+func (i Inst) Srcs(dst []Reg) []Reg {
+	switch i.Op {
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpShl, OpShr, OpSra, OpCmpL, OpCmpE, OpMul:
+		dst = append(dst, Reg{IntFile, i.Ra})
+		if !i.UseImm {
+			dst = append(dst, Reg{IntFile, i.Rb})
+		}
+	case OpFAdd, OpFSub, OpFMul, OpFCmpL, OpFDivS, OpFDivD:
+		dst = append(dst, Reg{FPFile, i.Ra}, Reg{FPFile, i.Rb})
+	case OpItoF:
+		dst = append(dst, Reg{IntFile, i.Ra})
+	case OpFtoI:
+		dst = append(dst, Reg{FPFile, i.Ra})
+	case OpLd, OpFLd:
+		dst = append(dst, Reg{IntFile, i.Ra})
+	case OpSt:
+		dst = append(dst, Reg{IntFile, i.Ra}, Reg{IntFile, i.Rb})
+	case OpFSt:
+		dst = append(dst, Reg{IntFile, i.Ra}, Reg{FPFile, i.Rb})
+	case OpBeq, OpBne, OpBlt, OpBge:
+		dst = append(dst, Reg{IntFile, i.Ra})
+	case OpFBeq, OpFBne:
+		dst = append(dst, Reg{FPFile, i.Ra})
+	case OpJr:
+		dst = append(dst, Reg{IntFile, i.Ra})
+	}
+	return dst
+}
+
+// IsMem reports whether the instruction accesses data memory.
+func (i Inst) IsMem() bool {
+	c := i.Op.Class()
+	return c == ClassLoad || c == ClassStore
+}
+
+// IsCondBranch reports whether the instruction is a conditional branch.
+func (i Inst) IsCondBranch() bool { return i.Op.Class() == ClassCondBr }
+
+// Target returns the statically known control-flow target (instruction index)
+// for direct branches, jumps and calls, and whether one exists. Indirect
+// jumps (Jr) have no static target.
+func (i Inst) Target() (uint64, bool) {
+	switch i.Op {
+	case OpBeq, OpBne, OpBlt, OpBge, OpFBeq, OpFBne, OpJmp, OpCall:
+		return uint64(uint32(i.Imm)), true
+	}
+	return 0, false
+}

@@ -1,0 +1,217 @@
+// Package isa defines the instruction set architecture simulated by regsim.
+//
+// The ISA is a 64-bit load/store RISC machine in the style of the DEC Alpha,
+// matching the processor model of Farkas, Jouppi and Chow (WRL 95/10 /
+// HPCA'96): 32 integer and 32 floating-point architectural registers, each
+// file with a hardwired zero register (R31/F31), simple three-operand
+// arithmetic, displacement-mode loads and stores, and conditional branches
+// that test a single register against zero.
+//
+// Only the properties that matter to the paper's study are modeled: the
+// register operands named by each instruction, its functional-unit class
+// (which determines issue rules and latency), and enough semantics to
+// execute programs functionally so that branch directions and memory
+// addresses are real rather than traced.
+package isa
+
+import "fmt"
+
+// Op identifies an operation.
+type Op uint8
+
+// Operations. The comment gives the assembler form used by package prog.
+const (
+	OpInvalid Op = iota
+
+	// Integer ALU operations (single-cycle). The second source is either a
+	// register or a sign-extended immediate, selected by Inst.UseImm.
+	OpAdd  // add   rd, ra, rb|imm
+	OpSub  // sub   rd, ra, rb|imm
+	OpAnd  // and   rd, ra, rb|imm
+	OpOr   // or    rd, ra, rb|imm
+	OpXor  // xor   rd, ra, rb|imm
+	OpShl  // shl   rd, ra, rb|imm   (logical left shift, mod 64)
+	OpShr  // shr   rd, ra, rb|imm   (logical right shift, mod 64)
+	OpSra  // sra   rd, ra, rb|imm   (arithmetic right shift, mod 64)
+	OpCmpL // cmpl  rd, ra, rb|imm   (rd = 1 if ra < rb, signed, else 0)
+	OpCmpE // cmpe  rd, ra, rb|imm   (rd = 1 if ra == rb, else 0)
+
+	// Integer multiply (six-cycle, fully pipelined).
+	OpMul // mul rd, ra, rb|imm
+
+	// Floating-point operations (three-cycle, fully pipelined).
+	OpFAdd  // fadd fd, fa, fb
+	OpFSub  // fsub fd, fa, fb
+	OpFMul  // fmul fd, fa, fb
+	OpFCmpL // fcmpl fd, fa, fb  (fd = 1.0 if fa < fb else 0.0; three-cycle)
+
+	// Floating-point divide (unpipelined; 8 cycles single, 16 double).
+	OpFDivS // fdivs fd, fa, fb
+	OpFDivD // fdivd fd, fa, fb
+
+	// Register-file transfers.
+	OpItoF // itof fd, ra   (move integer register bits into FP register, as value)
+	OpFtoI // ftoi rd, fa   (truncate FP value to integer register)
+
+	// Memory operations (displacement addressing, 64-bit, naturally aligned).
+	OpLd  // ld  rd, imm(ra)
+	OpSt  // st  rb, imm(ra)   (stores integer register rb)
+	OpFLd // fld fd, imm(ra)
+	OpFSt // fst fb, imm(ra)   (stores FP register fb)
+
+	// Conditional branches (test one register against zero; PC-relative
+	// in spirit, but Imm holds the absolute target instruction index as
+	// resolved by the program builder).
+	OpBeq  // beq  ra, target  (taken if ra == 0)
+	OpBne  // bne  ra, target  (taken if ra != 0)
+	OpBlt  // blt  ra, target  (taken if ra < 0, signed)
+	OpBge  // bge  ra, target  (taken if ra >= 0, signed)
+	OpFBeq // fbeq fa, target  (taken if fa == 0.0)
+	OpFBne // fbne fa, target  (taken if fa != 0.0)
+
+	// Unconditional control flow (assumed 100% predictable, as in the paper).
+	OpJmp  // jmp  target
+	OpCall // call rd, target  (rd receives the return instruction index)
+	OpJr   // jr   ra          (indirect jump to the instruction index in ra)
+
+	// Halt ends the program when it commits.
+	OpHalt // halt
+
+	numOps
+)
+
+// NumOps is the number of defined operations (for property tests).
+const NumOps = int(numOps)
+
+// Class is the functional-unit class of an instruction. It determines the
+// per-cycle issue limits and execution latency in the machine model.
+type Class uint8
+
+const (
+	ClassIntALU Class = iota // single-cycle integer
+	ClassIntMul              // pipelined 6-cycle integer multiply
+	ClassFP                  // pipelined 3-cycle floating point
+	ClassFPDiv               // unpipelined floating-point divide
+	ClassLoad                // memory read
+	ClassStore               // memory write
+	ClassCondBr              // conditional branch
+	ClassCtrl                // unconditional jump/call/indirect jump
+	ClassHalt                // program end
+
+	NumClasses
+)
+
+// String returns a short mnemonic name for the class.
+func (c Class) String() string {
+	switch c {
+	case ClassIntALU:
+		return "int"
+	case ClassIntMul:
+		return "imul"
+	case ClassFP:
+		return "fp"
+	case ClassFPDiv:
+		return "fdiv"
+	case ClassLoad:
+		return "load"
+	case ClassStore:
+		return "store"
+	case ClassCondBr:
+		return "cbr"
+	case ClassCtrl:
+		return "ctrl"
+	case ClassHalt:
+		return "halt"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// RegFile identifies one of the two architectural register files.
+type RegFile uint8
+
+const (
+	IntFile RegFile = 0
+	FPFile  RegFile = 1
+)
+
+func (f RegFile) String() string {
+	if f == IntFile {
+		return "int"
+	}
+	return "fp"
+}
+
+// NumArchRegs is the number of architectural registers in each file.
+// Register index 31 in each file is hardwired to zero and is never renamed
+// (the paper: "there are 31 virtual registers that can be renamed; the zero
+// register is not renamed").
+const (
+	NumArchRegs = 32
+	ZeroReg     = 31
+)
+
+// Reg names one architectural register.
+type Reg struct {
+	File RegFile
+	Idx  uint8
+}
+
+// IsZero reports whether r is a hardwired zero register.
+func (r Reg) IsZero() bool { return r.Idx == ZeroReg }
+
+func (r Reg) String() string {
+	if r.File == IntFile {
+		return fmt.Sprintf("r%d", r.Idx)
+	}
+	return fmt.Sprintf("f%d", r.Idx)
+}
+
+var opNames = [...]string{
+	OpInvalid: "invalid",
+	OpAdd:     "add", OpSub: "sub", OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpShl: "shl", OpShr: "shr", OpSra: "sra", OpCmpL: "cmpl", OpCmpE: "cmpe",
+	OpMul:  "mul",
+	OpFAdd: "fadd", OpFSub: "fsub", OpFMul: "fmul", OpFCmpL: "fcmpl",
+	OpFDivS: "fdivs", OpFDivD: "fdivd",
+	OpItoF: "itof", OpFtoI: "ftoi",
+	OpLd: "ld", OpSt: "st", OpFLd: "fld", OpFSt: "fst",
+	OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpBge: "bge",
+	OpFBeq: "fbeq", OpFBne: "fbne",
+	OpJmp: "jmp", OpCall: "call", OpJr: "jr",
+	OpHalt: "halt",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Class returns the functional-unit class of the operation.
+func (o Op) Class() Class {
+	switch o {
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpShl, OpShr, OpSra, OpCmpL, OpCmpE:
+		return ClassIntALU
+	case OpMul:
+		return ClassIntMul
+	case OpFAdd, OpFSub, OpFMul, OpFCmpL, OpItoF, OpFtoI:
+		return ClassFP
+	case OpFDivS, OpFDivD:
+		return ClassFPDiv
+	case OpLd, OpFLd:
+		return ClassLoad
+	case OpSt, OpFSt:
+		return ClassStore
+	case OpBeq, OpBne, OpBlt, OpBge, OpFBeq, OpFBne:
+		return ClassCondBr
+	case OpJmp, OpCall, OpJr:
+		return ClassCtrl
+	case OpHalt:
+		return ClassHalt
+	}
+	return ClassIntALU
+}
+
+// Valid reports whether o is a defined operation.
+func (o Op) Valid() bool { return o > OpInvalid && o < numOps }

@@ -1,0 +1,327 @@
+package isa
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func allOps() []Op {
+	var ops []Op
+	for o := OpInvalid + 1; o < Op(NumOps); o++ {
+		ops = append(ops, o)
+	}
+	return ops
+}
+
+func TestOpValid(t *testing.T) {
+	if OpInvalid.Valid() {
+		t.Error("OpInvalid reported valid")
+	}
+	if Op(NumOps).Valid() {
+		t.Error("out-of-range op reported valid")
+	}
+	for _, o := range allOps() {
+		if !o.Valid() {
+			t.Errorf("%v not valid", o)
+		}
+	}
+}
+
+func TestOpStringsUnique(t *testing.T) {
+	seen := map[string]Op{}
+	for _, o := range allOps() {
+		s := o.String()
+		if s == "" || strings.HasPrefix(s, "op(") {
+			t.Errorf("op %d has no name", o)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("ops %v and %v share name %q", prev, o, s)
+		}
+		seen[s] = o
+	}
+}
+
+func TestClassCoverage(t *testing.T) {
+	counts := map[Class]int{}
+	for _, o := range allOps() {
+		counts[o.Class()]++
+	}
+	for c := Class(0); c < NumClasses; c++ {
+		if counts[c] == 0 {
+			t.Errorf("class %v has no operations", c)
+		}
+	}
+	// Spot checks against the machine model's tables.
+	for op, want := range map[Op]Class{
+		OpAdd: ClassIntALU, OpMul: ClassIntMul, OpFAdd: ClassFP,
+		OpFDivS: ClassFPDiv, OpFDivD: ClassFPDiv,
+		OpLd: ClassLoad, OpFLd: ClassLoad, OpSt: ClassStore, OpFSt: ClassStore,
+		OpBeq: ClassCondBr, OpFBne: ClassCondBr,
+		OpJmp: ClassCtrl, OpCall: ClassCtrl, OpJr: ClassCtrl, OpHalt: ClassHalt,
+	} {
+		if got := op.Class(); got != want {
+			t.Errorf("%v class = %v, want %v", op, got, want)
+		}
+	}
+}
+
+// TestDstSrcMetadata checks the operand metadata against the documented
+// per-class conventions.
+func TestDstSrcMetadata(t *testing.T) {
+	var buf [2]Reg
+	for _, o := range allOps() {
+		in := Inst{Op: o, Rd: 1, Ra: 2, Rb: 3}
+		dst, hasDst := in.Dst()
+		srcs := in.Srcs(buf[:0])
+		switch o.Class() {
+		case ClassIntALU, ClassIntMul:
+			if !hasDst || dst != (Reg{IntFile, 1}) {
+				t.Errorf("%v dst = %v,%v", o, dst, hasDst)
+			}
+			if len(srcs) != 2 {
+				t.Errorf("%v srcs = %v", o, srcs)
+			}
+		case ClassLoad:
+			if !hasDst {
+				t.Errorf("%v missing dst", o)
+			}
+			if len(srcs) != 1 || srcs[0] != (Reg{IntFile, 2}) {
+				t.Errorf("%v srcs = %v, want int base", o, srcs)
+			}
+		case ClassStore:
+			if hasDst {
+				t.Errorf("%v has dst", o)
+			}
+			if len(srcs) != 2 || srcs[0] != (Reg{IntFile, 2}) {
+				t.Errorf("%v srcs = %v", o, srcs)
+			}
+		case ClassCondBr:
+			if hasDst || len(srcs) != 1 {
+				t.Errorf("%v dst=%v srcs=%v", o, hasDst, srcs)
+			}
+		case ClassHalt:
+			if hasDst || len(srcs) != 0 {
+				t.Errorf("halt dst=%v srcs=%v", hasDst, srcs)
+			}
+		}
+		if !in.IsMem() && (o.Class() == ClassLoad || o.Class() == ClassStore) {
+			t.Errorf("%v not IsMem", o)
+		}
+	}
+}
+
+func TestImmediateSuppressesRb(t *testing.T) {
+	var buf [2]Reg
+	in := Inst{Op: OpAdd, Rd: 1, Ra: 2, Rb: 3, UseImm: true, Imm: 7}
+	if srcs := in.Srcs(buf[:0]); len(srcs) != 1 {
+		t.Fatalf("immediate add srcs = %v, want only Ra", srcs)
+	}
+}
+
+func TestStoreValueFile(t *testing.T) {
+	var buf [2]Reg
+	st := Inst{Op: OpSt, Ra: 2, Rb: 3}
+	if srcs := st.Srcs(buf[:0]); srcs[1].File != IntFile {
+		t.Errorf("st value file = %v", srcs[1].File)
+	}
+	fst := Inst{Op: OpFSt, Ra: 2, Rb: 3}
+	if srcs := fst.Srcs(buf[:0]); srcs[1].File != FPFile {
+		t.Errorf("fst value file = %v", srcs[1].File)
+	}
+}
+
+func TestTarget(t *testing.T) {
+	br := Inst{Op: OpBne, Ra: 1, Imm: 42}
+	if tgt, ok := br.Target(); !ok || tgt != 42 {
+		t.Errorf("bne target = %d,%v", tgt, ok)
+	}
+	jr := Inst{Op: OpJr, Ra: 1}
+	if _, ok := jr.Target(); ok {
+		t.Error("jr has a static target")
+	}
+	if _, ok := (Inst{Op: OpHalt}).Target(); ok {
+		t.Error("halt has a target")
+	}
+}
+
+// TestEncodeDecodeRoundTrip: decode(encode(x)) == x for canonical
+// instructions, across random operand patterns (property test).
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(opRaw uint8, rd, ra, rb uint8, useImm bool, imm int32) bool {
+		ops := allOps()
+		in := Canonical(Inst{
+			Op: ops[int(opRaw)%len(ops)],
+			Rd: rd & 31, Ra: ra & 31, Rb: rb & 31,
+			UseImm: useImm, Imm: imm,
+		})
+		dec, err := Decode(Encode(in))
+		return err == nil && dec == in
+	}
+	cfg := &quick.Config{MaxCount: 2000, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCanonicalIdempotent(t *testing.T) {
+	f := func(opRaw, rd, ra, rb uint8, useImm bool, imm int32) bool {
+		ops := allOps()
+		in := Inst{Op: ops[int(opRaw)%len(ops)], Rd: rd & 31, Ra: ra & 31, Rb: rb & 31, UseImm: useImm, Imm: imm}
+		c := Canonical(in)
+		return Canonical(c) == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsBadWords(t *testing.T) {
+	if _, err := Decode(0); err == nil {
+		t.Error("opcode 0 decoded")
+	}
+	if _, err := Decode(uint64(200) << 56); err == nil {
+		t.Error("undefined opcode decoded")
+	}
+	good := Encode(Inst{Op: OpAdd, Rd: 1, Ra: 2, Rb: 3})
+	if _, err := Decode(good | 1<<33); err == nil {
+		t.Error("nonzero reserved bits decoded")
+	}
+}
+
+func TestEvalInt(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b uint64
+		want uint64
+	}{
+		{OpAdd, 5, 7, 12},
+		{OpAdd, math.MaxUint64, 1, 0}, // wraparound
+		{OpSub, 5, 7, ^uint64(1)},     // -2
+		{OpAnd, 0b1100, 0b1010, 0b1000},
+		{OpOr, 0b1100, 0b1010, 0b1110},
+		{OpXor, 0b1100, 0b1010, 0b0110},
+		{OpShl, 1, 63, 1 << 63},
+		{OpShl, 1, 64, 1}, // shift amount mod 64
+		{OpShr, 1 << 63, 63, 1},
+		{OpSra, 1 << 63, 63, math.MaxUint64},
+		{OpCmpL, 1, 2, 1},
+		{OpCmpL, 2, 1, 0},
+		{OpCmpL, ^uint64(0), 0, 1}, // -1 < 0 signed
+		{OpCmpE, 9, 9, 1},
+		{OpCmpE, 9, 8, 0},
+		{OpMul, 3, 5, 15},
+		{OpMul, 1 << 33, 1 << 33, 0}, // overflow wraps
+	}
+	for _, c := range cases {
+		if got := EvalInt(c.op, c.a, c.b); got != c.want {
+			t.Errorf("EvalInt(%v, %#x, %#x) = %#x, want %#x", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEvalFP(t *testing.T) {
+	bits := math.Float64bits
+	from := math.Float64frombits
+	if got := from(EvalFP(OpFAdd, bits(1.5), bits(2.25))); got != 3.75 {
+		t.Errorf("fadd = %v", got)
+	}
+	if got := from(EvalFP(OpFSub, bits(1.5), bits(2.25))); got != -0.75 {
+		t.Errorf("fsub = %v", got)
+	}
+	if got := from(EvalFP(OpFMul, bits(1.5), bits(2))); got != 3 {
+		t.Errorf("fmul = %v", got)
+	}
+	if got := from(EvalFP(OpFDivD, bits(3), bits(2))); got != 1.5 {
+		t.Errorf("fdivd = %v", got)
+	}
+	// Division by zero is a quiet zero (no arithmetic exceptions modeled).
+	if got := from(EvalFP(OpFDivS, bits(3), bits(0))); got != 0 {
+		t.Errorf("fdiv by zero = %v, want 0", got)
+	}
+	if got := from(EvalFP(OpFCmpL, bits(1), bits(2))); got != 1 {
+		t.Errorf("fcmpl(1,2) = %v", got)
+	}
+	if got := from(EvalFP(OpFCmpL, bits(2), bits(1))); got != 0 {
+		t.Errorf("fcmpl(2,1) = %v", got)
+	}
+}
+
+func TestEvalConversions(t *testing.T) {
+	if got := math.Float64frombits(EvalItoF(uint64(42))); got != 42 {
+		t.Errorf("itof(42) = %v", got)
+	}
+	neg := uint64(1<<64 - 7)
+	if got := math.Float64frombits(EvalItoF(neg)); got != -7 {
+		t.Errorf("itof(-7) = %v", got)
+	}
+	if got := EvalFtoI(math.Float64bits(42.9)); got != 42 {
+		t.Errorf("ftoi(42.9) = %d", got)
+	}
+	if got := EvalFtoI(math.Float64bits(-3.9)); int64(got) != -3 {
+		t.Errorf("ftoi(-3.9) = %d", int64(got))
+	}
+	// NaN and out-of-range convert to zero (wrong-path totality).
+	if got := EvalFtoI(math.Float64bits(math.NaN())); got != 0 {
+		t.Errorf("ftoi(NaN) = %d", got)
+	}
+	if got := EvalFtoI(math.Float64bits(math.Inf(1))); got != 0 {
+		t.Errorf("ftoi(+Inf) = %d", got)
+	}
+}
+
+func TestCondTaken(t *testing.T) {
+	cases := []struct {
+		op   Op
+		raw  uint64
+		want bool
+	}{
+		{OpBeq, 0, true}, {OpBeq, 1, false},
+		{OpBne, 0, false}, {OpBne, 1, true},
+		{OpBlt, ^uint64(0), true}, {OpBlt, 1, false}, {OpBlt, 0, false},
+		{OpBge, 0, true}, {OpBge, 5, true}, {OpBge, ^uint64(0), false},
+		{OpFBeq, math.Float64bits(0), true}, {OpFBeq, math.Float64bits(1.5), false},
+		{OpFBne, math.Float64bits(1.5), true}, {OpFBne, math.Float64bits(0), false},
+		// -0.0 compares equal to zero.
+		{OpFBeq, math.Float64bits(math.Copysign(0, -1)), true},
+	}
+	for _, c := range cases {
+		if got := CondTaken(c.op, c.raw); got != c.want {
+			t.Errorf("CondTaken(%v, %#x) = %v, want %v", c.op, c.raw, got, c.want)
+		}
+	}
+}
+
+func TestRegString(t *testing.T) {
+	if s := (Reg{IntFile, 3}).String(); s != "r3" {
+		t.Errorf("int reg string = %q", s)
+	}
+	if s := (Reg{FPFile, 31}).String(); s != "f31" {
+		t.Errorf("fp reg string = %q", s)
+	}
+	if !(Reg{IntFile, ZeroReg}).IsZero() || (Reg{FPFile, 30}).IsZero() {
+		t.Error("IsZero misclassifies")
+	}
+}
+
+func TestDisasmAllOps(t *testing.T) {
+	for _, o := range allOps() {
+		in := Canonical(Inst{Op: o, Rd: 1, Ra: 2, Rb: 3, Imm: 5})
+		s := Disasm(in)
+		if s == "" || strings.Contains(s, "?") {
+			t.Errorf("Disasm(%v) = %q", o, s)
+		}
+		if !strings.HasPrefix(s, o.String()) {
+			t.Errorf("Disasm(%v) = %q does not start with mnemonic", o, s)
+		}
+	}
+	if s := Disasm(Inst{Op: OpLd, Rd: 4, Ra: 5, Imm: -16}); s != "ld r4, -16(r5)" {
+		t.Errorf("ld disasm = %q", s)
+	}
+	if s := Disasm(Inst{Op: OpAdd, Rd: 1, Ra: 2, UseImm: true, Imm: 9}); s != "add r1, r2, 9" {
+		t.Errorf("addi disasm = %q", s)
+	}
+}

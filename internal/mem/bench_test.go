@@ -1,0 +1,15 @@
+package mem
+
+import "testing"
+
+// BenchmarkReadWrite measures the sparse-memory hot path.
+func BenchmarkReadWrite(b *testing.B) {
+	m := New()
+	for i := 0; i < b.N; i++ {
+		addr := uint64(i%4096) * 8
+		m.Write64(addr, uint64(i))
+		if m.Read64(addr) != uint64(i) {
+			b.Fatal("mismatch")
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Package mem provides the functional data-memory substrate: a sparse, paged
+// 64-bit word store that tolerates arbitrary addresses.
+//
+// Tolerance matters because the simulator is execution-driven: instructions
+// on mispredicted (wrong) paths execute functionally before being squashed,
+// and may compute garbage addresses. Reads of untouched memory return zero;
+// writes allocate pages lazily. All accesses are 64-bit and are forcibly
+// aligned (the low three address bits are ignored), matching the machine
+// model's naturally aligned quadword accesses.
+package mem
+
+const (
+	pageShift = 12 // 4 KiB pages
+	pageBytes = 1 << pageShift
+	pageWords = pageBytes / 8
+	pageMask  = pageBytes - 1
+)
+
+type page [pageWords]uint64
+
+// Memory is a sparse 64-bit word store. The zero value is an empty memory.
+// Memory is not safe for concurrent use.
+type Memory struct {
+	pages map[uint64]*page
+}
+
+// New returns an empty memory.
+func New() *Memory { return &Memory{pages: make(map[uint64]*page)} }
+
+// Align returns addr rounded down to an 8-byte boundary.
+func Align(addr uint64) uint64 { return addr &^ 7 }
+
+// Read64 returns the 64-bit word at addr (aligned down). Unwritten memory
+// reads as zero.
+func (m *Memory) Read64(addr uint64) uint64 {
+	if m.pages == nil {
+		return 0
+	}
+	p := m.pages[addr>>pageShift]
+	if p == nil {
+		return 0
+	}
+	return p[(addr&pageMask)>>3]
+}
+
+// Write64 stores a 64-bit word at addr (aligned down).
+func (m *Memory) Write64(addr, v uint64) {
+	if m.pages == nil {
+		m.pages = make(map[uint64]*page)
+	}
+	key := addr >> pageShift
+	p := m.pages[key]
+	if p == nil {
+		p = new(page)
+		m.pages[key] = p
+	}
+	p[(addr&pageMask)>>3] = v
+}
+
+// PageCount returns the number of touched pages (for tests and footprint
+// reporting).
+func (m *Memory) PageCount() int { return len(m.pages) }
+
+// Clone returns a deep copy of the memory, used by tests that compare final
+// architectural state across machine configurations.
+func (m *Memory) Clone() *Memory {
+	c := New()
+	for k, p := range m.pages {
+		cp := *p
+		c.pages[k] = &cp
+	}
+	return c
+}
+
+// Equal reports whether two memories hold identical contents. Pages that are
+// all zero are treated as absent, so a written-then-zeroed page compares
+// equal to an untouched one.
+func (m *Memory) Equal(o *Memory) bool {
+	return m.subsetEqual(o) && o.subsetEqual(m)
+}
+
+func (m *Memory) subsetEqual(o *Memory) bool {
+	for k, p := range m.pages {
+		op := o.pages[k]
+		if op == nil {
+			if !p.isZero() {
+				return false
+			}
+			continue
+		}
+		if *p != *op {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *page) isZero() bool {
+	for _, w := range p {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,132 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := New()
+	m.Write64(0x1000, 42)
+	if got := m.Read64(0x1000); got != 42 {
+		t.Errorf("read = %d", got)
+	}
+	m.Write64(0x1000, 43)
+	if got := m.Read64(0x1000); got != 43 {
+		t.Errorf("overwrite read = %d", got)
+	}
+}
+
+func TestUnwrittenReadsZero(t *testing.T) {
+	m := New()
+	for _, addr := range []uint64{0, 8, 1 << 40, ^uint64(0)} {
+		if got := m.Read64(addr); got != 0 {
+			t.Errorf("unwritten %#x = %d", addr, got)
+		}
+	}
+	var zero Memory // zero value usable for reads
+	if zero.Read64(16) != 0 {
+		t.Error("zero-value memory read nonzero")
+	}
+}
+
+func TestAlignmentMasking(t *testing.T) {
+	m := New()
+	m.Write64(0x1003, 7) // misaligned: lands on 0x1000
+	if got := m.Read64(0x1000); got != 7 {
+		t.Errorf("aligned read = %d", got)
+	}
+	if got := m.Read64(0x1007); got != 7 {
+		t.Errorf("misaligned read = %d", got)
+	}
+	if Align(0x1007) != 0x1000 || Align(0x1008) != 0x1008 {
+		t.Error("Align wrong")
+	}
+}
+
+func TestNeighborsIndependent(t *testing.T) {
+	m := New()
+	m.Write64(0x2000, 1)
+	m.Write64(0x2008, 2)
+	if m.Read64(0x2000) != 1 || m.Read64(0x2008) != 2 {
+		t.Error("adjacent words interfere")
+	}
+}
+
+func TestSparsePages(t *testing.T) {
+	m := New()
+	m.Write64(0, 1)
+	m.Write64(1<<30, 2)
+	m.Write64(1<<50, 3)
+	if m.PageCount() != 3 {
+		t.Errorf("page count = %d, want 3", m.PageCount())
+	}
+	// Writes within one page share it.
+	m.Write64(8, 4)
+	if m.PageCount() != 3 {
+		t.Errorf("page count after same-page write = %d", m.PageCount())
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := New()
+	m.Write64(0x3000, 9)
+	c := m.Clone()
+	c.Write64(0x3000, 10)
+	if m.Read64(0x3000) != 9 {
+		t.Error("clone mutation visible in original")
+	}
+	if c.Read64(0x3000) != 10 {
+		t.Error("clone write lost")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := New(), New()
+	if !a.Equal(b) {
+		t.Error("empty memories unequal")
+	}
+	a.Write64(0x10, 5)
+	if a.Equal(b) {
+		t.Error("differing memories equal")
+	}
+	b.Write64(0x10, 5)
+	if !a.Equal(b) {
+		t.Error("same-content memories unequal")
+	}
+	// A page written then zeroed equals an untouched page.
+	a.Write64(0x5000, 1)
+	a.Write64(0x5000, 0)
+	if !a.Equal(b) {
+		t.Error("zeroed page breaks equality")
+	}
+	if !b.Equal(a) {
+		t.Error("equality not symmetric for zeroed page")
+	}
+}
+
+// TestAgainstMapModel drives Memory and a plain map with the same random
+// operations and checks every read agrees (property test).
+func TestAgainstMapModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New()
+		model := map[uint64]uint64{}
+		for i := 0; i < 500; i++ {
+			// A small address pool makes read-after-write likely.
+			addr := Align(uint64(rng.Intn(1<<14)) + uint64(rng.Intn(4))<<40)
+			if rng.Intn(2) == 0 {
+				v := rng.Uint64()
+				m.Write64(addr, v)
+				model[addr] = v
+			} else if m.Read64(addr) != model[addr] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

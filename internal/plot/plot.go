@@ -1,0 +1,183 @@
+// Package plot renders small ASCII line charts, so the experiment harness
+// can show the paper's figures as figures — coverage curves, IPC-vs-size
+// sweeps, BIPS maxima — directly in a terminal, with no dependencies.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one sample of a series.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named curve. Each series is drawn with its own rune.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Chart is a renderable collection of series sharing axes.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Width and Height are the plot-area dimensions in characters
+	// (defaults 64×16).
+	Width, Height int
+	// YMin/YMax fix the y-range; when both are zero the range is computed
+	// from the data (with a zero floor for non-negative data).
+	YMin, YMax float64
+
+	series []Series
+}
+
+// Add appends a series (points are sorted by X internally).
+func (c *Chart) Add(name string, pts []Point) {
+	sorted := append([]Point(nil), pts...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].X < sorted[b].X })
+	c.series = append(c.series, Series{Name: name, Points: sorted})
+}
+
+// AddXY is Add for parallel x/y slices (extra ys are ignored).
+func (c *Chart) AddXY(name string, xs []int, ys []float64) {
+	n := len(xs)
+	if len(ys) < n {
+		n = len(ys)
+	}
+	pts := make([]Point, n)
+	for i := 0; i < n; i++ {
+		pts[i] = Point{X: float64(xs[i]), Y: ys[i]}
+	}
+	c.Add(name, pts)
+}
+
+// seriesMarks are the per-series plot runes.
+var seriesMarks = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the chart.
+func (c *Chart) Render(w io.Writer) {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 16
+	}
+	if len(c.series) == 0 {
+		fmt.Fprintf(w, "%s: (no data)\n", c.Title)
+		return
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.series {
+		for _, p := range s.Points {
+			xmin, xmax = math.Min(xmin, p.X), math.Max(xmax, p.X)
+			ymin, ymax = math.Min(ymin, p.Y), math.Max(ymax, p.Y)
+		}
+	}
+	if c.YMin != 0 || c.YMax != 0 {
+		ymin, ymax = c.YMin, c.YMax
+	} else if ymin > 0 {
+		ymin = 0 // non-negative data reads best from a zero baseline
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		f := (x - xmin) / (xmax - xmin)
+		i := int(math.Round(f * float64(width-1)))
+		return clamp(i, 0, width-1)
+	}
+	row := func(y float64) int {
+		f := (y - ymin) / (ymax - ymin)
+		i := int(math.Round(f * float64(height-1)))
+		return clamp(height-1-i, 0, height-1)
+	}
+
+	for si, s := range c.series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		// Connect consecutive points with interpolated cells so curves read
+		// as lines, then stamp the sample marks on top.
+		for i := 1; i < len(s.Points); i++ {
+			drawSegment(grid, col(s.Points[i-1].X), row(s.Points[i-1].Y),
+				col(s.Points[i].X), row(s.Points[i].Y), '.')
+		}
+		for _, p := range s.Points {
+			grid[row(p.Y)][col(p.X)] = mark
+		}
+	}
+
+	if c.Title != "" {
+		fmt.Fprintf(w, "%s\n", c.Title)
+	}
+	for r, line := range grid {
+		label := " "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8.2f", ymax)
+		case height - 1:
+			label = fmt.Sprintf("%8.2f", ymin)
+		case (height - 1) / 2:
+			label = fmt.Sprintf("%8.2f", (ymin+ymax)/2)
+		}
+		fmt.Fprintf(w, "%8s |%s\n", strings.TrimSpace(label), string(line))
+	}
+	fmt.Fprintf(w, "%8s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(w, "%8s  %-*g%*g\n", "", width/2, xmin, width-width/2, xmax)
+	var legend []string
+	for si, s := range c.series {
+		legend = append(legend, fmt.Sprintf("%c %s", seriesMarks[si%len(seriesMarks)], s.Name))
+	}
+	fmt.Fprintf(w, "%8s  %s", "", strings.Join(legend, "   "))
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(w, "   [%s vs %s]", c.YLabel, c.XLabel)
+	}
+	fmt.Fprintln(w)
+}
+
+// drawSegment rasterises a line with ch, only into empty cells.
+func drawSegment(grid [][]byte, x0, y0, x1, y1 int, ch byte) {
+	steps := abs(x1-x0) + abs(y1-y0)
+	if steps == 0 {
+		return
+	}
+	for i := 0; i <= steps; i++ {
+		x := x0 + (x1-x0)*i/steps
+		y := y0 + (y1-y0)*i/steps
+		if grid[y][x] == ' ' {
+			grid[y][x] = ch
+		}
+	}
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,108 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func render(c *Chart) string {
+	var sb strings.Builder
+	c.Render(&sb)
+	return sb.String()
+}
+
+func TestEmptyChart(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	if out := render(c); !strings.Contains(out, "no data") {
+		t.Errorf("empty chart output %q", out)
+	}
+}
+
+func TestSingleSeries(t *testing.T) {
+	c := &Chart{Title: "ipc", Width: 40, Height: 10}
+	c.AddXY("precise", []int{32, 64, 128, 256}, []float64{0.5, 2.0, 2.8, 2.9})
+	out := render(c)
+	if !strings.Contains(out, "ipc") || !strings.Contains(out, "* precise") {
+		t.Errorf("missing title/legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no marks drawn")
+	}
+	// Axis labels: min and max of the y-range (zero floor applies).
+	if !strings.Contains(out, "0.00") || !strings.Contains(out, "2.90") {
+		t.Errorf("axis labels wrong:\n%s", out)
+	}
+	// X axis endpoints.
+	if !strings.Contains(out, "32") || !strings.Contains(out, "256") {
+		t.Errorf("x labels wrong:\n%s", out)
+	}
+}
+
+func TestMultipleSeriesDistinctMarks(t *testing.T) {
+	c := &Chart{Width: 30, Height: 8}
+	c.AddXY("a", []int{0, 10}, []float64{1, 2})
+	c.AddXY("b", []int{0, 10}, []float64{2, 1})
+	out := render(c)
+	for _, mark := range []string{"* a", "o b"} {
+		if !strings.Contains(out, mark) {
+			t.Errorf("legend missing %q:\n%s", mark, out)
+		}
+	}
+	if !strings.Contains(out, "o") {
+		t.Error("second series not drawn")
+	}
+}
+
+func TestMonotoneCurveShape(t *testing.T) {
+	// A rising curve's first mark must be on a lower row than its last.
+	c := &Chart{Width: 40, Height: 10}
+	c.AddXY("up", []int{0, 1, 2, 3}, []float64{0, 1, 2, 3})
+	lines := strings.Split(render(c), "\n")
+	first, last := -1, -1
+	for r, line := range lines {
+		if strings.Contains(line, "*") {
+			if first < 0 {
+				first = r
+			}
+			last = r
+		}
+	}
+	if first < 0 || first >= last {
+		t.Errorf("rising curve rows first=%d last=%d", first, last)
+	}
+	// Rows render top-down, so the peak (last x) is on an earlier row...
+	// verify the topmost mark is to the right of the bottommost mark.
+	top := lines[first]
+	bottom := lines[last]
+	if strings.IndexByte(top, '*') <= strings.IndexByte(bottom, '*') {
+		t.Error("curve does not rise to the right")
+	}
+}
+
+func TestFixedYRange(t *testing.T) {
+	c := &Chart{Width: 30, Height: 8, YMin: 0, YMax: 100}
+	c.AddXY("pct", []int{0, 1}, []float64{50, 90})
+	out := render(c)
+	if !strings.Contains(out, "100.00") {
+		t.Errorf("fixed y max not used:\n%s", out)
+	}
+}
+
+func TestUnsortedInputSorted(t *testing.T) {
+	c := &Chart{Width: 30, Height: 8}
+	c.Add("s", []Point{{X: 3, Y: 1}, {X: 1, Y: 0}, {X: 2, Y: 0.5}})
+	out := render(c)
+	if !strings.Contains(out, "1") || !strings.Contains(out, "3") {
+		t.Errorf("x range wrong for unsorted input:\n%s", out)
+	}
+}
+
+func TestDegenerateRanges(t *testing.T) {
+	// A single point (zero x- and y-span) must not panic or divide by zero.
+	c := &Chart{Width: 20, Height: 6}
+	c.Add("dot", []Point{{X: 5, Y: 5}})
+	out := render(c)
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point not drawn:\n%s", out)
+	}
+}

@@ -1,0 +1,222 @@
+package prog
+
+import (
+	"fmt"
+	"math"
+
+	"regsim/internal/isa"
+)
+
+// Builder assembles a Program. Methods append instructions; control-flow
+// targets are symbolic labels resolved by Build. The zero Builder is ready to
+// use. Errors (duplicate or undefined labels, bad register indices) are
+// accumulated and reported by Build, so call sites stay uncluttered.
+type Builder struct {
+	name   string
+	text   []isa.Inst
+	labels map[string]uint64
+	// fixups records instructions whose Imm must be patched to a label's
+	// instruction index.
+	fixups []fixup
+	data   []DataWord
+	errs   []error
+}
+
+type fixup struct {
+	idx   int
+	label string
+}
+
+// NewBuilder returns a builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, labels: make(map[string]uint64)}
+}
+
+// PC returns the index the next emitted instruction will have.
+func (b *Builder) PC() uint64 { return uint64(len(b.text)) }
+
+// Label defines a label at the current position.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("duplicate label %q", name))
+		return
+	}
+	b.labels[name] = b.PC()
+}
+
+// InitWord initialises one 64-bit data word.
+func (b *Builder) InitWord(addr, value uint64) {
+	if addr%8 != 0 {
+		b.errs = append(b.errs, fmt.Errorf("misaligned data word %#x", addr))
+		return
+	}
+	b.data = append(b.data, DataWord{Addr: addr, Value: value})
+}
+
+// InitFloat initialises one 64-bit data word with a float64 value.
+func (b *Builder) InitFloat(addr uint64, v float64) {
+	b.InitWord(addr, math.Float64bits(v))
+}
+
+func (b *Builder) reg(r uint8) uint8 {
+	if r >= isa.NumArchRegs {
+		b.errs = append(b.errs, fmt.Errorf("register index %d out of range at instruction %d", r, len(b.text)))
+		return 0
+	}
+	return r
+}
+
+func (b *Builder) emit(in isa.Inst) {
+	b.text = append(b.text, in)
+}
+
+func (b *Builder) emitBranch(in isa.Inst, label string) {
+	b.fixups = append(b.fixups, fixup{idx: len(b.text), label: label})
+	b.emit(in)
+}
+
+// --- integer ALU ---
+
+func (b *Builder) alu3(op isa.Op, rd, ra, rb uint8) {
+	b.emit(isa.Inst{Op: op, Rd: b.reg(rd), Ra: b.reg(ra), Rb: b.reg(rb)})
+}
+
+func (b *Builder) aluI(op isa.Op, rd, ra uint8, imm int32) {
+	b.emit(isa.Inst{Op: op, Rd: b.reg(rd), Ra: b.reg(ra), UseImm: true, Imm: imm})
+}
+
+func (b *Builder) Add(rd, ra, rb uint8)          { b.alu3(isa.OpAdd, rd, ra, rb) }
+func (b *Builder) AddI(rd, ra uint8, imm int32)  { b.aluI(isa.OpAdd, rd, ra, imm) }
+func (b *Builder) Sub(rd, ra, rb uint8)          { b.alu3(isa.OpSub, rd, ra, rb) }
+func (b *Builder) SubI(rd, ra uint8, imm int32)  { b.aluI(isa.OpSub, rd, ra, imm) }
+func (b *Builder) And(rd, ra, rb uint8)          { b.alu3(isa.OpAnd, rd, ra, rb) }
+func (b *Builder) AndI(rd, ra uint8, imm int32)  { b.aluI(isa.OpAnd, rd, ra, imm) }
+func (b *Builder) Or(rd, ra, rb uint8)           { b.alu3(isa.OpOr, rd, ra, rb) }
+func (b *Builder) OrI(rd, ra uint8, imm int32)   { b.aluI(isa.OpOr, rd, ra, imm) }
+func (b *Builder) Xor(rd, ra, rb uint8)          { b.alu3(isa.OpXor, rd, ra, rb) }
+func (b *Builder) XorI(rd, ra uint8, imm int32)  { b.aluI(isa.OpXor, rd, ra, imm) }
+func (b *Builder) Shl(rd, ra, rb uint8)          { b.alu3(isa.OpShl, rd, ra, rb) }
+func (b *Builder) ShlI(rd, ra uint8, imm int32)  { b.aluI(isa.OpShl, rd, ra, imm) }
+func (b *Builder) Shr(rd, ra, rb uint8)          { b.alu3(isa.OpShr, rd, ra, rb) }
+func (b *Builder) ShrI(rd, ra uint8, imm int32)  { b.aluI(isa.OpShr, rd, ra, imm) }
+func (b *Builder) SraI(rd, ra uint8, imm int32)  { b.aluI(isa.OpSra, rd, ra, imm) }
+func (b *Builder) CmpL(rd, ra, rb uint8)         { b.alu3(isa.OpCmpL, rd, ra, rb) }
+func (b *Builder) CmpLI(rd, ra uint8, imm int32) { b.aluI(isa.OpCmpL, rd, ra, imm) }
+func (b *Builder) CmpE(rd, ra, rb uint8)         { b.alu3(isa.OpCmpE, rd, ra, rb) }
+func (b *Builder) CmpEI(rd, ra uint8, imm int32) { b.aluI(isa.OpCmpE, rd, ra, imm) }
+func (b *Builder) Mul(rd, ra, rb uint8)          { b.alu3(isa.OpMul, rd, ra, rb) }
+func (b *Builder) MulI(rd, ra uint8, imm int32)  { b.aluI(isa.OpMul, rd, ra, imm) }
+
+// MovI loads a 32-bit immediate into rd (add rd, r31, imm).
+func (b *Builder) MovI(rd uint8, imm int32) { b.aluI(isa.OpAdd, rd, isa.ZeroReg, imm) }
+
+// Mov copies ra into rd (add rd, ra, r31).
+func (b *Builder) Mov(rd, ra uint8) { b.alu3(isa.OpAdd, rd, ra, isa.ZeroReg) }
+
+// MovWide loads an arbitrary 64-bit constant into rd using a shift/or
+// sequence of 16-bit pieces (seven instructions; no scratch register).
+func (b *Builder) MovWide(rd uint8, v uint64) {
+	b.MovI(rd, int32((v>>48)&0xffff))
+	for shift := 32; shift >= 0; shift -= 16 {
+		b.ShlI(rd, rd, 16)
+		b.OrI(rd, rd, int32((v>>uint(shift))&0xffff))
+	}
+}
+
+// Nop emits an architectural no-op (add r31, r31, r31).
+func (b *Builder) Nop() { b.alu3(isa.OpAdd, isa.ZeroReg, isa.ZeroReg, isa.ZeroReg) }
+
+// --- floating point ---
+
+func (b *Builder) FAdd(fd, fa, fb uint8) {
+	b.emit(isa.Inst{Op: isa.OpFAdd, Rd: b.reg(fd), Ra: b.reg(fa), Rb: b.reg(fb)})
+}
+func (b *Builder) FSub(fd, fa, fb uint8) {
+	b.emit(isa.Inst{Op: isa.OpFSub, Rd: b.reg(fd), Ra: b.reg(fa), Rb: b.reg(fb)})
+}
+func (b *Builder) FMul(fd, fa, fb uint8) {
+	b.emit(isa.Inst{Op: isa.OpFMul, Rd: b.reg(fd), Ra: b.reg(fa), Rb: b.reg(fb)})
+}
+func (b *Builder) FCmpL(fd, fa, fb uint8) {
+	b.emit(isa.Inst{Op: isa.OpFCmpL, Rd: b.reg(fd), Ra: b.reg(fa), Rb: b.reg(fb)})
+}
+func (b *Builder) FDivS(fd, fa, fb uint8) {
+	b.emit(isa.Inst{Op: isa.OpFDivS, Rd: b.reg(fd), Ra: b.reg(fa), Rb: b.reg(fb)})
+}
+func (b *Builder) FDivD(fd, fa, fb uint8) {
+	b.emit(isa.Inst{Op: isa.OpFDivD, Rd: b.reg(fd), Ra: b.reg(fa), Rb: b.reg(fb)})
+}
+func (b *Builder) ItoF(fd, ra uint8) { b.emit(isa.Inst{Op: isa.OpItoF, Rd: b.reg(fd), Ra: b.reg(ra)}) }
+func (b *Builder) FtoI(rd, fa uint8) { b.emit(isa.Inst{Op: isa.OpFtoI, Rd: b.reg(rd), Ra: b.reg(fa)}) }
+
+// --- memory ---
+
+func (b *Builder) Ld(rd, ra uint8, disp int32) {
+	b.emit(isa.Inst{Op: isa.OpLd, Rd: b.reg(rd), Ra: b.reg(ra), Imm: disp})
+}
+func (b *Builder) St(rb, ra uint8, disp int32) {
+	b.emit(isa.Inst{Op: isa.OpSt, Rb: b.reg(rb), Ra: b.reg(ra), Imm: disp})
+}
+func (b *Builder) FLd(fd, ra uint8, disp int32) {
+	b.emit(isa.Inst{Op: isa.OpFLd, Rd: b.reg(fd), Ra: b.reg(ra), Imm: disp})
+}
+func (b *Builder) FSt(fb, ra uint8, disp int32) {
+	b.emit(isa.Inst{Op: isa.OpFSt, Rb: b.reg(fb), Ra: b.reg(ra), Imm: disp})
+}
+
+// --- control flow ---
+
+func (b *Builder) Beq(ra uint8, label string) {
+	b.emitBranch(isa.Inst{Op: isa.OpBeq, Ra: b.reg(ra)}, label)
+}
+func (b *Builder) Bne(ra uint8, label string) {
+	b.emitBranch(isa.Inst{Op: isa.OpBne, Ra: b.reg(ra)}, label)
+}
+func (b *Builder) Blt(ra uint8, label string) {
+	b.emitBranch(isa.Inst{Op: isa.OpBlt, Ra: b.reg(ra)}, label)
+}
+func (b *Builder) Bge(ra uint8, label string) {
+	b.emitBranch(isa.Inst{Op: isa.OpBge, Ra: b.reg(ra)}, label)
+}
+func (b *Builder) FBeq(fa uint8, label string) {
+	b.emitBranch(isa.Inst{Op: isa.OpFBeq, Ra: b.reg(fa)}, label)
+}
+func (b *Builder) FBne(fa uint8, label string) {
+	b.emitBranch(isa.Inst{Op: isa.OpFBne, Ra: b.reg(fa)}, label)
+}
+func (b *Builder) Jmp(label string) { b.emitBranch(isa.Inst{Op: isa.OpJmp}, label) }
+func (b *Builder) Call(rd uint8, label string) {
+	b.emitBranch(isa.Inst{Op: isa.OpCall, Rd: b.reg(rd)}, label)
+}
+func (b *Builder) Jr(ra uint8) { b.emit(isa.Inst{Op: isa.OpJr, Ra: b.reg(ra)}) }
+func (b *Builder) Halt()       { b.emit(isa.Inst{Op: isa.OpHalt}) }
+
+// Build resolves labels and returns the finished program.
+func (b *Builder) Build() (*Program, error) {
+	for _, f := range b.fixups {
+		target, ok := b.labels[f.label]
+		if !ok {
+			b.errs = append(b.errs, fmt.Errorf("undefined label %q at instruction %d", f.label, f.idx))
+			continue
+		}
+		b.text[f.idx].Imm = int32(target)
+	}
+	if len(b.errs) > 0 {
+		return nil, fmt.Errorf("prog %q: %d assembly errors, first: %w", b.name, len(b.errs), b.errs[0])
+	}
+	p := &Program{Name: b.name, Text: b.text, Data: b.data}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error, for statically known-good programs
+// in tests and workload generators.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

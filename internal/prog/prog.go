@@ -1,0 +1,96 @@
+// Package prog represents executable programs for the regsim ISA and provides
+// a fluent assembler for constructing them.
+//
+// A program is a sequence of decoded instructions (the text segment) plus an
+// initial data image. The machine's program counter is an instruction index
+// into the text segment; byte addresses only exist for data memory and for
+// the instruction-cache model (which maps PC i to byte address TextBase+8*i,
+// since instructions have a 64-bit encoding).
+package prog
+
+import (
+	"fmt"
+
+	"regsim/internal/isa"
+)
+
+// Memory layout constants.
+const (
+	// TextBase is the byte address of instruction index 0, used by the
+	// instruction-cache model.
+	TextBase = 0x0001_0000
+	// DataBase is the lowest byte address used for static data.
+	DataBase = 0x0010_0000
+)
+
+// Program is an executable image.
+type Program struct {
+	// Name identifies the program (e.g. the benchmark it stands in for).
+	Name string
+	// Text is the instruction sequence. Execution begins at Entry.
+	Text []isa.Inst
+	// Entry is the instruction index where execution starts.
+	Entry uint64
+	// Data holds (address, 64-bit value) pairs applied to memory before
+	// execution. Addresses must be 8-byte aligned.
+	Data []DataWord
+}
+
+// DataWord is one initialised 64-bit memory word.
+type DataWord struct {
+	Addr  uint64
+	Value uint64
+}
+
+// PCByteAddr converts an instruction index to the byte address used by the
+// instruction-cache model.
+func PCByteAddr(pc uint64) uint64 { return TextBase + pc*8 }
+
+// Validate checks structural well-formedness: a nonempty text segment, an
+// in-range entry point, defined opcodes, in-range direct branch targets, and
+// aligned data words. Indirect jump targets are necessarily dynamic and are
+// checked at execution time.
+func (p *Program) Validate() error {
+	if len(p.Text) == 0 {
+		return fmt.Errorf("prog %q: empty text segment", p.Name)
+	}
+	if p.Entry >= uint64(len(p.Text)) {
+		return fmt.Errorf("prog %q: entry %d out of range (%d instructions)", p.Name, p.Entry, len(p.Text))
+	}
+	for idx, in := range p.Text {
+		if !in.Op.Valid() {
+			return fmt.Errorf("prog %q: instruction %d has invalid opcode", p.Name, idx)
+		}
+		if t, ok := in.Target(); ok && t >= uint64(len(p.Text)) {
+			return fmt.Errorf("prog %q: instruction %d (%s) targets %d, out of range", p.Name, idx, isa.Disasm(in), t)
+		}
+	}
+	for _, dw := range p.Data {
+		if dw.Addr%8 != 0 {
+			return fmt.Errorf("prog %q: misaligned data word at %#x", p.Name, dw.Addr)
+		}
+	}
+	return nil
+}
+
+// Encode serialises the text segment to machine words.
+func (p *Program) Encode() []uint64 {
+	words := make([]uint64, len(p.Text))
+	for i, in := range p.Text {
+		words[i] = isa.Encode(in)
+	}
+	return words
+}
+
+// DecodeText builds a text segment from machine words.
+func DecodeText(words []uint64) ([]isa.Inst, error) {
+	text := make([]isa.Inst, len(words))
+	for i, w := range words {
+		in, err := isa.Decode(w)
+		if err != nil {
+			return nil, fmt.Errorf("instruction %d: %w", i, err)
+		}
+		text[i] = in
+	}
+	return text, nil
+}

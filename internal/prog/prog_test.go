@@ -1,0 +1,186 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"regsim/internal/isa"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder("basic")
+	b.MovI(1, 10)
+	b.Label("loop")
+	b.SubI(1, 1, 1)
+	b.Bne(1, "loop")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Text) != 4 {
+		t.Fatalf("text length %d", len(p.Text))
+	}
+	// The branch must target the label's instruction index.
+	br := p.Text[2]
+	if tgt, ok := br.Target(); !ok || tgt != 1 {
+		t.Errorf("branch target %d,%v; want 1", tgt, ok)
+	}
+}
+
+func TestBuilderLabelErrors(t *testing.T) {
+	b := NewBuilder("dup")
+	b.Label("x")
+	b.Label("x")
+	b.Halt()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "duplicate label") {
+		t.Errorf("duplicate label error = %v", err)
+	}
+
+	b2 := NewBuilder("undef")
+	b2.Jmp("nowhere")
+	b2.Halt()
+	if _, err := b2.Build(); err == nil || !strings.Contains(err.Error(), "undefined label") {
+		t.Errorf("undefined label error = %v", err)
+	}
+}
+
+func TestBuilderRegisterRangeError(t *testing.T) {
+	b := NewBuilder("badreg")
+	b.Add(40, 1, 2)
+	b.Halt()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("register range error = %v", err)
+	}
+}
+
+func TestBuilderMisalignedData(t *testing.T) {
+	b := NewBuilder("badword")
+	b.InitWord(DataBase+4, 1)
+	b.Halt()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "misaligned") {
+		t.Errorf("misaligned data error = %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (&Program{Name: "empty"}).Validate(); err == nil {
+		t.Error("empty program validated")
+	}
+	p := &Program{Name: "entry", Text: []isa.Inst{{Op: isa.OpHalt}}, Entry: 5}
+	if err := p.Validate(); err == nil {
+		t.Error("out-of-range entry validated")
+	}
+	p2 := &Program{Name: "badop", Text: []isa.Inst{{Op: isa.OpInvalid}}}
+	if err := p2.Validate(); err == nil {
+		t.Error("invalid opcode validated")
+	}
+	p3 := &Program{Name: "badtgt", Text: []isa.Inst{{Op: isa.OpJmp, Imm: 9}, {Op: isa.OpHalt}}}
+	if err := p3.Validate(); err == nil {
+		t.Error("out-of-range target validated")
+	}
+	p4 := &Program{
+		Name: "baddata",
+		Text: []isa.Inst{{Op: isa.OpHalt}},
+		Data: []DataWord{{Addr: 3, Value: 1}},
+	}
+	if err := p4.Validate(); err == nil {
+		t.Error("misaligned data validated")
+	}
+}
+
+func TestEncodeDecodeProgram(t *testing.T) {
+	b := NewBuilder("roundtrip")
+	b.MovI(1, 123)
+	b.AddI(2, 1, -5)
+	b.Mul(3, 1, 2)
+	b.FAdd(4, 5, 6)
+	b.Ld(7, 1, 16)
+	b.St(7, 1, 24)
+	b.Label("end")
+	b.Beq(7, "end")
+	b.Halt()
+	p := b.MustBuild()
+	words := p.Encode()
+	text, err := DecodeText(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(text) != len(p.Text) {
+		t.Fatalf("decoded %d instructions, want %d", len(text), len(p.Text))
+	}
+	for i := range text {
+		if isa.Canonical(text[i]) != isa.Canonical(p.Text[i]) {
+			t.Errorf("instruction %d: %v != %v", i, text[i], p.Text[i])
+		}
+	}
+	if _, err := DecodeText([]uint64{0}); err == nil {
+		t.Error("bad word decoded")
+	}
+}
+
+func TestPCByteAddr(t *testing.T) {
+	if a := PCByteAddr(0); a != TextBase {
+		t.Errorf("PCByteAddr(0) = %#x", a)
+	}
+	if a := PCByteAddr(3); a != TextBase+24 {
+		t.Errorf("PCByteAddr(3) = %#x", a)
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild did not panic on error")
+		}
+	}()
+	b := NewBuilder("bad")
+	b.Jmp("nowhere")
+	b.MustBuild()
+}
+
+// TestMovWideEncodesConstant checks the 7-instruction wide-constant idiom by
+// evaluating it symbolically (property test over random 64-bit values).
+func TestMovWideEncodesConstant(t *testing.T) {
+	f := func(v uint64) bool {
+		b := NewBuilder("movwide")
+		b.MovWide(1, v)
+		b.Halt()
+		p, err := b.Build()
+		if err != nil {
+			return false
+		}
+		// Evaluate the straight-line integer code directly.
+		var regs [isa.NumArchRegs]uint64
+		for _, in := range p.Text {
+			if in.Op == isa.OpHalt {
+				break
+			}
+			bval := uint64(int64(in.Imm))
+			if !in.UseImm {
+				bval = regs[in.Rb]
+			}
+			a := regs[in.Ra]
+			if in.Ra == isa.ZeroReg {
+				a = 0
+			}
+			regs[in.Rd] = isa.EvalInt(in.Op, a, bval)
+		}
+		return regs[1] == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNopIsArchitecturalNoop(t *testing.T) {
+	b := NewBuilder("nop")
+	b.Nop()
+	b.Halt()
+	p := b.MustBuild()
+	dst, ok := p.Text[0].Dst()
+	if !ok || !dst.IsZero() {
+		t.Errorf("nop dst = %v,%v; want zero register", dst, ok)
+	}
+}

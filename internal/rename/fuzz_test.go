@@ -1,0 +1,205 @@
+package rename
+
+import (
+	"math/rand"
+	"testing"
+
+	"regsim/internal/isa"
+)
+
+// fuzzInst is one in-flight instruction in the stimulus driver.
+type fuzzInst struct {
+	seq        int64
+	isBranch   bool
+	hasDst     bool
+	dst        isa.Reg
+	newP, oldP Phys
+	srcs       []Phys
+	srcFiles   []isa.RegFile
+	completed  bool
+}
+
+// fuzzMachine drives a Unit the way the pipeline does: in-order dispatch,
+// out-of-order completion, in-order commit, and branch-triggered squashes
+// that respect the machine's structural rules (a squash boundary is a branch
+// completing *now*, so the frontier has not passed it).
+type fuzzMachine struct {
+	t   *testing.T
+	rng *rand.Rand
+	u   *Unit
+
+	seq      int64
+	inflight []*fuzzInst // dispatched, not committed, program order
+}
+
+func (m *fuzzMachine) frontier() int64 {
+	for _, in := range m.inflight {
+		if in.isBranch && !in.completed {
+			return in.seq
+		}
+	}
+	return NoFrontier
+}
+
+func (m *fuzzMachine) dispatch() {
+	in := &fuzzInst{seq: m.seq}
+	m.seq++
+	file := isa.IntFile
+	if m.rng.Intn(3) == 0 {
+		file = isa.FPFile
+	}
+	// Sources: up to two random architectural registers (including zero).
+	for n := m.rng.Intn(3); n > 0; n-- {
+		r := isa.Reg{File: file, Idx: uint8(m.rng.Intn(isa.NumArchRegs))}
+		p := m.u.Lookup(r)
+		m.u.AddReader(r.File, p)
+		in.srcs = append(in.srcs, p)
+		in.srcFiles = append(in.srcFiles, r.File)
+	}
+	switch m.rng.Intn(10) {
+	case 0, 1:
+		in.isBranch = true // branches have no destination
+	default:
+		in.hasDst = true
+		in.dst = isa.Reg{File: file, Idx: uint8(m.rng.Intn(isa.NumArchRegs - 1))}
+		if !m.u.HasFree(in.dst.File) {
+			// Roll the sources back (the real dispatch checks HasFree
+			// before renaming anything; this driver checks after, so it
+			// must undo its reader bumps).
+			for i, p := range in.srcs {
+				m.u.OnReaderDone(in.srcFiles[i], p)
+			}
+			m.seq--
+			return
+		}
+		in.newP, in.oldP = m.u.Rename(in.seq, in.dst)
+		m.u.OnIssue(in.dst.File, in.newP)
+	}
+	m.inflight = append(m.inflight, in)
+}
+
+func (m *fuzzMachine) completeOne() {
+	// Complete a random uncompleted in-flight instruction.
+	var candidates []*fuzzInst
+	for _, in := range m.inflight {
+		if !in.completed {
+			candidates = append(candidates, in)
+		}
+	}
+	if len(candidates) == 0 {
+		return
+	}
+	in := candidates[m.rng.Intn(len(candidates))]
+	m.complete(in)
+}
+
+func (m *fuzzMachine) complete(in *fuzzInst) {
+	for i, p := range in.srcs {
+		m.u.OnReaderDone(in.srcFiles[i], p)
+	}
+	if in.hasDst {
+		m.u.OnWriterDone(in.dst.File, in.newP, in.dst.Idx, in.seq)
+	}
+	in.completed = true
+}
+
+func (m *fuzzMachine) commitOne() {
+	if len(m.inflight) == 0 || !m.inflight[0].completed {
+		return
+	}
+	in := m.inflight[0]
+	m.inflight = m.inflight[1:]
+	if in.hasDst {
+		m.u.OnCommitRetire(in.dst.File, in.oldP)
+	}
+}
+
+// mispredict completes the oldest uncompleted branch and squashes everything
+// younger — the only legal squash shape in the machine.
+func (m *fuzzMachine) mispredict() {
+	idx := -1
+	for i, in := range m.inflight {
+		if in.isBranch && !in.completed {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	m.complete(m.inflight[idx])
+	boundary := m.inflight[idx].seq
+	for i := len(m.inflight) - 1; i > idx; i-- {
+		in := m.inflight[i]
+		m.u.OnSquash(in.dst.File, in.dst.Idx, in.newP, in.oldP, in.hasDst, in.completed, in.srcFiles, in.srcs)
+	}
+	m.u.DropKillsAfter(boundary)
+	m.inflight = m.inflight[:idx+1]
+}
+
+func (m *fuzzMachine) step() {
+	switch m.rng.Intn(10) {
+	case 0, 1, 2, 3:
+		m.dispatch()
+	case 4, 5, 6:
+		m.completeOne()
+	case 7, 8:
+		m.commitOne()
+	case 9:
+		m.mispredict()
+	}
+	m.u.SetFrontier(m.frontier())
+	m.u.EndCycle()
+	if err := m.u.CheckInvariants(); err != nil {
+		m.t.Fatalf("seed step %d: %v", m.seq, err)
+	}
+}
+
+// TestFuzzRenameUnit drives random but structurally legal operation
+// sequences against both freeing models and small register files, checking
+// the unit's invariants after every step. Panics inside the unit (double
+// free, reader underflow, chain mismatch) fail the test too.
+func TestFuzzRenameUnit(t *testing.T) {
+	seeds := 30
+	steps := 3000
+	if testing.Short() {
+		seeds, steps = 8, 800
+	}
+	for seed := 0; seed < seeds; seed++ {
+		for _, model := range []Model{Precise, Imprecise} {
+			for _, regs := range []int{32, 34, 48} {
+				u, err := NewUnit(regs, model)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m := &fuzzMachine{
+					t:   t,
+					rng: rand.New(rand.NewSource(int64(seed)*1000 + int64(regs))),
+					u:   u,
+				}
+				for i := 0; i < steps; i++ {
+					m.step()
+				}
+				// Drain: complete and commit everything; all transient
+				// registers must eventually return.
+				for _, in := range m.inflight {
+					if !in.completed {
+						m.complete(in)
+					}
+				}
+				m.u.SetFrontier(NoFrontier)
+				for len(m.inflight) > 0 {
+					m.commitOne()
+					m.u.SetFrontier(m.frontier())
+					m.u.EndCycle()
+				}
+				if err := u.CheckInvariants(); err != nil {
+					t.Fatalf("seed %d %s regs %d after drain: %v", seed, model, regs, err)
+				}
+				if u.Live(isa.IntFile) < 31 {
+					t.Fatalf("fewer than 31 live mappings after drain")
+				}
+			}
+		}
+	}
+}

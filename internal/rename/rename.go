@@ -1,0 +1,542 @@
+// Package rename implements the register-renaming unit: the virtual-to-
+// physical map tables, free lists, and — the heart of the paper — the two
+// register-freeing disciplines of Farkas, Jouppi & Chow (WRL 95/10, §2.2).
+//
+// # Mapping lifecycle
+//
+// When an instruction naming destination register Rv is inserted into the
+// dispatch queue, Rv is mapped to a free physical register (the mapping is
+// *created*). When a later instruction naming Rv as a destination is
+// inserted, the earlier mapping is *retired*. A retired mapping is
+// eventually *killed*, at a point that depends on the exception model, and
+// the killed mapping's physical register becomes free for reuse.
+//
+// # Precise exceptions
+//
+// The physical register Rp backing a retired mapping created by I1 is freed
+// when the retiring instruction I2 (the next writer of Rv in program order)
+// *commits*. Commitment of I2 subsumes the completion of I1 and of every
+// reader of Rp.
+//
+// # Imprecise exceptions
+//
+// Rp is freed when (1) its writer I1 has *completed*, (2) every dispatched
+// reader of Rp has completed, and (3) any later writer Ix of Rv has
+// completed with every conditional branch preceding Ix also completed. Note
+// the paper's three differences from the precise model: completion rather
+// than commitment; only preceding *branches* (not all instructions) must
+// have completed; and *any* later writer kills *all* older mappings of Rv,
+// not just the immediately preceding one.
+//
+// In both models a freed register is reusable in the cycle after its
+// conditions are satisfied (Unit.EndCycle applies the frees).
+//
+// # Live-register classification
+//
+// For Figure 3 the unit classifies every live physical register each cycle
+// into one of four states: assigned to an instruction still in the dispatch
+// queue; assigned to an in-flight (issued, uncompleted) instruction; waiting
+// for the imprecise freeing requirements; or waiting for the additional
+// precise requirements (imprecise conditions already met). The
+// classification machinery runs in both models; only the freeing trigger
+// differs.
+package rename
+
+import (
+	"fmt"
+	"math"
+
+	"regsim/internal/isa"
+)
+
+// Phys is a physical register number within one file. PhysZero denotes the
+// hardwired zero register, which is not drawn from the physical pool and is
+// never renamed.
+type Phys int32
+
+// PhysZero is the sentinel for the hardwired zero register.
+const PhysZero Phys = -1
+
+// Model selects the exception model's register-freeing discipline.
+type Model uint8
+
+const (
+	// Precise frees a retired mapping when its retiring instruction commits.
+	Precise Model = iota
+	// Imprecise frees a retired mapping under the weaker completion-based
+	// conditions, the paper's lower bound on register requirements.
+	Imprecise
+)
+
+func (m Model) String() string {
+	if m == Precise {
+		return "precise"
+	}
+	return "imprecise"
+}
+
+// Category classifies a live physical register for Figure 3.
+type Category uint8
+
+const (
+	// CatInQueue: the writing instruction is still in the dispatch queue.
+	CatInQueue Category = iota
+	// CatInFlight: the writing instruction has issued but not completed.
+	CatInFlight
+	// CatWaitImprecise: the writer has completed but the imprecise freeing
+	// conditions are not yet all satisfied.
+	CatWaitImprecise
+	// CatWaitPrecise: the imprecise conditions are satisfied; the register
+	// is waiting only for the additional precise-exception requirement
+	// (commitment of the retiring instruction).
+	CatWaitPrecise
+
+	NumCategories
+)
+
+func (c Category) String() string {
+	switch c {
+	case CatInQueue:
+		return "in-queue"
+	case CatInFlight:
+		return "in-flight"
+	case CatWaitImprecise:
+		return "wait-imprecise"
+	case CatWaitPrecise:
+		return "wait-precise"
+	}
+	return fmt.Sprintf("cat(%d)", uint8(c))
+}
+
+// NoFrontier is the frontier value meaning "no uncompleted conditional
+// branches are in flight".
+const NoFrontier int64 = math.MaxInt64
+
+// MinRegsPerFile is the smallest workable physical register file: the 31
+// renameable virtual registers consume 31 physical registers at reset, and
+// at least one more must exist for any instruction with a destination to
+// dispatch (the paper's deadlock argument in §3.1).
+const MinRegsPerFile = isa.NumArchRegs
+
+const numRenameable = isa.NumArchRegs - 1 // virtual registers 0..30
+
+type physReg struct {
+	live       bool
+	cat        Category
+	writerDone bool
+	readers    int32
+	killed     bool
+	virt       uint8 // virtual register this physical register backs/backed
+	pendFree   bool
+}
+
+// chainEntry is one outstanding mapping of a virtual register, in creation
+// (program) order.
+type chainEntry struct {
+	seq       int64
+	phys      Phys
+	completed bool // the writing instruction has completed
+}
+
+type fileState struct {
+	n        int
+	mapTable [isa.NumArchRegs]Phys
+	freeList []Phys
+	regs     []physReg
+	chains   [isa.NumArchRegs][]chainEntry
+	liveCat  [NumCategories]int
+	live     int
+	pending  []Phys // frees to apply at EndCycle
+}
+
+// pendingKill is a completed redefiner waiting for the conditional-branch
+// frontier to pass it before it may kill older mappings.
+type pendingKill struct {
+	file isa.RegFile
+	virt uint8
+	seq  int64
+}
+
+// Unit is the rename unit for both register files.
+type Unit struct {
+	model    Model
+	files    [2]fileState
+	frontier int64
+	kills    []pendingKill
+
+	// Frees counts registers returned to the free lists (tests use this
+	// to check conservation).
+	Frees int64
+}
+
+// NewUnit builds a rename unit with regsPerFile physical registers in each
+// of the integer and floating-point files (the paper keeps the two equal).
+func NewUnit(regsPerFile int, model Model) (*Unit, error) {
+	if regsPerFile < MinRegsPerFile {
+		return nil, fmt.Errorf("rename: %d registers per file; fewer than %d deadlocks (31 renameable virtual registers)", regsPerFile, MinRegsPerFile)
+	}
+	u := &Unit{model: model, frontier: NoFrontier}
+	for f := range u.files {
+		fs := &u.files[f]
+		fs.n = regsPerFile
+		fs.regs = make([]physReg, regsPerFile)
+		// Reset state: virtual registers 0..30 map to physical 0..30, whose
+		// (notional) writers completed long ago; they await retirement like
+		// any other mapping.
+		for v := 0; v < numRenameable; v++ {
+			fs.mapTable[v] = Phys(v)
+			fs.regs[v] = physReg{live: true, cat: CatWaitImprecise, writerDone: true, virt: uint8(v)}
+			fs.chains[v] = append(fs.chains[v], chainEntry{seq: -1, phys: Phys(v), completed: true})
+		}
+		fs.mapTable[isa.ZeroReg] = PhysZero
+		fs.liveCat[CatWaitImprecise] = numRenameable
+		fs.live = numRenameable
+		fs.freeList = make([]Phys, 0, regsPerFile-numRenameable)
+		for p := regsPerFile - 1; p >= numRenameable; p-- {
+			fs.freeList = append(fs.freeList, Phys(p))
+		}
+	}
+	return u, nil
+}
+
+// Model returns the freeing discipline in use.
+func (u *Unit) Model() Model { return u.model }
+
+func (u *Unit) fs(f isa.RegFile) *fileState { return &u.files[f] }
+
+// FreeCount returns the number of allocatable physical registers in a file.
+func (u *Unit) FreeCount(f isa.RegFile) int { return len(u.fs(f).freeList) }
+
+// HasFree reports whether an allocation in file f can succeed this cycle.
+func (u *Unit) HasFree(f isa.RegFile) bool { return len(u.fs(f).freeList) > 0 }
+
+// Live returns the number of live (allocated) physical registers in a file,
+// excluding the hardwired zero register.
+func (u *Unit) Live(f isa.RegFile) int { return u.fs(f).live }
+
+// LiveByCat returns the per-category live counts for a file.
+func (u *Unit) LiveByCat(f isa.RegFile) [NumCategories]int { return u.fs(f).liveCat }
+
+// Lookup returns the current physical mapping of an architectural register.
+func (u *Unit) Lookup(r isa.Reg) Phys {
+	if r.IsZero() {
+		return PhysZero
+	}
+	return u.fs(r.File).mapTable[r.Idx]
+}
+
+func (fs *fileState) setCat(p Phys, c Category) {
+	r := &fs.regs[p]
+	fs.liveCat[r.cat]--
+	r.cat = c
+	fs.liveCat[c]++
+}
+
+// Rename allocates a new physical register for destination dst at sequence
+// number seq, updates the map table, and returns the new mapping and the
+// retired one. The caller must have checked HasFree; Rename panics on an
+// empty free list (that is a scheduler bug, not a runtime condition).
+func (u *Unit) Rename(seq int64, dst isa.Reg) (newPhys, oldPhys Phys) {
+	if dst.IsZero() {
+		panic("rename: Rename called for hardwired zero destination")
+	}
+	fs := u.fs(dst.File)
+	n := len(fs.freeList)
+	if n == 0 {
+		panic("rename: allocation from empty free list")
+	}
+	newPhys = fs.freeList[n-1]
+	fs.freeList = fs.freeList[:n-1]
+	r := &fs.regs[newPhys]
+	if r.live {
+		panic("rename: free list contained a live register")
+	}
+	*r = physReg{live: true, cat: CatInQueue, virt: dst.Idx}
+	fs.live++
+	fs.liveCat[CatInQueue]++
+
+	oldPhys = fs.mapTable[dst.Idx]
+	fs.mapTable[dst.Idx] = newPhys
+	fs.chains[dst.Idx] = append(fs.chains[dst.Idx], chainEntry{seq: seq, phys: newPhys})
+	return newPhys, oldPhys
+}
+
+// Ready reports whether a physical register's value is available to
+// consumers (its writer has completed; bypassing makes completion-cycle
+// results usable the same cycle). The hardwired zero is always ready.
+func (u *Unit) Ready(f isa.RegFile, p Phys) bool {
+	if p == PhysZero {
+		return true
+	}
+	return u.fs(f).regs[p].writerDone
+}
+
+// AddReader records a dispatched reader of a physical register.
+func (u *Unit) AddReader(f isa.RegFile, p Phys) {
+	if p == PhysZero {
+		return
+	}
+	u.fs(f).regs[p].readers++
+}
+
+// OnIssue moves a destination register from the in-queue to the in-flight
+// category when its writing instruction issues.
+func (u *Unit) OnIssue(f isa.RegFile, p Phys) {
+	if p == PhysZero {
+		return
+	}
+	u.fs(f).setCat(p, CatInFlight)
+}
+
+// OnReaderDone records the completion of a dispatched reader.
+func (u *Unit) OnReaderDone(f isa.RegFile, p Phys) {
+	if p == PhysZero {
+		return
+	}
+	fs := u.fs(f)
+	r := &fs.regs[p]
+	if r.readers <= 0 {
+		panic("rename: reader completion underflow")
+	}
+	r.readers--
+	u.maybeImpreciseDone(f, p)
+}
+
+// OnWriterDone records the completion of the instruction writing p, and
+// registers that instruction (at sequence seq, writing virtual register
+// virt) as a potential killer of older mappings of virt.
+func (u *Unit) OnWriterDone(f isa.RegFile, p Phys, virt uint8, seq int64) {
+	fs := u.fs(f)
+	r := &fs.regs[p]
+	r.writerDone = true
+	fs.setCat(p, CatWaitImprecise)
+	// Mark the chain entry completed and queue the kill.
+	ch := fs.chains[virt]
+	for i := len(ch) - 1; i >= 0; i-- {
+		if ch[i].phys == p {
+			ch[i].completed = true
+			break
+		}
+	}
+	u.kills = append(u.kills, pendingKill{file: f, virt: virt, seq: seq})
+	u.maybeImpreciseDone(f, p)
+}
+
+// SetFrontier updates the oldest-uncompleted-conditional-branch sequence
+// number (NoFrontier when none is in flight) and arms any pending kills now
+// preceded only by completed branches. The core calls this once per cycle,
+// after completions and misprediction recovery.
+func (u *Unit) SetFrontier(frontier int64) {
+	u.frontier = frontier
+	if len(u.kills) == 0 {
+		return
+	}
+	remaining := u.kills[:0]
+	for _, k := range u.kills {
+		if k.seq < frontier {
+			u.killOlder(k.file, k.virt, k.seq)
+		} else {
+			remaining = append(remaining, k)
+		}
+	}
+	u.kills = remaining
+}
+
+// killOlder marks every mapping of virt older than seq as killed. The kill
+// targets are collected before any state changes: freeing a register removes
+// its chain entry, which must not perturb the scan.
+func (u *Unit) killOlder(f isa.RegFile, virt uint8, seq int64) {
+	fs := u.fs(f)
+	var buf [8]Phys
+	toKill := buf[:0]
+	for _, e := range fs.chains[virt] {
+		if e.seq >= seq {
+			break
+		}
+		if !fs.regs[e.phys].killed {
+			toKill = append(toKill, e.phys)
+		}
+	}
+	for _, p := range toKill {
+		fs.regs[p].killed = true
+		u.maybeImpreciseDone(f, p)
+	}
+}
+
+// maybeImpreciseDone checks the full imprecise freeing condition for p:
+// writer completed, no uncompleted readers, and mapping killed. When it
+// holds, the register either frees (imprecise model) or moves to the
+// wait-precise category (precise model).
+func (u *Unit) maybeImpreciseDone(f isa.RegFile, p Phys) {
+	fs := u.fs(f)
+	r := &fs.regs[p]
+	if !r.live || r.pendFree || !r.killed || !r.writerDone || r.readers != 0 {
+		return
+	}
+	if u.model == Imprecise {
+		u.free(f, p)
+	} else if r.cat != CatWaitPrecise {
+		fs.setCat(p, CatWaitPrecise)
+	}
+}
+
+// OnCommitRetire applies the precise-model freeing rule: the retiring
+// instruction has committed, so the mapping it retired (oldPhys) is freed.
+// In the imprecise model retirement-at-commit is irrelevant and this is a
+// no-op (the register was or will be freed by the completion-based rule).
+func (u *Unit) OnCommitRetire(f isa.RegFile, oldPhys Phys) {
+	if u.model != Precise || oldPhys == PhysZero {
+		return
+	}
+	u.free(f, oldPhys)
+}
+
+// free retires the register's chain entry and queues the register for the
+// free list at EndCycle (reusable the next cycle, per the paper).
+func (u *Unit) free(f isa.RegFile, p Phys) {
+	fs := u.fs(f)
+	r := &fs.regs[p]
+	if !r.live || r.pendFree {
+		panic(fmt.Sprintf("rename: double free of %s phys %d", f, p))
+	}
+	r.pendFree = true
+	fs.liveCat[r.cat]--
+	fs.live--
+	fs.removeChainEntry(r.virt, p)
+	fs.pending = append(fs.pending, p)
+}
+
+func (fs *fileState) removeChainEntry(virt uint8, p Phys) {
+	ch := fs.chains[virt]
+	for i := range ch {
+		if ch[i].phys == p {
+			fs.chains[virt] = append(ch[:i], ch[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("rename: chain entry for phys %d of v%d not found", p, virt))
+}
+
+// OnSquash undoes one squashed instruction's rename effects. Squashes must
+// be applied newest-first. completed reports whether the squashed
+// instruction had completed (its reader decrements already happened).
+// srcs/srcFiles list its physical sources for reader-count rollback.
+func (u *Unit) OnSquash(dstFile isa.RegFile, virt uint8, newPhys, oldPhys Phys, hasDst, completed bool, srcFiles []isa.RegFile, srcs []Phys) {
+	if hasDst {
+		fs := u.fs(dstFile)
+		if fs.mapTable[virt] != newPhys {
+			panic("rename: out-of-order squash (map table mismatch)")
+		}
+		fs.mapTable[virt] = oldPhys
+		// The squashed register frees unconditionally; remove its chain
+		// entry (it must be the newest for this virtual register).
+		ch := fs.chains[virt]
+		if len(ch) == 0 || ch[len(ch)-1].phys != newPhys {
+			panic("rename: out-of-order squash (chain mismatch)")
+		}
+		r := &fs.regs[newPhys]
+		if r.pendFree {
+			panic("rename: squashed register already freed")
+		}
+		r.pendFree = true
+		fs.liveCat[r.cat]--
+		fs.live--
+		fs.chains[virt] = ch[:len(ch)-1]
+		fs.pending = append(fs.pending, newPhys)
+	}
+	if !completed {
+		for i, p := range srcs {
+			u.OnReaderDone(srcFiles[i], p)
+		}
+	}
+}
+
+// DropKillsAfter removes pending kills from squashed instructions (sequence
+// numbers greater than seq).
+func (u *Unit) DropKillsAfter(seq int64) {
+	remaining := u.kills[:0]
+	for _, k := range u.kills {
+		if k.seq <= seq {
+			remaining = append(remaining, k)
+		}
+	}
+	u.kills = remaining
+}
+
+// EndCycle returns this cycle's freed registers to the free lists, making
+// them allocatable from the next cycle on.
+func (u *Unit) EndCycle() {
+	for f := range u.files {
+		fs := &u.files[f]
+		for _, p := range fs.pending {
+			r := &fs.regs[p]
+			r.live = false
+			r.pendFree = false
+			r.killed = false
+			r.writerDone = false
+			if r.readers != 0 {
+				panic("rename: freeing register with outstanding readers")
+			}
+			fs.freeList = append(fs.freeList, p)
+			u.Frees++
+		}
+		fs.pending = fs.pending[:0]
+	}
+}
+
+// CheckInvariants verifies internal consistency (used by tests): free + live
+// + pending-free registers account for every physical register exactly once,
+// category counts sum to the live count, and map-table entries are live.
+func (u *Unit) CheckInvariants() error {
+	for f := range u.files {
+		fs := &u.files[f]
+		seen := make(map[Phys]bool, fs.n)
+		for _, p := range fs.freeList {
+			if seen[p] {
+				return fmt.Errorf("file %d: phys %d on free list twice", f, p)
+			}
+			seen[p] = true
+			if fs.regs[p].live {
+				return fmt.Errorf("file %d: live phys %d on free list", f, p)
+			}
+		}
+		liveCount := 0
+		catSum := 0
+		for c := Category(0); c < NumCategories; c++ {
+			catSum += fs.liveCat[c]
+		}
+		for p := range fs.regs {
+			if fs.regs[p].live {
+				liveCount++
+				if seen[Phys(p)] {
+					return fmt.Errorf("file %d: phys %d both live and free", f, p)
+				}
+			} else if !seen[Phys(p)] && !containsPhys(fs.pending, Phys(p)) {
+				return fmt.Errorf("file %d: phys %d neither live, free, nor pending", f, p)
+			}
+		}
+		pendCount := len(fs.pending)
+		if liveCount-pendCount != fs.live {
+			return fmt.Errorf("file %d: live count %d != tracked %d (pending %d)", f, liveCount-pendCount, fs.live, pendCount)
+		}
+		if catSum != fs.live {
+			return fmt.Errorf("file %d: category sum %d != live %d", f, catSum, fs.live)
+		}
+		for v := 0; v < numRenameable; v++ {
+			p := fs.mapTable[v]
+			if p == PhysZero || !fs.regs[p].live {
+				return fmt.Errorf("file %d: map table v%d -> dead phys %d", f, v, p)
+			}
+		}
+	}
+	return nil
+}
+
+func containsPhys(s []Phys, p Phys) bool {
+	for _, x := range s {
+		if x == p {
+			return true
+		}
+	}
+	return false
+}

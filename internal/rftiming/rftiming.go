@@ -1,0 +1,182 @@
+// Package rftiming models the cycle time of multiported register files,
+// following the methodology of §3.4 of Farkas, Jouppi & Chow: the cache
+// access/cycle-time model of Wilton & Jouppi (WRL 93/5) adapted to a
+// multiported register-file cell in 0.5µm CMOS.
+//
+// The cell (the paper's Figure 9) uses one wordline per port, one bitline
+// per read port and two bitlines per write port. Cell width therefore grows
+// with (reads + 2·writes) wire pitches and cell height with (reads + writes)
+// pitches, which is what makes ports so much more expensive than registers:
+// doubling the ports lengthens *and* multiplies both the wordlines and the
+// bitlines (quadrupling area in the limit), while doubling the registers
+// only lengthens the bitlines (doubling area in the limit).
+//
+// The access path is decoder → wordline → bitline → sense amplifier →
+// output drive; cycle time adds a precharge overhead. The RC constants are
+// calibrated to land in the paper's 0.5µm range (cycle times between roughly
+// 0.3 and 1.1 ns across the studied design space) — the faithful part is the
+// scaling behaviour, which follows from the geometry.
+package rftiming
+
+import "math"
+
+// Params holds the technology and circuit constants of the model. All
+// lengths are in µm, capacitances in fF, resistances in kΩ, currents in µA,
+// and times in ns (so kΩ·fF = ns·10⁻³... see the delay helpers).
+type Params struct {
+	// WirePitch is the metal pitch each additional wordline or bitline
+	// adds to the cell's height or width.
+	WirePitch float64
+	// CellW0/CellH0 are the base storage-cell dimensions before port wires.
+	CellW0, CellH0 float64
+	// CWire is wire capacitance per µm.
+	CWire float64
+	// RWire is wire resistance per µm (kΩ/µm).
+	RWire float64
+	// CGate is the pass-transistor gate load each cell puts on a wordline.
+	CGate float64
+	// CDrain is the drain load each cell puts on a bitline.
+	CDrain float64
+	// RWordDriver is the wordline driver's effective resistance (kΩ).
+	RWordDriver float64
+	// ICell is the cell read current discharging a bitline (µA).
+	ICell float64
+	// VSense is the bitline swing needed by the sense amplifier (V).
+	VSense float64
+	// TDecodeBase and TDecodePerBit model the row decoder: a fixed part
+	// plus a per-address-bit fanin term (ns).
+	TDecodeBase, TDecodePerBit float64
+	// TSense and TOutput are the sense-amplifier and output-drive delays (ns).
+	TSense, TOutput float64
+	// PrechargeOverhead scales access time into cycle time.
+	PrechargeOverhead float64
+	// Bits is the register width (64).
+	Bits int
+}
+
+// Default05um returns the calibrated 0.5µm CMOS parameter set.
+func Default05um() Params {
+	return Params{
+		WirePitch:         1.2,
+		CellW0:            8.0,
+		CellH0:            6.0,
+		CWire:             0.00012, // pF/µm
+		RWire:             0.00010, // kΩ/µm
+		CGate:             0.0015,  // pF
+		CDrain:            0.0004,  // pF
+		RWordDriver:       0.30,    // kΩ
+		ICell:             800,     // µA
+		VSense:            0.22,    // V
+		TDecodeBase:       0.14,
+		TDecodePerBit:     0.010,
+		TSense:            0.090,
+		TOutput:           0.080,
+		PrechargeOverhead: 1.05,
+		Bits:              64,
+	}
+}
+
+// Ports describes a register file's port configuration.
+type Ports struct {
+	Read, Write int
+}
+
+// PortsFor returns the paper's port provisioning for a given issue width:
+// the integer file has 2×width read ports and width write ports (8R/4W at
+// four-way issue); the floating-point file has half of each, because only
+// half as many floating-point instructions can issue per cycle.
+func PortsFor(width int, fpFile bool) Ports {
+	p := Ports{Read: 2 * width, Write: width}
+	if fpFile {
+		p.Read /= 2
+		p.Write /= 2
+	}
+	return p
+}
+
+// Geometry is the derived physical layout of a register file.
+type Geometry struct {
+	CellW, CellH   float64 // µm
+	Rows, Cols     int
+	WordlineLen    float64 // µm
+	BitlineLen     float64 // µm
+	AreaSquareMM   float64 // mm²
+	WordlinesTotal int
+	BitlinesTotal  int
+}
+
+// Geometry returns the layout for a file of nregs registers with the given
+// ports.
+func (p Params) Geometry(nregs int, ports Ports) Geometry {
+	wordlines := ports.Read + ports.Write
+	bitlines := ports.Read + 2*ports.Write
+	g := Geometry{
+		CellW:          p.CellW0 + p.WirePitch*float64(bitlines),
+		CellH:          p.CellH0 + p.WirePitch*float64(wordlines),
+		Rows:           nregs,
+		Cols:           p.Bits,
+		WordlinesTotal: wordlines * nregs,
+		BitlinesTotal:  bitlines * p.Bits,
+	}
+	g.WordlineLen = g.CellW * float64(g.Cols)
+	g.BitlineLen = g.CellH * float64(g.Rows)
+	g.AreaSquareMM = g.WordlineLen * g.BitlineLen / 1e6
+	return g
+}
+
+// Breakdown itemises the access path delays (ns).
+type Breakdown struct {
+	Decode, Wordline, Bitline, Sense, Output float64
+	Access                                   float64 // sum of the above
+	Cycle                                    float64 // access × precharge overhead
+}
+
+// Delays computes the access-path delay breakdown for a file of nregs
+// registers with the given ports.
+func (p Params) Delays(nregs int, ports Ports) Breakdown {
+	g := p.Geometry(nregs, ports)
+
+	var b Breakdown
+	b.Decode = p.TDecodeBase + p.TDecodePerBit*math.Log2(float64(maxInt(nregs, 2)))
+
+	// Wordline: lumped driver charging a distributed RC line. The classic
+	// 0.7·(Rdrv·C + Rline·C/2) Elmore form; one pass-gate load per cell
+	// per port-select.
+	cWord := g.WordlineLen*p.CWire + float64(g.Cols)*p.CGate
+	rLine := g.WordlineLen * p.RWire
+	b.Wordline = 0.7 * (p.RWordDriver*cWord + rLine*cWord/2)
+
+	// Bitline: the cell current discharges the accumulated wire and drain
+	// capacitance through the sense swing: t = C·ΔV / I.
+	cBit := g.BitlineLen*p.CWire + float64(g.Rows)*p.CDrain
+	b.Bitline = cBit * 1000 * p.VSense / p.ICell // pF·V/µA = µs/1000 → ns
+
+	b.Sense = p.TSense
+	b.Output = p.TOutput
+	b.Access = b.Decode + b.Wordline + b.Bitline + b.Sense + b.Output
+	b.Cycle = b.Access * p.PrechargeOverhead
+	return b
+}
+
+// CycleTime returns the register-file cycle time in ns.
+func (p Params) CycleTime(nregs int, ports Ports) float64 {
+	return p.Delays(nregs, ports).Cycle
+}
+
+// BIPS converts a commit IPC and a machine cycle time (ns) into billions of
+// instructions per second, the paper's Figure 10 metric. The paper assumes
+// the machine cycle time scales proportionally to the integer register
+// file's cycle time.
+func BIPS(commitIPC, cycleNS float64) float64 {
+	if cycleNS <= 0 {
+		return 0
+	}
+	return commitIPC / cycleNS
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,145 @@
+package rftiming
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPortsFor(t *testing.T) {
+	if p := PortsFor(4, false); p != (Ports{Read: 8, Write: 4}) {
+		t.Errorf("4-way int ports = %+v", p)
+	}
+	if p := PortsFor(4, true); p != (Ports{Read: 4, Write: 2}) {
+		t.Errorf("4-way fp ports = %+v", p)
+	}
+	if p := PortsFor(8, false); p != (Ports{Read: 16, Write: 8}) {
+		t.Errorf("8-way int ports = %+v", p)
+	}
+}
+
+func TestCycleTimeMonotoneInRegs(t *testing.T) {
+	p := Default05um()
+	for _, ports := range []Ports{PortsFor(4, false), PortsFor(8, false), PortsFor(4, true)} {
+		prev := 0.0
+		for _, n := range []int{16, 32, 64, 128, 256, 512} {
+			c := p.CycleTime(n, ports)
+			if c <= prev {
+				t.Errorf("cycle time not increasing at %d regs (%v)", n, ports)
+			}
+			prev = c
+		}
+	}
+}
+
+func TestCycleTimeMonotoneInPorts(t *testing.T) {
+	p := Default05um()
+	for _, n := range []int{32, 80, 256} {
+		if p.CycleTime(n, PortsFor(8, false)) <= p.CycleTime(n, PortsFor(4, false)) {
+			t.Errorf("doubling ports did not slow the file at %d regs", n)
+		}
+		if p.CycleTime(n, PortsFor(4, false)) <= p.CycleTime(n, PortsFor(4, true)) {
+			t.Errorf("int file not slower than fp file at %d regs", n)
+		}
+	}
+}
+
+// TestPortsCostMoreThanRegisters is the paper's §3.4 claim: "the register
+// file cycle times for the four-way issue processor show a smaller increase
+// as the number of registers is doubled than the increase which occurs with
+// a doubling of the issue width for the same register file size."
+func TestPortsCostMoreThanRegisters(t *testing.T) {
+	p := Default05um()
+	for _, n := range []int{32, 48, 64, 80, 96, 128} {
+		regDouble := p.CycleTime(2*n, PortsFor(4, false)) - p.CycleTime(n, PortsFor(4, false))
+		portDouble := p.CycleTime(n, PortsFor(8, false)) - p.CycleTime(n, PortsFor(4, false))
+		if regDouble >= portDouble {
+			t.Errorf("at %d regs: doubling registers (+%.3f ns) costs more than doubling ports (+%.3f ns)",
+				n, regDouble, portDouble)
+		}
+	}
+}
+
+// TestAreaScaling: doubling ports roughly quadruples cell area in the limit;
+// doubling registers doubles it.
+func TestAreaScaling(t *testing.T) {
+	p := Default05um()
+	a4 := p.Geometry(128, PortsFor(4, false)).AreaSquareMM
+	a8 := p.Geometry(128, PortsFor(8, false)).AreaSquareMM
+	if ratio := a8 / a4; ratio < 2.0 || ratio > 4.0 {
+		t.Errorf("port doubling area ratio = %.2f, want between 2 and 4 (→4 in the limit)", ratio)
+	}
+	a256 := p.Geometry(256, PortsFor(4, false)).AreaSquareMM
+	if ratio := a256 / a4; ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("register doubling area ratio = %.2f, want ≈2", ratio)
+	}
+}
+
+// TestCalibration: cycle times across the studied design space must land in
+// the paper's 0.5µm range (roughly 0.3–1.3 ns).
+func TestCalibration(t *testing.T) {
+	p := Default05um()
+	for _, width := range []int{4, 8} {
+		for _, fp := range []bool{false, true} {
+			for _, n := range []int{32, 80, 128, 256} {
+				c := p.CycleTime(n, PortsFor(width, fp))
+				if c < 0.25 || c > 1.4 {
+					t.Errorf("cycle(%d regs, width %d, fp=%v) = %.3f ns outside the paper's range",
+						n, width, fp, c)
+				}
+			}
+		}
+	}
+}
+
+func TestBreakdownSums(t *testing.T) {
+	p := Default05um()
+	d := p.Delays(96, PortsFor(4, false))
+	sum := d.Decode + d.Wordline + d.Bitline + d.Sense + d.Output
+	if diff := d.Access - sum; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("access %.6f != component sum %.6f", d.Access, sum)
+	}
+	if d.Cycle <= d.Access {
+		t.Error("cycle time not larger than access time (precharge)")
+	}
+	for _, v := range []float64{d.Decode, d.Wordline, d.Bitline, d.Sense, d.Output} {
+		if v <= 0 {
+			t.Errorf("nonpositive delay component in %+v", d)
+		}
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	p := Default05um()
+	g := p.Geometry(64, Ports{Read: 8, Write: 4})
+	if g.WordlinesTotal != 12*64 {
+		t.Errorf("wordlines = %d", g.WordlinesTotal)
+	}
+	if g.BitlinesTotal != (8+2*4)*64 {
+		t.Errorf("bitlines = %d", g.BitlinesTotal)
+	}
+	if g.WordlineLen != g.CellW*64 || g.BitlineLen != g.CellH*64 {
+		t.Error("wire lengths inconsistent with cell dims")
+	}
+}
+
+func TestBIPS(t *testing.T) {
+	if got := BIPS(2.5, 0.5); got != 5.0 {
+		t.Errorf("BIPS = %v", got)
+	}
+	if BIPS(2.5, 0) != 0 {
+		t.Error("BIPS with zero cycle time")
+	}
+}
+
+// TestCycleTimePositiveProperty: any sane geometry yields positive delays.
+func TestCycleTimePositiveProperty(t *testing.T) {
+	p := Default05um()
+	f := func(nRaw, rRaw, wRaw uint8) bool {
+		n := 16 + int(nRaw)%1024
+		ports := Ports{Read: 1 + int(rRaw)%32, Write: 1 + int(wRaw)%16}
+		return p.CycleTime(n, ports) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

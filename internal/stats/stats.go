@@ -1,0 +1,145 @@
+// Package stats provides the distribution arithmetic used by the paper's
+// register-usage analysis: per-cycle count histograms, run-time coverage
+// curves (Figures 4, 5 and 8), and the 90th-percentile metric of §3.1.
+//
+// The paper's percentile method (§3.1 footnote 2): record how many registers
+// were live in each cycle of a benchmark's execution; normalise that
+// distribution by the benchmark's run time (so it sums to one); average the
+// normalised distributions of all benchmarks; and read the register count
+// that covers 90% of the averaged distribution. Normalising first prevents a
+// long-running benchmark from dominating the average.
+package stats
+
+import "fmt"
+
+// Dist is a normalised distribution over register counts: Dist[n] is the
+// fraction of run time with exactly n registers live.
+type Dist []float64
+
+// Normalize converts a cycle-count histogram into a Dist summing to one.
+// A nil or all-zero histogram yields a nil Dist.
+func Normalize(hist []int64) Dist {
+	var total int64
+	for _, c := range hist {
+		total += c
+	}
+	if total == 0 {
+		return nil
+	}
+	d := make(Dist, len(hist))
+	for i, c := range hist {
+		d[i] = float64(c) / float64(total)
+	}
+	return d
+}
+
+// Average returns the pointwise mean of the given distributions (which may
+// have different lengths; missing tail entries are zero). Nil distributions
+// are skipped; averaging zero distributions yields nil.
+func Average(ds []Dist) Dist {
+	n := 0
+	maxLen := 0
+	for _, d := range ds {
+		if d == nil {
+			continue
+		}
+		n++
+		if len(d) > maxLen {
+			maxLen = len(d)
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	avg := make(Dist, maxLen)
+	for _, d := range ds {
+		for i, v := range d {
+			avg[i] += v
+		}
+	}
+	for i := range avg {
+		avg[i] /= float64(n)
+	}
+	return avg
+}
+
+// Percentile returns the smallest count n such that the cumulative mass of
+// d up to and including n is at least p (0 < p <= 1). The paper's metric is
+// Percentile(d, 0.90).
+func (d Dist) Percentile(p float64) int {
+	if len(d) == 0 {
+		return 0
+	}
+	cum := 0.0
+	for i, v := range d {
+		cum += v
+		// A tiny epsilon absorbs float rounding at p = 1.0.
+		if cum+1e-12 >= p {
+			return i
+		}
+	}
+	return len(d) - 1
+}
+
+// Mean returns the expected count under d.
+func (d Dist) Mean() float64 {
+	m := 0.0
+	for i, v := range d {
+		m += float64(i) * v
+	}
+	return m
+}
+
+// Coverage returns the run-time coverage curve of d: Coverage()[n] is the
+// fraction of run time with at most n registers live — the y-axis of the
+// paper's Figures 4, 5 and 8.
+func (d Dist) Coverage() []float64 {
+	cov := make([]float64, len(d))
+	cum := 0.0
+	for i, v := range d {
+		cum += v
+		cov[i] = cum
+	}
+	return cov
+}
+
+// CoverageAt returns the fraction of run time with at most n registers live.
+func (d Dist) CoverageAt(n int) float64 {
+	if len(d) == 0 {
+		return 0
+	}
+	if n >= len(d) {
+		n = len(d) - 1
+	}
+	cum := 0.0
+	for i := 0; i <= n; i++ {
+		cum += d[i]
+	}
+	return cum
+}
+
+// FullCoveragePoint returns the smallest n with 100% coverage (the largest
+// count that ever occurred).
+func (d Dist) FullCoveragePoint() int {
+	for i := len(d) - 1; i >= 0; i-- {
+		if d[i] > 0 {
+			return i
+		}
+	}
+	return 0
+}
+
+// Validate checks that d is a probability distribution (within rounding).
+func (d Dist) Validate() error {
+	sum := 0.0
+	for i, v := range d {
+		if v < 0 {
+			return fmt.Errorf("stats: negative mass %g at %d", v, i)
+		}
+		sum += v
+	}
+	if len(d) > 0 && (sum < 1-1e-9 || sum > 1+1e-9) {
+		return fmt.Errorf("stats: distribution sums to %g, want 1", sum)
+	}
+	return nil
+}

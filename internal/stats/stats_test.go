@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalize(t *testing.T) {
+	d := Normalize([]int64{0, 10, 30, 60})
+	if d == nil {
+		t.Fatal("nil")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d[3] != 0.6 || d[1] != 0.1 {
+		t.Errorf("d = %v", d)
+	}
+	if Normalize(nil) != nil || Normalize([]int64{0, 0}) != nil {
+		t.Error("empty histogram did not normalise to nil")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	d := Normalize([]int64{0, 10, 30, 60})
+	for _, c := range []struct {
+		p    float64
+		want int
+	}{
+		{0.05, 1}, {0.10, 1}, {0.11, 2}, {0.40, 2}, {0.41, 3}, {0.90, 3}, {1.0, 3},
+	} {
+		if got := d.Percentile(c.p); got != c.want {
+			t.Errorf("Percentile(%.2f) = %d, want %d", c.p, got, c.want)
+		}
+	}
+	if (Dist)(nil).Percentile(0.9) != 0 {
+		t.Error("nil percentile")
+	}
+}
+
+func TestPercentileMonotoneInP(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := make([]int64, 20)
+		for i := range h {
+			h[i] = int64(rng.Intn(100))
+		}
+		h[rng.Intn(20)]++ // ensure nonzero
+		d := Normalize(h)
+		prev := -1
+		for p := 0.05; p <= 1.0; p += 0.05 {
+			v := d.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAverage(t *testing.T) {
+	a := Dist{0.5, 0.5}
+	b := Dist{0, 0, 1}
+	avg := Average([]Dist{a, b, nil})
+	if err := avg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := Dist{0.25, 0.25, 0.5}
+	for i := range want {
+		if math.Abs(avg[i]-want[i]) > 1e-12 {
+			t.Errorf("avg[%d] = %v, want %v", i, avg[i], want[i])
+		}
+	}
+	if Average(nil) != nil || Average([]Dist{nil, nil}) != nil {
+		t.Error("average of nothing not nil")
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	d := Normalize([]int64{10, 0, 30, 60})
+	cov := d.Coverage()
+	if math.Abs(cov[0]-0.1) > 1e-12 || math.Abs(cov[2]-0.4) > 1e-12 || math.Abs(cov[3]-1) > 1e-12 {
+		t.Errorf("coverage = %v", cov)
+	}
+	for i := 1; i < len(cov); i++ {
+		if cov[i] < cov[i-1] {
+			t.Error("coverage not monotone")
+		}
+	}
+	if got := d.CoverageAt(2); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("CoverageAt(2) = %v", got)
+	}
+	if got := d.CoverageAt(100); math.Abs(got-1) > 1e-12 {
+		t.Errorf("CoverageAt beyond range = %v", got)
+	}
+	if (Dist)(nil).CoverageAt(3) != 0 {
+		t.Error("nil coverage")
+	}
+}
+
+func TestFullCoveragePoint(t *testing.T) {
+	d := Normalize([]int64{1, 0, 5, 0, 0})
+	if got := d.FullCoveragePoint(); got != 2 {
+		t.Errorf("full coverage at %d, want 2", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	d := Normalize([]int64{0, 1, 0, 1})
+	if got := d.Mean(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("mean = %v, want 2", got)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	if err := (Dist{0.5, 0.6}).Validate(); err == nil {
+		t.Error("over-unity distribution validated")
+	}
+	if err := (Dist{-0.1, 1.1}).Validate(); err == nil {
+		t.Error("negative mass validated")
+	}
+}
+
+// TestNormalizePercentileAgainstSortedModel cross-checks the percentile
+// against an explicit expansion of the histogram.
+func TestNormalizePercentileAgainstSortedModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := make([]int64, 12)
+		total := 0
+		for i := range h {
+			h[i] = int64(rng.Intn(10))
+			total += int(h[i])
+		}
+		if total == 0 {
+			return true
+		}
+		d := Normalize(h)
+		// Expand and index directly.
+		var values []int
+		for v, c := range h {
+			for k := int64(0); k < c; k++ {
+				values = append(values, v)
+			}
+		}
+		for _, p := range []float64{0.1, 0.5, 0.9} {
+			idx := int(math.Ceil(p*float64(total))) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			if d.Percentile(p) != values[idx] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

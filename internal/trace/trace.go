@@ -1,0 +1,212 @@
+// Package trace records pipeline events from a simulation and renders them
+// as a per-instruction pipeline diagram — the classic D/I/C/R chart — for
+// debugging the machine model and for teaching what the paper's mechanisms
+// (dispatch-queue waits, divider serialisation, misprediction squashes)
+// look like cycle by cycle.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"regsim/internal/core"
+	"regsim/internal/isa"
+)
+
+// Record is the per-instruction event summary.
+type Record struct {
+	Seq        int64
+	PC         uint64
+	In         isa.Inst
+	Dispatch   int64 // cycle of each transition; -1 if it never happened
+	Issue      int64
+	Complete   int64
+	Commit     int64
+	Squash     int64
+	Mispredict bool
+}
+
+// Squashed reports whether the instruction was removed by a recovery.
+func (r *Record) Squashed() bool { return r.Squash >= 0 }
+
+// Recorder collects events via Hook and assembles Records.
+type Recorder struct {
+	// Limit stops recording after this many distinct instructions
+	// (0 = unlimited; tracing is O(events)).
+	Limit int
+
+	recs  map[int64]*Record
+	order []int64
+	// Recoveries counts misprediction recoveries observed.
+	Recoveries int
+}
+
+// NewRecorder returns a recorder for up to limit instructions.
+func NewRecorder(limit int) *Recorder {
+	return &Recorder{Limit: limit, recs: map[int64]*Record{}}
+}
+
+// Hook returns the callback to install as core.Config.Tracer.
+func (t *Recorder) Hook() func(core.Event) {
+	return func(ev core.Event) {
+		if ev.Kind == core.EvRecover {
+			t.Recoveries++
+			return
+		}
+		r := t.recs[ev.Seq]
+		if r == nil {
+			if t.Limit > 0 && len(t.recs) >= t.Limit {
+				return
+			}
+			r = &Record{
+				Seq: ev.Seq, PC: ev.PC, In: ev.In,
+				Dispatch: -1, Issue: -1, Complete: -1, Commit: -1, Squash: -1,
+			}
+			t.recs[ev.Seq] = r
+			t.order = append(t.order, ev.Seq)
+		}
+		switch ev.Kind {
+		case core.EvDispatch:
+			r.Dispatch = ev.Cycle
+		case core.EvIssue:
+			r.Issue = ev.Cycle
+		case core.EvComplete:
+			r.Complete = ev.Cycle
+			r.Mispredict = ev.Mispredict
+		case core.EvCommit:
+			r.Commit = ev.Cycle
+		case core.EvSquash:
+			r.Squash = ev.Cycle
+		}
+	}
+}
+
+// Records returns the collected records in dispatch order.
+func (t *Recorder) Records() []*Record {
+	sort.Slice(t.order, func(a, b int) bool { return t.order[a] < t.order[b] })
+	out := make([]*Record, 0, len(t.order))
+	for _, seq := range t.order {
+		out = append(out, t.recs[seq])
+	}
+	return out
+}
+
+// chartWidth caps the diagram's cycle axis.
+const chartWidth = 96
+
+// Render writes the pipeline diagram: one row per instruction, with
+// D (dispatch), I (issue), C (complete), R (retire/commit) and X (squash)
+// placed in cycle columns. Stretches wider than the chart fall back to a
+// numeric cycle listing for that row.
+func (t *Recorder) Render(w io.Writer) {
+	recs := t.Records()
+	if len(recs) == 0 {
+		fmt.Fprintln(w, "trace: no instructions recorded")
+		return
+	}
+	base := recs[0].Dispatch
+	fmt.Fprintf(w, "pipeline trace (%d instructions, cycles from %d; D=dispatch I=issue C=complete R=retire X=squash)\n",
+		len(recs), base)
+	fmt.Fprintf(w, "%5s %-22s %s\n", "seq", "instruction", "cycle →")
+	for _, r := range recs {
+		label := fmt.Sprintf("%5d %-22s", r.Seq, isa.Disasm(r.In))
+		last := r.Commit
+		if r.Squash > last {
+			last = r.Squash
+		}
+		if r.Complete > last {
+			last = r.Complete
+		}
+		if last-base >= chartWidth {
+			fmt.Fprintf(w, "%s D@%d", label, r.Dispatch)
+			if r.Issue >= 0 {
+				fmt.Fprintf(w, " I@%d", r.Issue)
+			}
+			if r.Complete >= 0 {
+				fmt.Fprintf(w, " C@%d", r.Complete)
+			}
+			if r.Commit >= 0 {
+				fmt.Fprintf(w, " R@%d", r.Commit)
+			}
+			if r.Squashed() {
+				fmt.Fprintf(w, " X@%d", r.Squash)
+			}
+			if r.Mispredict {
+				fmt.Fprintf(w, " (mispredicted)")
+			}
+			fmt.Fprintln(w)
+			continue
+		}
+		row := make([]byte, last-base+1)
+		for i := range row {
+			row[i] = ' '
+		}
+		fill := func(from, to int64, ch byte) {
+			if from < 0 {
+				return
+			}
+			for c := from; c <= to && c >= base; c++ {
+				if row[c-base] == ' ' {
+					row[c-base] = ch
+				}
+			}
+		}
+		put := func(cycle int64, ch byte) {
+			if cycle >= base {
+				row[cycle-base] = ch
+			}
+		}
+		// Waiting periods first (lower priority), then the transitions.
+		if r.Issue > r.Dispatch+1 {
+			fill(r.Dispatch+1, r.Issue-1, 'q') // waiting in the dispatch queue
+		}
+		if r.Complete > r.Issue+1 && r.Issue >= 0 {
+			fill(r.Issue+1, r.Complete-1, '-') // executing
+		}
+		put(r.Dispatch, 'D')
+		if r.Issue >= 0 {
+			put(r.Issue, 'I')
+		}
+		if r.Complete >= 0 {
+			put(r.Complete, 'C')
+		}
+		if r.Commit >= 0 {
+			put(r.Commit, 'R')
+		}
+		if r.Squashed() {
+			put(r.Squash, 'X')
+		}
+		suffix := ""
+		if r.Mispredict {
+			suffix = "  ← mispredicted"
+		}
+		fmt.Fprintf(w, "%s %s%s\n", label, row, suffix)
+	}
+	fmt.Fprintf(w, "(%d misprediction recoveries during the traced region)\n", t.Recoveries)
+}
+
+// CheckInvariants verifies the event stream's structural properties, used
+// both by tests and as a debugging aid: transitions happen in order, only
+// completed instructions commit, and no instruction both commits and
+// squashes.
+func (t *Recorder) CheckInvariants() error {
+	for _, r := range t.Records() {
+		if r.Dispatch < 0 {
+			return fmt.Errorf("seq %d: no dispatch event", r.Seq)
+		}
+		if r.Issue >= 0 && r.Issue <= r.Dispatch {
+			return fmt.Errorf("seq %d: issue at %d not after dispatch at %d", r.Seq, r.Issue, r.Dispatch)
+		}
+		if r.Complete >= 0 && (r.Issue < 0 || r.Complete < r.Issue) {
+			return fmt.Errorf("seq %d: complete at %d without/before issue", r.Seq, r.Complete)
+		}
+		if r.Commit >= 0 && (r.Complete < 0 || r.Commit < r.Complete) {
+			return fmt.Errorf("seq %d: commit at %d without/before complete", r.Seq, r.Commit)
+		}
+		if r.Commit >= 0 && r.Squash >= 0 {
+			return fmt.Errorf("seq %d: both committed and squashed", r.Seq)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"regsim/internal/core"
+	"regsim/internal/prog"
+	"regsim/internal/workload"
+)
+
+func traced(t *testing.T, p *prog.Program, limit int, budget int64) *Recorder {
+	t.Helper()
+	rec := NewRecorder(limit)
+	cfg := core.DefaultConfig()
+	cfg.Tracer = rec.Hook()
+	m, err := core.New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(budget); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func smallLoop() *prog.Program {
+	b := prog.NewBuilder("traceloop")
+	b.MovI(1, 12)
+	b.Label("loop")
+	b.AddI(2, 2, 3)
+	b.MulI(3, 2, 5)
+	b.SubI(1, 1, 1)
+	b.Bne(1, "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestRecorderCollects(t *testing.T) {
+	rec := traced(t, smallLoop(), 0, 1<<20)
+	recs := rec.Records()
+	// 1 setup + 12×4 loop + 1 halt = 50 committed, plus any squashed
+	// wrong-path work.
+	committed := 0
+	for _, r := range recs {
+		if r.Commit >= 0 {
+			committed++
+		}
+	}
+	if committed != 50 {
+		t.Errorf("committed records = %d, want 50", committed)
+	}
+	if err := rec.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventOrderingInvariantsOnWorkloads(t *testing.T) {
+	// The recorder's invariants double as a structural check on the
+	// pipeline's event stream under real speculation and squashes.
+	for _, bench := range []string{"compress", "gcc1", "tomcatv"} {
+		p, err := workload.Build(bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := traced(t, p, 0, 3_000)
+		if err := rec.CheckInvariants(); err != nil {
+			t.Errorf("%s: %v", bench, err)
+		}
+		// Speculative benchmarks must show squashes and recoveries.
+		if bench != "tomcatv" {
+			squashed := 0
+			for _, r := range rec.Records() {
+				if r.Squashed() {
+					squashed++
+				}
+			}
+			if squashed == 0 || rec.Recoveries == 0 {
+				t.Errorf("%s: no squashes (%d) or recoveries (%d) traced", bench, squashed, rec.Recoveries)
+			}
+		}
+	}
+}
+
+func TestLimit(t *testing.T) {
+	rec := traced(t, smallLoop(), 7, 1<<20)
+	if got := len(rec.Records()); got != 7 {
+		t.Errorf("recorded %d instructions with limit 7", got)
+	}
+}
+
+func TestRenderChart(t *testing.T) {
+	rec := traced(t, smallLoop(), 12, 1<<20)
+	var sb strings.Builder
+	rec.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"pipeline trace", "D", "I", "C", "R", "mul r3, r2, 5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The multiply has a 6-cycle latency: its row must show an execution
+	// stretch of five in-flight cycles after issue (then complete/retire).
+	if !strings.Contains(out, "I-----") {
+		t.Errorf("multiply execution stretch not rendered:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	rec := NewRecorder(0)
+	var sb strings.Builder
+	rec.Render(&sb)
+	if !strings.Contains(sb.String(), "no instructions") {
+		t.Error("empty render malformed")
+	}
+}
+
+func TestMispredictMarked(t *testing.T) {
+	p, _ := workload.Build("gcc1")
+	rec := traced(t, p, 0, 2_000)
+	found := false
+	for _, r := range rec.Records() {
+		if r.Mispredict {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no mispredicted branch marked in a branchy workload")
+	}
+}

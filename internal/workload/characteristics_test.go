@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"testing"
+
+	"regsim/internal/core"
+)
+
+// table1Run simulates one benchmark under the Table 1 measurement
+// configuration (2048 registers, lockup-free baseline cache).
+func table1Run(t *testing.T, name string, width int, budget int64) *core.Result {
+	t.Helper()
+	p, err := Build(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Width = width
+	cfg.QueueSize = 8 * width
+	cfg.RegsPerFile = 2048
+	m, err := core.New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(budget)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return res
+}
+
+// TestCharacteristicsNearPaperTargets: each stand-in's dynamic mix and rates
+// must land near its Table 1 row. Tolerances are loose — the reproduction
+// target is the shape of the workload space, not SPEC92's exact numbers —
+// but tight enough to catch a kernel drifting out of character.
+func TestCharacteristicsNearPaperTargets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-benchmark simulation sweep")
+	}
+	const budget = 150_000
+	for _, name := range Names() {
+		info, _ := Get(name)
+		res := table1Run(t, name, 4, budget)
+		exec := float64(res.Issued)
+
+		loadFrac := float64(res.IssuedLoads) / exec
+		if diff := loadFrac - info.PaperLoadFrac; diff < -0.09 || diff > 0.09 {
+			t.Errorf("%s: load fraction %.2f vs paper %.2f", name, loadFrac, info.PaperLoadFrac)
+		}
+		cbrFrac := float64(res.IssuedCondBr) / exec
+		if diff := cbrFrac - info.PaperCbrFrac; diff < -0.08 || diff > 0.08 {
+			t.Errorf("%s: branch fraction %.2f vs paper %.2f", name, cbrFrac, info.PaperCbrFrac)
+		}
+		if diff := res.LoadMissRate() - info.PaperMissRate; diff < -0.12 || diff > 0.12 {
+			t.Errorf("%s: miss rate %.2f vs paper %.2f", name, res.LoadMissRate(), info.PaperMissRate)
+		}
+		if diff := res.MispredictRate() - info.PaperMispRate; diff < -0.08 || diff > 0.08 {
+			t.Errorf("%s: mispredict rate %.2f vs paper %.2f", name, res.MispredictRate(), info.PaperMispRate)
+		}
+		if ratio := res.CommitIPC() / info.PaperCommitI4; ratio < 0.6 || ratio > 1.6 {
+			t.Errorf("%s: commit IPC %.2f vs paper %.2f (ratio %.2f)",
+				name, res.CommitIPC(), info.PaperCommitI4, ratio)
+		}
+	}
+}
+
+// TestWidthScalingShape: the paper's Table 1 orderings across issue widths.
+func TestWidthScalingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-benchmark simulation sweep")
+	}
+	const budget = 100_000
+	ipc := map[string][2]float64{}
+	for _, name := range Names() {
+		r4 := table1Run(t, name, 4, budget)
+		r8 := table1Run(t, name, 8, budget)
+		ipc[name] = [2]float64{r4.CommitIPC(), r8.CommitIPC()}
+
+		// Issue IPC ≥ commit IPC always (squashed work).
+		if r4.IssueIPC() < r4.CommitIPC() || r8.IssueIPC() < r8.CommitIPC() {
+			t.Errorf("%s: issue IPC below commit IPC", name)
+		}
+	}
+
+	// ora is serial: width must buy almost nothing (paper: 1.86 → 2.08).
+	if gain := ipc["ora"][1] / ipc["ora"][0]; gain > 1.25 {
+		t.Errorf("ora gains %.2fx from 8-way issue; the paper's ora is width-insensitive", gain)
+	}
+	// tomcatv is wide: width must buy a lot (paper: 2.77 → 5.51).
+	if gain := ipc["tomcatv"][1] / ipc["tomcatv"][0]; gain < 1.6 {
+		t.Errorf("tomcatv gains only %.2fx from 8-way issue; paper doubles", gain)
+	}
+	// Every benchmark should at least not lose performance at 8-way.
+	for name, v := range ipc {
+		if v[1] < v[0]*0.97 {
+			t.Errorf("%s: 8-way IPC %.2f below 4-way %.2f", name, v[1], v[0])
+		}
+	}
+}
+
+// TestMemoryBoundBenchmarks: tomcatv and su2cor must show the paper's high
+// miss rates; the cache-resident kernels must not.
+func TestMemoryBoundBenchmarks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-benchmark simulation sweep")
+	}
+	const budget = 100_000
+	for name, wantHigh := range map[string]bool{
+		"tomcatv": true, "su2cor": true, "compress": true,
+		"espresso": false, "gcc1": false, "mdljsp2": false, "ora": false,
+	} {
+		res := table1Run(t, name, 4, budget)
+		if wantHigh && res.LoadMissRate() < 0.08 {
+			t.Errorf("%s: miss rate %.2f, expected the paper's high-miss behaviour", name, res.LoadMissRate())
+		}
+		if !wantHigh && res.LoadMissRate() > 0.08 {
+			t.Errorf("%s: miss rate %.2f, expected cache-resident behaviour", name, res.LoadMissRate())
+		}
+	}
+}

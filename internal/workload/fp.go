@@ -1,0 +1,399 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"regsim/internal/prog"
+)
+
+// Base addresses of the data regions used by the generators.
+const (
+	bigBase   = 16 << 20 // first miss-generating array
+	hashBase  = 64 << 20 // randomly addressed region (compress)
+	smallBase = prog.DataBase
+	small2    = smallBase + smallBytes
+	small3    = small2 + smallBytes
+)
+
+// initRandomFloats seeds a small array with reproducible values in (lo, hi).
+func initRandomFloats(b *prog.Builder, base uint64, bytes int, seed int64, lo, hi float64) {
+	rng := rand.New(rand.NewSource(seed))
+	for off := 0; off < bytes; off += 8 {
+		b.InitFloat(base+uint64(off), lo+(hi-lo)*rng.Float64())
+	}
+}
+
+func init() {
+	register(&Info{
+		Name: "tomcatv", FP: true,
+		Description:   "vectorised mesh-generation stand-in: wide, independent FP stencil over six 4 MB arrays; sequential sweeps give a very high load miss rate and near-perfectly predictable loop branches",
+		PaperLoadFrac: 0.27, PaperCbrFrac: 0.03, PaperMissRate: 0.33, PaperMispRate: 0.01, PaperCommitI4: 2.77,
+		build: buildTomcatv,
+	})
+	register(&Info{
+		Name: "su2cor", FP: true,
+		Description:   "quantum-physics sweep stand-in: streaming FP over big arrays mixed with cache-resident tables; one mildly biased data-dependent branch per iteration",
+		PaperLoadFrac: 0.24, PaperCbrFrac: 0.03, PaperMissRate: 0.17, PaperMispRate: 0.07, PaperCommitI4: 3.22,
+		build: buildSu2cor,
+	})
+	register(&Info{
+		Name: "mdljdp2", FP: true,
+		Description:   "double-precision molecular-dynamics stand-in: pairwise force kernel on cache-resident coordinates with a cutoff branch and occasional double divides; long dependence chains",
+		PaperLoadFrac: 0.15, PaperCbrFrac: 0.10, PaperMissRate: 0.03, PaperMispRate: 0.06, PaperCommitI4: 2.12,
+		build: buildMdljdp2,
+	})
+	register(&Info{
+		Name: "mdljsp2", FP: true,
+		Description:   "single-precision molecular-dynamics stand-in: like mdljdp2 with shorter (8-cycle) divides, more loads, and slightly more parallelism",
+		PaperLoadFrac: 0.21, PaperCbrFrac: 0.08, PaperMissRate: 0.01, PaperMispRate: 0.06, PaperCommitI4: 2.69,
+		build: buildMdljsp2,
+	})
+	register(&Info{
+		Name: "doduc", FP: true,
+		Description:   "Monte-Carlo reactor-simulation stand-in: mixed FP arithmetic with double divides on cache-resident data and moderately unpredictable control flow",
+		PaperLoadFrac: 0.23, PaperCbrFrac: 0.06, PaperMissRate: 0.01, PaperMispRate: 0.10, PaperCommitI4: 2.49,
+		build: buildDoduc,
+	})
+	register(&Info{
+		Name: "ora", FP: true,
+		Description:   "ray-tracing stand-in: a serial Newton square-root recurrence through the unpipelined divider dominates; almost no memory traffic, so issue IPC equals commit IPC and width barely helps",
+		PaperLoadFrac: 0.16, PaperCbrFrac: 0.04, PaperMissRate: 0.00, PaperMispRate: 0.06, PaperCommitI4: 1.86,
+		build: buildOra,
+	})
+}
+
+// buildTomcatv: per unrolled iteration, two stencil halves each load four
+// big-array elements, combine them with a short FP dataflow and store two
+// results. The arrays are swept sequentially with an 8-byte element stride,
+// so each 32-byte line misses once per four touches.
+func buildTomcatv() *prog.Program {
+	b := prog.NewBuilder("tomcatv")
+	const (
+		rIdx, rCnt, rA0, rA1 = 1, 2, 3, 4
+	)
+	b.MovI(rIdx, 0)
+	b.MovI(rCnt, outerIterations)
+	b.Label("loop")
+	for half := 0; half < 2; half++ {
+		addr := uint8(rA0)
+		f := uint8(0)
+		if half == 1 {
+			addr = rA1
+			f = 10
+		}
+		b.AddI(addr, rIdx, int32(bigBase+8*half))
+		b.FLd(f+0, addr, 0*bigStride)
+		b.FLd(f+1, addr, 1*bigStride)
+		b.FLd(f+2, addr, 2*bigStride)
+		b.FLd(f+3, addr, 3*bigStride)
+		b.FAdd(f+4, f+0, f+1)
+		b.FMul(f+5, f+2, f+3)
+		b.FSub(f+6, f+0, f+2)
+		b.FMul(f+7, f+4, f+5)
+		b.FAdd(f+8, f+6, f+5)
+		b.FMul(f+9, f+7, f+8)
+		b.FSt(f+7, addr, 4*bigStride)
+		b.FSt(f+9, addr, 5*bigStride)
+	}
+	b.AddI(rIdx, rIdx, 16)
+	b.AndI(rIdx, rIdx, bigMask)
+	b.SubI(rCnt, rCnt, 1)
+	b.Bne(rCnt, "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildSu2cor: streams five big arrays (25% per-load miss on a sequential
+// 8-byte sweep) alongside cache-resident tables, with independent FP work
+// for high IPC; the body is unrolled twice so branches are rare (~3.5%) and
+// one ~12%-biased random branch supplies the mispredictions.
+func buildSu2cor() *prog.Program {
+	b := prog.NewBuilder("su2cor")
+	const (
+		rIdx, rCnt, rRnd, rT, rCmp, rBig, rSml = 1, 2, 3, 4, 5, 6, 7
+	)
+	b.MovI(rIdx, 0)
+	b.MovI(rCnt, outerIterations)
+	b.MovI(rRnd, 88172645)
+	b.Label("loop")
+	for half := 0; half < 2; half++ {
+		f := uint8(15 * half)
+		b.AddI(rBig, rIdx, int32(bigBase+8*half))
+		b.AndI(rSml, rIdx, smallMask)
+		b.AddI(rSml, rSml, int32(smallBase+8*half))
+		// Five big-array streams, two small-table loads.
+		b.FLd(f+0, rBig, 0*bigStride)
+		b.FLd(f+1, rBig, 1*bigStride)
+		b.FLd(f+2, rBig, 2*bigStride)
+		b.FLd(f+3, rBig, 3*bigStride)
+		b.FLd(f+4, rBig, 4*bigStride)
+		b.FLd(f+5, rSml, 0)
+		b.FLd(f+6, rSml, smallBytes)
+		// Independent FP dataflow.
+		b.FMul(f+7, f+0, f+5)
+		b.FMul(f+8, f+1, f+6)
+		b.FAdd(f+9, f+2, f+3)
+		b.FAdd(f+10, f+7, f+8)
+		b.FMul(f+11, f+9, f+4)
+		b.FAdd(f+12, f+10, f+11)
+		b.FSub(f+13, f+7, f+9)
+		b.FMul(f+14, f+12, f+13)
+		b.FSt(f+12, rBig, 5*bigStride)
+		b.FSt(f+14, rSml, 2*smallBytes)
+	}
+	// Biased random branch: taken ~12% of the time.
+	xorshift(b, rRnd, rT)
+	biasedBranch(b, rRnd, rCmp, 24, 123, "extra")
+	b.Label("back")
+	b.AddI(rIdx, rIdx, 16)
+	b.AndI(rIdx, rIdx, bigMask)
+	b.SubI(rCnt, rCnt, 1)
+	b.Bne(rCnt, "loop")
+	b.Halt()
+	b.Label("extra")
+	b.FAdd(14, 12, 27)
+	b.FMul(14, 14, 11)
+	b.FSt(14, rSml, 2*smallBytes+8)
+	b.Jmp("back")
+	return b.MustBuild()
+}
+
+// mdl shared kernel shape: a pairwise-force inner loop over cache-resident
+// coordinates, unrolled twice, with one reciprocal (divide) per unrolled
+// iteration. The unpipelined divider is the 4-way bottleneck for the
+// double-precision variant (16-cycle divides), which is why mdljdp2's commit
+// IPC nearly doubles at 8-way issue (two dividers) in the paper's Table 1.
+// Two mildly biased cutoff branches per iteration supply the mispredictions.
+func buildMdl(name string, double bool, extraLoads int, seed int64) *prog.Program {
+	b := prog.NewBuilder(name)
+	const (
+		rIdx, rCnt, rRnd, rT, rCmp, rPtr = 1, 2, 3, 4, 5, 6
+	)
+	initRandomFloats(b, smallBase, smallBytes, seed, 0.1, 2.0)
+	initRandomFloats(b, small2, smallBytes, seed+1, 0.1, 2.0)
+	b.MovI(rIdx, 0)
+	b.MovI(rCnt, outerIterations)
+	b.MovI(rRnd, int32(seed)|1)
+	b.MovI(20, smallBase)
+	b.FLd(20, 20, 0) // f20: a nonzero constant divisor seed
+	const unroll = 2
+	b.Label("loop")
+	xorshift(b, rRnd, rT)
+	for half := 0; half < unroll; half++ {
+		f := uint8(10 * half)
+		b.AndI(rPtr, rIdx, smallMask)
+		b.AddI(rPtr, rPtr, int32(smallBase+8*half))
+		b.FLd(f+0, rPtr, 0)
+		b.FLd(f+1, rPtr, smallBytes) // second table
+		b.FLd(f+2, rPtr, 16)
+		for i := 0; i < extraLoads; i++ {
+			b.FLd(f+7+uint8(i), rPtr, int32(32+8*i))
+		}
+		// Pairwise distance chain, seeded from the running position f24 so
+		// each half's arithmetic depends on the previous half (real MD code
+		// carries particle state between pairs). This keeps the dispatch
+		// queue — not runahead — as what bounds the in-flight window.
+		b.FSub(f+3, f+0, 24)
+		b.FAdd(24, 24, f+3)
+		b.FMul(f+4, f+3, f+3)
+		b.FMul(f+5, f+2, f+2)
+		b.FAdd(f+6, f+4, f+5)
+		// One reciprocal per unrolled half: r = c / d², the Lennard-Jones-
+		// style term through the unpipelined divider. The divide keeps the
+		// single 4-way divider ~70–80% busy (the 16-cycle double-precision
+		// variant more so), which is why the paper's mdljdp2 gains so much
+		// at 8-way issue, where there are two dividers. Utilisation stays
+		// below saturation so the dispatch queue does not silt up with
+		// waiting divides.
+		if double || half == 0 {
+			// The reciprocal: r = c / d². The double-precision variant
+			// divides in every half (two 16-cycle divides per iteration),
+			// which keeps the single 4-way divider ~80% busy — its 4-way
+			// bottleneck, relieved by the 8-way machine's second divider,
+			// exactly the paper's mdljdp2 shape. The single-precision
+			// variant has one 8-cycle divide per iteration.
+			if double {
+				b.FDivD(21, 20, f+6)
+			} else {
+				b.FDivS(21, 20, f+6)
+			}
+			b.FAdd(22, 22, 21) // potential accumulation through the divide
+		}
+		b.FMul(f+8, f+6, f+0)
+		b.FAdd(f+9, f+8, f+4)
+		// Padding force terms: a moderately deep per-iteration chain that
+		// spaces the divides out (real MD does far more multiply–adds than
+		// divides per pair).
+		b.FMul(f+8, f+9, f+5)
+		b.FAdd(f+9, f+8, f+6)
+		b.FMul(f+8, f+9, f+4)
+		b.FAdd(f+9, f+8, f+5)
+		b.Add(rT, rPtr, rIdx)
+		b.Xor(rT, rT, rIdx)
+		b.FSt(f+9, rPtr, 2*smallBytes)
+		// Cutoff branch, taken ≈12% of the time, aperiodic so it stays
+		// outside the history predictor's reach.
+		skip := "skipA"
+		if half == 1 {
+			skip = "skipB"
+		}
+		biasedBranch(b, rRnd, rCmp, uint(20+14*half), 123, skip)
+		b.FAdd(23, 23, f+9) // inside the cutoff: extra accumulation
+		b.FMul(23, 23, f+0)
+		b.Label(skip)
+		if double {
+			// The double-precision kernel does much more work per pair
+			// (neighbour lists, virial terms): extra loads, a second tier
+			// of multiply–adds hanging off the distance chain, and two
+			// more mildly biased decisions. The padding spaces the
+			// 16-cycle divides out to ~80% divider utilisation at 4-way.
+			b.FLd(25, rPtr, 64)
+			b.FLd(26, rPtr, 72)
+			b.FLd(27, rPtr, 80)
+			b.FLd(28, rPtr, 88)
+			b.FMul(25, 25, f+6)
+			b.FAdd(26, 26, 25)
+			b.FMul(27, 27, f+4)
+			b.FAdd(28, 28, 27)
+			b.FMul(25, 25, 26)
+			b.FAdd(27, 27, 28)
+			b.FMul(26, 26, f+3)
+			b.FAdd(28, 28, f+5)
+			b.FMul(25, 25, 27)
+			b.FAdd(26, 26, 28)
+			b.FSt(26, rPtr, 2*smallBytes+8)
+			for brk := 0; brk < 2; brk++ {
+				lbl := fmt.Sprintf("pad%d_%d", half, brk)
+				biasedBranch(b, rRnd, rCmp, uint(4+10*brk+30*half), 123, lbl)
+				b.FAdd(29, 29, 25)
+				b.FMul(29, 29, f+6)
+				b.Label(lbl)
+			}
+			b.Add(rT, rT, rIdx)
+			b.Xor(rT, rT, rPtr)
+		}
+	}
+	b.AddI(rIdx, rIdx, 8)
+	b.SubI(rCnt, rCnt, 1)
+	b.Bne(rCnt, "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func buildMdljdp2() *prog.Program { return buildMdl("mdljdp2", true, 4, 101) }
+
+func buildMdljsp2() *prog.Program { return buildMdl("mdljsp2", false, 4, 202) }
+
+// buildDoduc: cache-resident FP with two moderately unpredictable branches
+// (≈20% bias each) and a double divide on one path.
+func buildDoduc() *prog.Program {
+	b := prog.NewBuilder("doduc")
+	const (
+		rIdx, rCnt, rRnd, rBits, rCmp, rPtr = 1, 2, 3, 4, 5, 6
+	)
+	initRandomFloats(b, smallBase, smallBytes, 33, 0.5, 1.5)
+	b.MovI(rIdx, 0)
+	b.MovI(rCnt, outerIterations)
+	b.MovI(rRnd, 424243)
+	b.Label("loop")
+	xorshift(b, rRnd, rBits)
+	for half := 0; half < 2; half++ {
+		f := uint8(15 * half)
+		b.AndI(rPtr, rIdx, smallMask)
+		b.AddI(rPtr, rPtr, int32(smallBase+8*half))
+		b.FLd(f+0, rPtr, 0)
+		b.FLd(f+1, rPtr, 8)
+		b.FLd(f+2, rPtr, 16)
+		b.FLd(f+3, rPtr, 24)
+		// Seed from the running flux estimate f10 (carried across
+		// iterations) so the queue, not runahead, bounds the window.
+		b.FMul(f+4, f+0, 10)
+		b.FAdd(f+5, f+2, f+3)
+		b.FMul(f+6, f+4, f+5)
+		if half == 0 {
+			// One double divide per unrolled iteration: the cross-section
+			// interpolation. Roughly half-saturates the single 4-way
+			// divider; the second divider at 8-way lifts commit IPC toward
+			// the paper's 3.97.
+			b.FDivS(30, f+4, f+5) // 32-bit interpolation divide (8 cycles)
+			b.FAdd(29, 29, 30)    // consume the interpolated term off the chain
+			// 20%-probability path (unpredictable direction).
+			biasedBranch(b, rRnd, rCmp, 24, 205, "divpath")
+			b.FMul(f+7, f+6, f+0)
+			b.FAdd(f+10, f+10, f+7)
+			b.Label("join1")
+		}
+		b.FLd(f+8, rPtr, 32)
+		b.FLd(f+9, rPtr, 40)
+		b.FLd(f+13, rPtr, 48)
+		b.FAdd(f+11, f+8, 10) // also trails the carried flux estimate
+		b.FMul(f+12, f+11, f+6)
+		b.FAdd(f+14, f+12, f+13)
+		b.FMul(f+12, f+14, f+9)
+		b.FSt(f+12, rPtr, smallBytes)
+	}
+	b.AddI(rIdx, rIdx, 8)
+	b.SubI(rCnt, rCnt, 1)
+	b.Bne(rCnt, "loop")
+	b.Halt()
+	b.Label("divpath")
+	b.FMul(7, 6, 5)
+	b.FSub(10, 10, 7)
+	b.Jmp("join1")
+	return b.MustBuild()
+}
+
+// buildOra: a serial Newton iteration for sqrt through the unpipelined
+// divider; almost everything depends on the previous step, so issue width
+// barely matters (the paper's ora commits 1.86 IPC at both widths).
+func buildOra() *prog.Program {
+	b := prog.NewBuilder("ora")
+	const (
+		rIdx, rCnt, rRnd, rBits, rCmp, rPtr = 1, 2, 3, 4, 5, 6
+	)
+	initRandomFloats(b, smallBase, smallBytes, 7, 1.0, 4.0)
+	b.MovI(rIdx, 0)
+	b.MovI(rCnt, outerIterations)
+	b.MovI(rRnd, 31337)
+	b.MovI(rPtr, smallBase)
+	b.FLd(20, rPtr, 0) // f20: constant 0.5-ish factor source
+	b.FMul(21, 20, 20) // a "half" stand-in (any nonzero constant works)
+	b.FLd(1, rPtr, 8)  // x: current estimate
+	b.Label("loop")
+	b.AndI(rPtr, rIdx, smallMask)
+	b.AddI(rPtr, rPtr, smallBase)
+	b.FLd(0, rPtr, 0) // a: value to root
+	// Newton step: x = (x + a/x) * c. The loop-carried chain through the
+	// unpipelined divider (8 + 3 + 3 cycles) bounds sustained IPC at the
+	// body length divided by ~14 cycles, for any issue width — which is
+	// why the paper's ora commits 1.86 IPC at 4-way and only 2.08 at 8-way.
+	b.FDivS(2, 0, 1)
+	b.FAdd(3, 1, 2)
+	b.FMul(1, 3, 21)
+	// Per-iteration shading arithmetic, seeded from the ray state f1 so it
+	// trails the Newton chain (ray tracing carries the ray through every
+	// intersection; nothing is independent of it).
+	b.FLd(4, rPtr, 8)
+	b.FLd(5, rPtr, 16)
+	b.FLd(13, rPtr, 24)
+	b.FMul(6, 4, 1)
+	b.FAdd(7, 6, 13)
+	b.FMul(8, 6, 7)
+	b.FAdd(9, 8, 7)
+	b.FMul(10, 9, 8)
+	b.FAdd(11, 10, 9)
+	b.FSt(11, rPtr, smallBytes)
+	// Rare reflection branch (≈12% taken).
+	xorshift(b, rRnd, rBits)
+	biasedBranch(b, rRnd, rCmp, 24, 123, "reset")
+	b.Label("noreset")
+	b.AddI(rIdx, rIdx, 8)
+	b.SubI(rCnt, rCnt, 1)
+	b.Bne(rCnt, "loop")
+	b.Halt()
+	b.Label("reset")
+	b.FAdd(1, 1, 21) // nudge the estimate
+	b.Jmp("noreset")
+	return b.MustBuild()
+}

@@ -1,0 +1,233 @@
+package workload
+
+import (
+	"math/rand"
+
+	"regsim/internal/prog"
+)
+
+func init() {
+	register(&Info{
+		Name: "compress", FP: false,
+		Description:   "LZW-compression stand-in: hashed probes into an 8 MB table (the misses) between cache-resident bookkeeping loads, with data-dependent branches on the pseudo-random stream",
+		PaperLoadFrac: 0.23, PaperCbrFrac: 0.11, PaperMissRate: 0.15, PaperMispRate: 0.14, PaperCommitI4: 2.09,
+		build: buildCompress,
+	})
+	register(&Info{
+		Name: "espresso", FP: false,
+		Description:   "logic-minimisation stand-in: parallel bit-set operations over cache-resident cube tables with frequent, moderately biased data-dependent branches",
+		PaperLoadFrac: 0.22, PaperCbrFrac: 0.145, PaperMissRate: 0.01, PaperMispRate: 0.13, PaperCommitI4: 3.04,
+		build: buildEspresso,
+	})
+	register(&Info{
+		Name: "gcc1", FP: false,
+		Description:   "compiler stand-in: pointer chasing through a cache-resident linked structure, a leaf-call per iteration, and nearly unbiased data-dependent branches (the worst predictor case in Table 1)",
+		PaperLoadFrac: 0.22, PaperCbrFrac: 0.11, PaperMissRate: 0.01, PaperMispRate: 0.19, PaperCommitI4: 2.35,
+		build: buildGcc1,
+	})
+}
+
+// initPointerTable seeds a small region with a reproducible random mapping of
+// 8-byte-aligned offsets into the same region, for load-to-load chasing.
+func initPointerTable(b *prog.Builder, base uint64, bytes int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	words := bytes / 8
+	for i := 0; i < words; i++ {
+		next := uint64(rng.Intn(words)) * 8
+		b.InitWord(base+uint64(i)*8, next)
+	}
+}
+
+// initRandomWords seeds a small region with reproducible random word values.
+func initRandomWords(b *prog.Builder, base uint64, bytes int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for off := 0; off < bytes; off += 8 {
+		b.InitWord(base+uint64(off), rng.Uint64())
+	}
+}
+
+// buildCompress: one hashed (essentially always-missing) probe into an 8 MB
+// region plus six cache-resident loads per iteration; two biased
+// data-dependent branches. The multiply in the hash chain mirrors real
+// hashing latency.
+func buildCompress() *prog.Program {
+	b := prog.NewBuilder("compress")
+	const (
+		rIdx, rCnt, rRnd, rBits, rCmp, rHash, rSml = 1, 2, 3, 4, 5, 6, 7
+	)
+	initRandomWords(b, smallBase, smallBytes, 11)
+	b.MovI(rIdx, 0)
+	b.MovI(rCnt, outerIterations)
+	b.MovI(rRnd, 54321)
+	b.Label("loop")
+	// Hash probe: 20 random bits → an 8 MB span (nearly always a miss).
+	lcg(b, rRnd)
+	b.ShrI(rBits, rRnd, 20)
+	b.AndI(rBits, rBits, (8<<20)-8)
+	b.AddI(rHash, rBits, hashBase)
+	b.Ld(10, rHash, 0)
+	// Bookkeeping in the resident table.
+	b.AndI(rSml, rIdx, smallMask)
+	b.AddI(rSml, rSml, smallBase)
+	b.Ld(11, rSml, 0)
+	b.Ld(12, rSml, 8)
+	b.Ld(13, rSml, 16)
+	b.Ld(14, rSml, 24)
+	b.Ld(19, rSml, 32)
+	b.Ld(21, rSml, 40)
+	b.Add(15, 11, 12)
+	b.Xor(16, 13, 10)
+	b.Or(17, 15, 16)
+	b.Add(22, 19, 21)
+	b.St(17, rSml, 0)
+	// Code-found test: ~25% minority direction on high generator bits.
+	biasedBranch(b, rRnd, rCmp, 44, 256, "found")
+	b.Label("back1")
+	// Table-full test: ~18% minority direction.
+	biasedBranch(b, rRnd, rCmp, 34, 184, "full")
+	b.Label("back2")
+	b.AddI(rIdx, rIdx, 48)
+	b.SubI(rCnt, rCnt, 1)
+	b.Bne(rCnt, "loop")
+	b.Halt()
+	b.Label("found")
+	b.Add(18, 17, 14)
+	b.St(18, rSml, 8)
+	b.Jmp("back1")
+	b.Label("full")
+	b.Xor(18, 22, 17)
+	b.St(18, rSml, 16)
+	b.Jmp("back2")
+	return b.MustBuild()
+}
+
+// buildEspresso: cube-covering bit arithmetic, highly parallel, over
+// cache-resident tables; three data-dependent branches per iteration with
+// moderate (12–25%) biases, aperiodic so the history predictor cannot
+// memorise the tables' cycle.
+func buildEspresso() *prog.Program {
+	b := prog.NewBuilder("espresso")
+	const (
+		rIdx, rCnt, rRnd, rT, rCmp, rPtr = 1, 2, 3, 4, 5, 6
+	)
+	initRandomWords(b, smallBase, smallBytes, 22)
+	initRandomWords(b, small2, smallBytes, 23)
+	b.MovI(rIdx, 0)
+	b.MovI(rCnt, outerIterations)
+	b.MovI(rRnd, 987654321)
+	b.Label("loop")
+	xorshift(b, rRnd, rT)
+	b.AndI(rPtr, rIdx, smallMask)
+	b.AddI(rPtr, rPtr, smallBase)
+	b.Ld(10, rPtr, 0)
+	b.Ld(11, rPtr, smallBytes)
+	b.Ld(12, rPtr, 8)
+	b.Ld(13, rPtr, smallBytes+8)
+	b.Ld(14, rPtr, 16)
+	b.Ld(15, rPtr, smallBytes+16)
+	b.And(16, 10, 11)
+	b.Or(17, 12, 13)
+	b.Xor(18, 14, 15)
+	b.Or(19, 16, 17)
+	b.Xor(20, 19, 18)
+	b.St(20, rPtr, 2*smallBytes)
+	// Cover / sharp / irredundant tests.
+	biasedBranch(b, rRnd, rCmp, 20, 205, "cover")
+	b.Label("backA")
+	biasedBranch(b, rRnd, rCmp, 34, 154, "sharp")
+	b.Label("backB")
+	b.AddI(rIdx, rIdx, 24)
+	b.SubI(rCnt, rCnt, 1)
+	b.Bne(rCnt, "loop")
+	b.Halt()
+	b.Label("cover")
+	b.And(21, 20, 16)
+	b.St(21, rPtr, 2*smallBytes+8)
+	b.Jmp("backA")
+	b.Label("sharp")
+	b.Xor(21, 20, 17)
+	b.Jmp("backB")
+	return b.MustBuild()
+}
+
+// buildGcc1: pointer chasing through a random successor table (dependent
+// loads limit IPC), a leaf call per iteration, and several nearly unbiased
+// branches — the predictor's hardest case in Table 1.
+func buildGcc1() *prog.Program {
+	b := prog.NewBuilder("gcc1")
+	const (
+		rIdx, rCnt, rCmp, rPtr, rNode, rRnd, rBits, rLink = 1, 2, 3, 4, 5, 6, 7, 20
+	)
+	initPointerTable(b, smallBase, smallBytes, 44)
+	initRandomWords(b, small2, smallBytes, 45)
+	b.MovI(rNode, 0)
+	b.MovI(rCnt, outerIterations)
+	b.MovI(rIdx, 0)
+	b.MovI(rRnd, 20011)
+	b.Jmp("entry")
+
+	// Leaf "symbol lookup": resident loads, a combine, and a biased branch.
+	b.Label("lookup")
+	b.AndI(8, rIdx, smallMask)
+	b.AddI(8, 8, small2)
+	b.Ld(9, 8, 0)
+	b.Ld(10, 8, 8)
+	b.Ld(16, 8, 16)
+	b.Ld(19, 8, 24)
+	b.Add(11, 9, 10)
+	b.Add(11, 11, 19)
+	biasedBranch(b, rRnd, rCmp, 44, 205, "collide") // ~20% minority
+	b.Label("lret")
+	b.Jr(rLink)
+	b.Label("collide")
+	b.Add(11, 11, 16)
+	b.Jmp("lret")
+
+	b.Label("entry")
+	b.Label("loop")
+	// Chase the node pointer (load-to-load dependence); perturbing the
+	// successor with generator bits keeps the walk aperiodic, so neither
+	// predictor table can memorise the structure's cycle.
+	b.AddI(rPtr, rNode, smallBase)
+	b.Ld(rNode, rPtr, 0)
+	b.Ld(12, rPtr, 8)
+	xorshift(b, rRnd, rBits)
+	b.ShrI(rBits, rRnd, 24)
+	b.AndI(rBits, rBits, smallMask&^7)
+	b.Add(rNode, rNode, rBits)
+	b.AndI(rNode, rNode, smallMask&^7)
+	// Branch on mixed node/generator bits: nearly unbiased, pattern-free.
+	b.Xor(rCmp, 12, rBits)
+	b.AndI(rCmp, rCmp, 1023)
+	b.CmpLI(rCmp, rCmp, 307) // ~30% minority
+	b.Beq(rCmp, "else")
+	b.Xor(13, 12, rNode)
+	b.Jmp("join")
+	b.Label("else")
+	b.Add(13, 12, rNode)
+	b.Label("join")
+	b.Call(rLink, "lookup")
+	b.Add(14, 13, 11)
+	// Results go to a separate region so the pointer table stays intact.
+	b.AndI(15, rIdx, smallMask)
+	b.AddI(15, 15, small3)
+	b.St(14, 15, 0)
+	b.Ld(17, 15, 8)
+	b.Ld(21, 15, 16)
+	b.Ld(22, 15, 24)
+	b.Add(18, 17, 14)
+	b.Add(18, 18, 21)
+	b.Add(18, 18, 22)
+	// A second, less biased decision.
+	biasedBranch(b, rRnd, rCmp, 14, 123, "alt")
+	b.Label("back")
+	b.AddI(rIdx, rIdx, 16)
+	b.SubI(rCnt, rCnt, 1)
+	b.Bne(rCnt, "loop")
+	b.Halt()
+	b.Label("alt")
+	b.Xor(18, 18, 13)
+	b.St(18, 15, 8)
+	b.Jmp("back")
+	return b.MustBuild()
+}

@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"regsim/internal/prog"
+)
+
+// RandomProgram generates a structured random program that is guaranteed to
+// terminate: a sequence of counted loops whose bodies mix integer and FP
+// arithmetic, loads and stores into a bounded scratch region, data-dependent
+// forward branches, and leaf calls. It exercises every instruction class and
+// is the workhorse of the architectural-equivalence property tests (any
+// machine configuration must execute these identically to the reference
+// interpreter).
+//
+// The same seed always yields the same program.
+func RandomProgram(seed int64) *prog.Program {
+	rng := rand.New(rand.NewSource(seed))
+	b := prog.NewBuilder(fmt.Sprintf("random-%d", seed))
+
+	// Data registers: r1..r12 integer, f1..f12 FP; r13 scratch address;
+	// r14 compare scratch; r20 link register; r15 loop counter.
+	intReg := func() uint8 { return uint8(1 + rng.Intn(12)) }
+	fpReg := func() uint8 { return uint8(1 + rng.Intn(12)) }
+	const (
+		rAddr, rCmp, rLoop, rLink = 13, 14, 15, 20
+		scratch                   = prog.DataBase
+		scratchMask               = 0x3ff8 // 16 KB region
+	)
+
+	initRandomWords(b, scratch, scratchMask+8, seed^0x5eed)
+
+	// Seed the data registers with immediate values.
+	for r := uint8(1); r <= 12; r++ {
+		b.MovI(r, int32(rng.Int31()))
+		b.ItoF(r, r)
+	}
+	b.Jmp("main")
+
+	// A few leaf functions.
+	nLeaf := 1 + rng.Intn(3)
+	for l := 0; l < nLeaf; l++ {
+		b.Label(fmt.Sprintf("leaf%d", l))
+		for k := rng.Intn(4); k >= 0; k-- {
+			b.Add(intReg(), intReg(), intReg())
+		}
+		b.Jr(rLink)
+	}
+
+	b.Label("main")
+	nLoops := 2 + rng.Intn(4)
+	for l := 0; l < nLoops; l++ {
+		trips := 3 + rng.Intn(30)
+		loop := fmt.Sprintf("loop%d", l)
+		b.MovI(rLoop, int32(trips))
+		b.Label(loop)
+		bodyLen := 4 + rng.Intn(24)
+		skipN := 0
+		var openSkip string
+		for i := 0; i < bodyLen; i++ {
+			if openSkip != "" && rng.Intn(3) == 0 {
+				b.Label(openSkip)
+				openSkip = ""
+			}
+			switch rng.Intn(12) {
+			case 0, 1, 2:
+				ops := []func(uint8, uint8, uint8){b.Add, b.Sub, b.And, b.Or, b.Xor, b.CmpL, b.CmpE}
+				ops[rng.Intn(len(ops))](intReg(), intReg(), intReg())
+			case 3:
+				b.MulI(intReg(), intReg(), int32(rng.Intn(65536)-32768))
+			case 4:
+				b.ShrI(intReg(), intReg(), int32(rng.Intn(63)+1))
+			case 5, 6:
+				ops := []func(uint8, uint8, uint8){b.FAdd, b.FSub, b.FMul}
+				ops[rng.Intn(len(ops))](fpReg(), fpReg(), fpReg())
+			case 7:
+				if rng.Intn(2) == 0 {
+					b.FDivS(fpReg(), fpReg(), fpReg())
+				} else {
+					b.FDivD(fpReg(), fpReg(), fpReg())
+				}
+			case 8:
+				b.AndI(rAddr, intReg(), scratchMask)
+				b.AddI(rAddr, rAddr, scratch)
+				if rng.Intn(2) == 0 {
+					b.Ld(intReg(), rAddr, int32(8*rng.Intn(4)))
+				} else {
+					b.FLd(fpReg(), rAddr, int32(8*rng.Intn(4)))
+				}
+			case 9:
+				b.AndI(rAddr, intReg(), scratchMask)
+				b.AddI(rAddr, rAddr, scratch)
+				if rng.Intn(2) == 0 {
+					b.St(intReg(), rAddr, int32(8*rng.Intn(4)))
+				} else {
+					b.FSt(fpReg(), rAddr, int32(8*rng.Intn(4)))
+				}
+			case 10:
+				if openSkip == "" {
+					// Data-dependent forward branch over part of the body.
+					openSkip = fmt.Sprintf("skip%d_%d", l, skipN)
+					skipN++
+					b.AndI(rCmp, intReg(), int32(1<<uint(1+rng.Intn(4))-1))
+					switch rng.Intn(4) {
+					case 0:
+						b.Beq(rCmp, openSkip)
+					case 1:
+						b.Bne(rCmp, openSkip)
+					case 2:
+						b.Blt(rCmp, openSkip)
+					default:
+						b.Bge(rCmp, openSkip)
+					}
+				}
+			case 11:
+				b.Call(rLink, fmt.Sprintf("leaf%d", rng.Intn(nLeaf)))
+			}
+		}
+		if openSkip != "" {
+			b.Label(openSkip)
+		}
+		b.SubI(rLoop, rLoop, 1)
+		b.Bne(rLoop, loop)
+	}
+	// Fold the register state into memory so equivalence checks see it.
+	b.MovI(rAddr, scratch)
+	for r := uint8(1); r <= 12; r++ {
+		b.St(r, rAddr, int32(8*int(r)))
+		b.FSt(r, rAddr, int32(8*(16+int(r))))
+	}
+	b.Halt()
+	return b.MustBuild()
+}

@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"testing"
+
+	"regsim/internal/core"
+)
+
+// TestStationarity: the stand-ins' dynamic behaviour must be stationary —
+// the second half of a run looks like the first — so that scaled-down
+// budgets stand in for the paper's hundred-million-instruction runs. We run
+// a benchmark for B and for 2B instructions and require the implied
+// second-half IPC to sit near the first half's.
+func TestStationarity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double-run sweep")
+	}
+	const budget = 60_000
+	for _, name := range Names() {
+		p, err := Build(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(n int64) (int64, int64) {
+			cfg := core.DefaultConfig()
+			cfg.RegsPerFile = 256
+			m, err := core.New(cfg, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := m.Run(n)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			return res.Committed, res.Cycles
+		}
+		c1, t1 := run(budget)
+		c2, t2 := run(2 * budget)
+		ipc1 := float64(c1) / float64(t1)
+		ipcSecondHalf := float64(c2-c1) / float64(t2-t1)
+		ratio := ipcSecondHalf / ipc1
+		if ratio < 0.85 || ratio > 1.18 {
+			t.Errorf("%s: second-half IPC %.2f vs first-half %.2f (ratio %.2f): not stationary",
+				name, ipcSecondHalf, ipc1, ratio)
+		}
+	}
+}
+
+// TestWarmupDirection: the cache-resident benchmarks' miss rates must fall
+// with budget (cold-start effect), and the streaming benchmarks' must not
+// rise — documenting the budget guidance in EXPERIMENTS.md.
+func TestWarmupDirection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double-run sweep")
+	}
+	for _, name := range []string{"espresso", "mdljsp2", "tomcatv"} {
+		p, _ := Build(name)
+		rate := func(n int64) float64 {
+			cfg := core.DefaultConfig()
+			cfg.RegsPerFile = 256
+			m, _ := core.New(cfg, p)
+			res, err := m.Run(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.LoadMissRate()
+		}
+		small, big := rate(15_000), rate(120_000)
+		if big > small+0.01 {
+			t.Errorf("%s: miss rate rose with budget (%.3f → %.3f)", name, small, big)
+		}
+	}
+}

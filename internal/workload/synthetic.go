@@ -1,0 +1,196 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"regsim/internal/prog"
+)
+
+// SyntheticParams describes a user-composed workload for "what would *my*
+// code need?" studies: the register-file requirement and IPC of a machine
+// depend on exactly these dynamic properties, so a downstream user can dial
+// in their application's character without writing assembly.
+//
+// The generator emits one practically unbounded loop whose body approximates
+// the requested instruction mix; remaining slots are integer ALU operations.
+// All fields have usable zero values except the fractions, which must sum to
+// at most ~0.9 (the loop needs its own bookkeeping instructions).
+type SyntheticParams struct {
+	// Name labels the generated program.
+	Name string
+	// LoadFrac/StoreFrac/FPFrac/BranchFrac are the target fractions of the
+	// dynamic instruction stream (loads, stores, floating-point arithmetic,
+	// conditional branches).
+	LoadFrac, StoreFrac, FPFrac, BranchFrac float64
+	// FootprintBytes is the data working set the loads sweep (rounded up to
+	// a power of two, minimum 4 KB). Footprints beyond the 64 KB cache turn
+	// into the corresponding miss rate.
+	FootprintBytes int
+	// BranchBias is the probability of each data-dependent branch's
+	// minority direction (≈ its best-case misprediction rate; 0 makes all
+	// branches perfectly predictable loop branches).
+	BranchBias float64
+	// FPChainDepth serialises the FP work: each iteration's FP operations
+	// form chains of this depth (0 or 1 = fully parallel). Deeper chains
+	// lower IPC the way real dependence-bound code does.
+	FPChainDepth int
+	// DivideEvery inserts one unpipelined FP divide every N iterations
+	// (0 = never): the paper's ora/doduc bottleneck.
+	DivideEvery int
+	// BodyOps sets the approximate loop-body size in instructions
+	// (default 48; larger bodies make branch fractions finer-grained).
+	BodyOps int
+	// Seed varies the generated address/branch streams.
+	Seed int64
+}
+
+func (p SyntheticParams) validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"LoadFrac", p.LoadFrac}, {"StoreFrac", p.StoreFrac},
+		{"FPFrac", p.FPFrac}, {"BranchFrac", p.BranchFrac},
+	} {
+		if f.v < 0 || f.v > 0.9 {
+			return fmt.Errorf("workload: %s = %v out of range [0, 0.9]", f.name, f.v)
+		}
+	}
+	if sum := p.LoadFrac + p.StoreFrac + p.FPFrac + p.BranchFrac; sum > 0.9 {
+		return fmt.Errorf("workload: fractions sum to %.2f > 0.9 (the loop needs bookkeeping slots)", sum)
+	}
+	if p.BranchBias < 0 || p.BranchBias > 0.5 {
+		return fmt.Errorf("workload: BranchBias = %v out of range [0, 0.5]", p.BranchBias)
+	}
+	if p.FootprintBytes < 0 || p.FPChainDepth < 0 || p.DivideEvery < 0 || p.BodyOps < 0 {
+		return fmt.Errorf("workload: negative parameter")
+	}
+	return nil
+}
+
+// Synthetic generates a program with the requested dynamic character.
+func Synthetic(p SyntheticParams) (*prog.Program, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if p.Name == "" {
+		p.Name = "synthetic"
+	}
+	body := p.BodyOps
+	if body == 0 {
+		body = 48
+	}
+	if body < 16 {
+		body = 16
+	}
+	footprint := 4096
+	for footprint < p.FootprintBytes {
+		footprint <<= 1
+	}
+	fpMask := int32(footprint - 8)
+
+	nLoad := int(math.Round(p.LoadFrac * float64(body)))
+	nStore := int(math.Round(p.StoreFrac * float64(body)))
+	nFP := int(math.Round(p.FPFrac * float64(body)))
+	nBr := int(math.Round(p.BranchFrac * float64(body)))
+
+	b := prog.NewBuilder(p.Name)
+	const (
+		rIdx, rCnt, rRnd, rT, rCmp, rPtr = 1, 2, 3, 4, 5, 6
+	)
+	initRandomFloats(b, smallBase, smallBytes, p.Seed+1, 0.5, 1.5)
+	b.MovI(rIdx, 0)
+	b.MovI(rCnt, outerIterations)
+	b.MovI(rRnd, int32(p.Seed)|1)
+	b.MovI(20, smallBase)
+	b.FLd(20, 20, 0) // nonzero divisor seed
+	if p.DivideEvery > 1 {
+		b.MovI(7, int32(p.DivideEvery))
+	}
+	b.Label("loop")
+	emitted := 5 // loop bookkeeping emitted below
+	if p.BranchBias > 0 && nBr > 0 {
+		xorshift(b, rRnd, rT)
+		emitted += 6
+	}
+	// Address base for this iteration's memory traffic.
+	b.AndI(rPtr, rIdx, fpMask)
+	b.AddI(rPtr, rPtr, bigBase)
+	emitted += 2
+
+	// Memory traffic: sequential sweep over the footprint.
+	for i := 0; i < nLoad; i++ {
+		b.FLd(uint8(i%14), rPtr, int32(8*i))
+		emitted++
+	}
+	for i := 0; i < nStore; i++ {
+		b.FSt(uint8(i%14), rPtr, int32(8*(nLoad+i)))
+		emitted++
+	}
+
+	// FP arithmetic in chains of the requested depth.
+	depth := p.FPChainDepth
+	if depth < 1 {
+		depth = 1
+	}
+	for i := 0; i < nFP; i++ {
+		chainReg := uint8(14 + (i/depth)%6)
+		if i%2 == 0 {
+			b.FAdd(chainReg, chainReg, uint8(i%14))
+		} else {
+			b.FMul(chainReg, chainReg, 20)
+		}
+		emitted++
+	}
+
+	// Occasional unpipelined divide.
+	if p.DivideEvery > 0 {
+		if p.DivideEvery == 1 {
+			b.FDivD(21, 20, 14)
+			emitted++
+		} else {
+			b.SubI(7, 7, 1)
+			b.Bne(7, "nodiv")
+			b.FDivD(21, 20, 14)
+			b.MovI(7, int32(p.DivideEvery))
+			b.Label("nodiv")
+			emitted += 4
+		}
+	}
+
+	// Data-dependent branches with the requested bias; the last branch slot
+	// is the (perfectly predictable) loop branch.
+	thresh := int32(math.Round(p.BranchBias * 1024))
+	for i := 0; i < nBr-1; i++ {
+		lbl := fmt.Sprintf("sk%d", i)
+		if thresh > 0 {
+			biasedBranch(b, rRnd, rCmp, uint(4+10*(i%6)), thresh, lbl)
+		} else {
+			b.Beq(rCnt, lbl) // never taken: rCnt > 0 inside the loop
+			emitted -= 3     // biasedBranch is 4 ops, Beq is 1
+		}
+		b.AddI(8, 8, 1)
+		b.Label(lbl)
+		emitted += 5
+	}
+
+	// Pad with integer work to reach the body size.
+	for emitted < body-3 {
+		b.AddI(uint8(9+emitted%8), 17, 1)
+		emitted++
+	}
+
+	b.AddI(rIdx, rIdx, 8*int32(max(nLoad, 1)))
+	b.SubI(rCnt, rCnt, 1)
+	b.Bne(rCnt, "loop")
+	b.Halt()
+	return b.Build()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"testing"
+
+	"regsim/internal/core"
+	"regsim/internal/ref"
+)
+
+func runSynthetic(t *testing.T, p SyntheticParams, budget int64) *core.Result {
+	t.Helper()
+	prog, err := Synthetic(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.RegsPerFile = 512
+	m, err := core.New(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSyntheticValidation(t *testing.T) {
+	bad := []SyntheticParams{
+		{LoadFrac: -0.1},
+		{LoadFrac: 0.95},
+		{LoadFrac: 0.5, StoreFrac: 0.5}, // sums past 0.9
+		{BranchBias: 0.6},
+		{FootprintBytes: -1},
+		{DivideEvery: -2},
+	}
+	for i, p := range bad {
+		if _, err := Synthetic(p); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+// TestSyntheticMixApproximatesTargets: the achieved dynamic mix lands near
+// the requested fractions.
+func TestSyntheticMixApproximatesTargets(t *testing.T) {
+	p := SyntheticParams{
+		Name:     "mix",
+		LoadFrac: 0.25, StoreFrac: 0.05, FPFrac: 0.30, BranchFrac: 0.10,
+		BranchBias: 0.10, Seed: 7,
+	}
+	res := runSynthetic(t, p, 30_000)
+	exec := float64(res.Issued)
+	if got := float64(res.IssuedLoads) / exec; got < 0.18 || got > 0.32 {
+		t.Errorf("load fraction %.2f, want ≈0.25", got)
+	}
+	if got := float64(res.IssuedCondBr) / exec; got < 0.05 || got > 0.16 {
+		t.Errorf("branch fraction %.2f, want ≈0.10", got)
+	}
+	if got := res.MispredictRate(); got < 0.04 || got > 0.18 {
+		t.Errorf("mispredict rate %.2f, want ≈0.10", got)
+	}
+}
+
+// TestSyntheticFootprintDrivesMissRate: a cache-resident footprint hits, a
+// multi-megabyte footprint misses.
+func TestSyntheticFootprintDrivesMissRate(t *testing.T) {
+	base := SyntheticParams{LoadFrac: 0.3, Seed: 3}
+	small := base
+	small.FootprintBytes = 8 << 10
+	big := base
+	big.FootprintBytes = 8 << 20
+	missSmall := runSynthetic(t, small, 40_000).LoadMissRate()
+	missBig := runSynthetic(t, big, 40_000).LoadMissRate()
+	if missSmall > 0.05 {
+		t.Errorf("8KB footprint misses at %.2f", missSmall)
+	}
+	if missBig < 0.10 {
+		t.Errorf("8MB footprint misses at only %.2f", missBig)
+	}
+}
+
+// TestSyntheticChainDepthLowersIPC: deeper FP chains mean less parallelism.
+func TestSyntheticChainDepthLowersIPC(t *testing.T) {
+	base := SyntheticParams{FPFrac: 0.5, Seed: 5}
+	shallow := base
+	shallow.FPChainDepth = 1
+	deep := base
+	deep.FPChainDepth = 12
+	ipcShallow := runSynthetic(t, shallow, 30_000).CommitIPC()
+	ipcDeep := runSynthetic(t, deep, 30_000).CommitIPC()
+	if ipcDeep >= ipcShallow {
+		t.Errorf("deep chains (%.2f IPC) not slower than shallow (%.2f)", ipcDeep, ipcShallow)
+	}
+}
+
+// TestSyntheticDividesThrottle: frequent divides bound IPC via the
+// unpipelined divider.
+func TestSyntheticDividesThrottle(t *testing.T) {
+	base := SyntheticParams{FPFrac: 0.3, Seed: 9}
+	noDiv := runSynthetic(t, base, 30_000).CommitIPC()
+	withDiv := base
+	withDiv.DivideEvery = 1
+	divIPC := runSynthetic(t, withDiv, 30_000).CommitIPC()
+	if divIPC >= noDiv*0.9 {
+		t.Errorf("per-iteration divides (%.2f IPC) did not throttle (baseline %.2f)", divIPC, noDiv)
+	}
+}
+
+// TestSyntheticEquivalence: generated programs are architecturally valid
+// (pipeline prefix matches the reference interpreter).
+func TestSyntheticEquivalence(t *testing.T) {
+	p, err := Synthetic(SyntheticParams{
+		LoadFrac: 0.2, StoreFrac: 0.1, FPFrac: 0.25, BranchFrac: 0.12,
+		BranchBias: 0.2, DivideEvery: 3, FPChainDepth: 3, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	m, err := core.New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := ref.New(p)
+	if _, err := it.Run(uint64(res.Committed)); err != nil {
+		t.Fatal(err)
+	}
+	if res.Checksum != it.Sum.Value() {
+		t.Error("synthetic program: pipeline/reference divergence")
+	}
+}
+
+// TestSyntheticDefaults: the zero-value params (plus a name) give a plain
+// integer loop.
+func TestSyntheticDefaults(t *testing.T) {
+	res := runSynthetic(t, SyntheticParams{}, 5_000)
+	if res.IssuedLoads > 1 { // one preamble load seeds the divisor register
+		t.Errorf("default params issued %d loads", res.IssuedLoads)
+	}
+	if res.MispredictRate() > 0.02 {
+		t.Errorf("default params mispredict at %.2f", res.MispredictRate())
+	}
+}

@@ -1,0 +1,174 @@
+// Package workload provides the benchmark programs driving the experiments:
+// synthetic stand-ins for the nine SPEC92 benchmarks of Farkas, Jouppi &
+// Chow's Table 1, plus a random structured-program generator for property
+// tests.
+//
+// The paper drove its simulator with ATOM-instrumented Alpha binaries of
+// SPEC92 programs. Those binaries (and SPEC92 itself) are not reproducible
+// here, so each stand-in is a real program for the regsim ISA whose *dynamic
+// characteristics* are tuned toward the paper's Table 1 row for that
+// benchmark: the fraction of executed instructions that are loads and
+// conditional branches, the data-cache load miss rate against the 64 KB
+// baseline cache (via working-set size and access pattern), the conditional-
+// branch misprediction rate against the paper's McFarling predictor (via
+// branch bias and data-dependence), and the rough commit IPC (via dependence
+// chains and functional-unit demand). The register-file conclusions depend
+// on exactly these properties, not on SPEC92's program text.
+//
+// Every stand-in runs a practically unbounded outer loop and is executed for
+// a fixed commit budget by the harness; each also ends with a halt so that
+// small budgets terminate cleanly in correctness tests.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"regsim/internal/prog"
+)
+
+// Info describes one benchmark stand-in, including the paper's Table 1
+// targets that guided its construction (4-way issue figures).
+type Info struct {
+	Name string
+	// FP reports whether the paper classifies it as floating-point
+	// intensive (its FP-register results enter the floating-point
+	// averages of Figures 3 and 4).
+	FP bool
+	// Description summarises the kernel.
+	Description string
+
+	// Paper's Table 1 reference values (4-way issue), for documentation
+	// and trend tests: fraction of executed instructions that are loads
+	// and conditional branches, load miss rate, mispredict rate.
+	PaperLoadFrac float64
+	PaperCbrFrac  float64
+	PaperMissRate float64
+	PaperMispRate float64
+	PaperCommitI4 float64 // commit IPC, 4-way
+
+	build func() *prog.Program
+}
+
+var registry = map[string]*Info{}
+
+func register(i *Info) {
+	if _, dup := registry[i.Name]; dup {
+		panic("workload: duplicate benchmark " + i.Name)
+	}
+	registry[i.Name] = i
+}
+
+// Names returns the benchmark names in the paper's Table 1 order.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	order := map[string]int{
+		"compress": 0, "doduc": 1, "espresso": 2, "gcc1": 3,
+		"mdljdp2": 4, "mdljsp2": 5, "ora": 6, "su2cor": 7, "tomcatv": 8,
+	}
+	sort.Slice(names, func(a, b int) bool {
+		oa, oka := order[names[a]]
+		ob, okb := order[names[b]]
+		if oka && okb {
+			return oa < ob
+		}
+		if oka != okb {
+			return oka
+		}
+		return names[a] < names[b]
+	})
+	return names
+}
+
+// Get returns a benchmark's Info.
+func Get(name string) (*Info, error) {
+	i, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, Names())
+	}
+	return i, nil
+}
+
+// Build constructs the named benchmark's program.
+func Build(name string) (*prog.Program, error) {
+	i, err := Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return i.build(), nil
+}
+
+// FPNames returns the floating-point-intensive benchmark names (whose FP
+// register files enter the floating-point averages, per the paper's
+// footnote 3).
+func FPNames() []string {
+	var out []string
+	for _, n := range Names() {
+		if registry[n].FP {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Memory-layout constants shared by the generators.
+const (
+	// bigBytes is the size of a miss-generating array: 64× the 64 KB
+	// baseline cache, so sequential sweeps get no inter-pass reuse.
+	bigBytes = 4 << 20
+	bigMask  = bigBytes - 1
+	// bigStride spaces consecutive big arrays apart; the extra page
+	// de-aliases their cache sets (a pure 4 MB spacing would land every
+	// array on the same sets and thrash the 2-way cache).
+	bigStride = bigBytes + 4096
+	// smallBytes is a cache-resident array (one quarter of the cache).
+	smallBytes = 16 << 10
+	smallMask  = smallBytes - 1
+	// outerIterations makes the outer loop practically unbounded; the
+	// experiment harness stops at its commit budget. The value still fits
+	// a 32-bit immediate, and termination keeps tiny correctness runs
+	// well-defined.
+	outerIterations = 1 << 30
+)
+
+// lcg emits a step of a 64-bit linear congruential generator on register r:
+// r = r*1103515245 + 12345. The multiply costs the paper's six-cycle
+// pipelined latency, just like real address-hashing code.
+func lcg(b *prog.Builder, r uint8) {
+	b.MulI(r, r, 1103515245)
+	b.AddI(r, r, 12345)
+}
+
+// lcgBits extracts width pseudo-random bits from LCG state r into dst
+// (taking high-quality middle bits; the low LCG bits are short-period and a
+// history predictor would memorise them).
+func lcgBits(b *prog.Builder, dst, r uint8, width uint) {
+	b.ShrI(dst, r, 24)
+	b.AndI(dst, dst, int32(1<<width-1))
+}
+
+// xorshift emits a 64-bit xorshift step on register r using t as a
+// temporary: six single-cycle operations, so branch conditions derived from
+// it resolve quickly (the multiply-based lcg takes six cycles before its
+// result even exists, which exaggerates misprediction penalties).
+func xorshift(b *prog.Builder, r, t uint8) {
+	b.ShlI(t, r, 13)
+	b.Xor(r, r, t)
+	b.ShrI(t, r, 7)
+	b.Xor(r, r, t)
+	b.ShlI(t, r, 17)
+	b.Xor(r, r, t)
+}
+
+// biasedBranch emits a conditional branch to label taken with probability
+// ≈ thresh/1024, using pseudo-random bits (shifted down by bitPos) from
+// state register r. cmp is a scratch register.
+func biasedBranch(b *prog.Builder, r, cmp uint8, bitPos uint, thresh int32, label string) {
+	b.ShrI(cmp, r, int32(bitPos))
+	b.AndI(cmp, cmp, 1023)
+	b.CmpLI(cmp, cmp, thresh)
+	b.Bne(cmp, label)
+}

@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"regsim/internal/isa"
+	"regsim/internal/ref"
+)
+
+func TestNamesOrder(t *testing.T) {
+	want := []string{"compress", "doduc", "espresso", "gcc1", "mdljdp2", "mdljsp2", "ora", "su2cor", "tomcatv"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Names() = %v, want Table 1 order %v", got, want)
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("spice"); err == nil {
+		t.Error("unknown benchmark resolved")
+	}
+	if _, err := Build("spice"); err == nil {
+		t.Error("unknown benchmark built")
+	}
+}
+
+func TestFPNames(t *testing.T) {
+	want := []string{"doduc", "mdljdp2", "mdljsp2", "ora", "su2cor", "tomcatv"}
+	if got := FPNames(); !reflect.DeepEqual(got, want) {
+		t.Errorf("FPNames() = %v, want %v", got, want)
+	}
+}
+
+func TestAllBenchmarksBuildAndValidate(t *testing.T) {
+	for _, name := range Names() {
+		p, err := Build(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("program name %q != benchmark %q", p.Name, name)
+		}
+		if len(p.Text) < 10 {
+			t.Errorf("%s: implausibly small text (%d)", name, len(p.Text))
+		}
+	}
+}
+
+func TestBenchmarksDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		a, _ := Build(name)
+		b, _ := Build(name)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: two builds differ", name)
+		}
+	}
+}
+
+// TestBenchmarksRunStandalone: every stand-in must execute correctly on the
+// reference interpreter for a prefix without faulting.
+func TestBenchmarksRunStandalone(t *testing.T) {
+	for _, name := range Names() {
+		p, _ := Build(name)
+		it := ref.New(p)
+		if _, err := it.Run(20_000); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if it.Halted {
+			t.Errorf("%s: halted after only 20k instructions (outer loop too short)", name)
+		}
+	}
+}
+
+// TestBenchmarkInfoTargets: every Info carries the paper's Table 1 reference
+// characteristics (used by docs and trend tests).
+func TestBenchmarkInfoTargets(t *testing.T) {
+	for _, name := range Names() {
+		info, _ := Get(name)
+		if info.Description == "" {
+			t.Errorf("%s: no description", name)
+		}
+		if info.PaperLoadFrac <= 0 || info.PaperLoadFrac > 0.5 {
+			t.Errorf("%s: implausible load fraction %v", name, info.PaperLoadFrac)
+		}
+		if info.PaperCommitI4 < 1.5 || info.PaperCommitI4 > 4 {
+			t.Errorf("%s: implausible 4-way commit IPC %v", name, info.PaperCommitI4)
+		}
+	}
+}
+
+func TestRandomProgramsTerminate(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 15
+	}
+	classSeen := map[isa.Class]bool{}
+	for seed := 0; seed < seeds; seed++ {
+		p := RandomProgram(int64(seed))
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, in := range p.Text {
+			classSeen[in.Op.Class()] = true
+		}
+		it := ref.New(p)
+		if _, err := it.Run(5_000_000); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !it.Halted {
+			t.Fatalf("seed %d: random program did not halt", seed)
+		}
+	}
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		if !classSeen[c] {
+			t.Errorf("random programs never emitted class %v", c)
+		}
+	}
+}
+
+func TestRandomProgramDeterministic(t *testing.T) {
+	a := RandomProgram(5)
+	b := RandomProgram(5)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different programs")
+	}
+	c := RandomProgram(6)
+	if reflect.DeepEqual(a.Text, c.Text) {
+		t.Error("different seeds produced identical programs")
+	}
+}

@@ -1,0 +1,164 @@
+// Package regsim is a cycle-level simulator of dynamically scheduled
+// (out-of-order) superscalar processors, built to reproduce
+//
+//	K.I. Farkas, N.P. Jouppi, P. Chow,
+//	"Register File Design Considerations in Dynamically Scheduled
+//	Processors", WRL Research Report 95/10 / HPCA 1996.
+//
+// The library models a 4- or 8-way issue RISC machine with register
+// renaming, a unified dispatch queue, greedy oldest-first scheduling,
+// McFarling combining branch prediction, speculative (including wrong-path)
+// execution, non-blocking loads with an inverted-MSHR lockup-free cache, and
+// the paper's two register-freeing exception models (precise and imprecise).
+// It also includes the paper's multiported register-file cycle-time model
+// and an experiment harness that regenerates every table and figure.
+//
+// # Quick start
+//
+//	prog, _ := regsim.Workload("tomcatv")
+//	cfg := regsim.DefaultConfig()     // 4-way, 32-entry queue, 80 regs/file
+//	res, _ := regsim.Run(cfg, prog, 100_000)
+//	fmt.Printf("commit IPC %.2f\n", res.CommitIPC())
+//
+// The underlying building blocks live in internal packages; this package is
+// the stable surface: machine configuration and execution, the benchmark
+// workloads, the register-file timing model, and the paper's experiment
+// suite (Suite).
+package regsim
+
+import (
+	"regsim/internal/asm"
+	"regsim/internal/cache"
+	"regsim/internal/core"
+	"regsim/internal/exper"
+	"regsim/internal/prog"
+	"regsim/internal/rename"
+	"regsim/internal/rftiming"
+	"regsim/internal/trace"
+	"regsim/internal/workload"
+)
+
+// Config selects a machine configuration. It is the experiment axes of the
+// paper plus fixed structural parameters; see the field documentation on the
+// aliased type.
+type Config = core.Config
+
+// Result holds the statistics of one simulation run.
+type Result = core.Result
+
+// Program is an executable image for the simulator's Alpha-style ISA.
+type Program = prog.Program
+
+// ExceptionModel selects the register-freeing discipline.
+type ExceptionModel = rename.Model
+
+// Exception models (paper §2.2).
+const (
+	// Precise frees a retired register mapping when the retiring
+	// instruction commits; the machine can recover exact state at any
+	// instruction boundary.
+	Precise = rename.Precise
+	// Imprecise frees mappings under the weaker completion-based
+	// conditions — the paper's lower bound on register requirements.
+	Imprecise = rename.Imprecise
+)
+
+// CacheKind selects the data-cache organisation.
+type CacheKind = cache.Kind
+
+// Data-cache organisations (paper §2.1 and §3.3).
+const (
+	// PerfectCache always hits.
+	PerfectCache = cache.Perfect
+	// LockupCache blocks on a miss until the fill completes.
+	LockupCache = cache.Lockup
+	// LockupFreeCache services unlimited outstanding misses with an
+	// inverted-MSHR organisation.
+	LockupFreeCache = cache.LockupFree
+)
+
+// DefaultConfig returns the paper's baseline 4-way machine: a 32-entry
+// dispatch queue, 80 registers per file, precise exceptions, and the 64 KB
+// 2-way lockup-free data cache with a 16-cycle fetch latency.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Run simulates prog on a machine with the given configuration until the
+// program halts or maxCommit instructions have committed.
+func Run(cfg Config, p *Program, maxCommit int64) (*Result, error) {
+	m, err := core.New(cfg, p)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run(maxCommit)
+}
+
+// Workload builds one of the built-in SPEC92 stand-in benchmarks by name
+// (compress, doduc, espresso, gcc1, mdljdp2, mdljsp2, ora, su2cor, tomcatv).
+func Workload(name string) (*Program, error) { return workload.Build(name) }
+
+// Workloads returns the benchmark names in the paper's Table 1 order.
+func Workloads() []string { return workload.Names() }
+
+// WorkloadInfo describes a built-in benchmark, including the paper's
+// Table 1 reference characteristics that guided its construction.
+type WorkloadInfo = workload.Info
+
+// WorkloadByName returns a benchmark's description.
+func WorkloadByName(name string) (*WorkloadInfo, error) { return workload.Get(name) }
+
+// SyntheticParams describes a user-composed workload (instruction mix,
+// working-set footprint, branch bias, dependence depth, divide frequency)
+// for "what would my code need?" register-file studies.
+type SyntheticParams = workload.SyntheticParams
+
+// Synthetic generates a program with the requested dynamic character.
+func Synthetic(p SyntheticParams) (*Program, error) { return workload.Synthetic(p) }
+
+// RandomProgram generates a terminating random structured program
+// (deterministic per seed); it exercises every instruction class and is
+// intended for differential testing against the reference interpreter.
+func RandomProgram(seed int64) *Program { return workload.RandomProgram(seed) }
+
+// TimingParams holds the multiported register-file timing model's technology
+// constants (paper §3.4, Figures 9–10).
+type TimingParams = rftiming.Params
+
+// TimingPorts describes a register file's port configuration.
+type TimingPorts = rftiming.Ports
+
+// DefaultTimingParams returns the calibrated 0.5µm CMOS parameter set.
+func DefaultTimingParams() TimingParams { return rftiming.Default05um() }
+
+// PortsForWidth returns the paper's port provisioning: 2×width read ports
+// and width write ports for the integer file, half of each for the
+// floating-point file.
+func PortsForWidth(width int, fpFile bool) TimingPorts { return rftiming.PortsFor(width, fpFile) }
+
+// BIPS converts a commit IPC and a machine cycle time in nanoseconds into
+// billions of instructions per second (the paper's Figure 10 metric).
+func BIPS(commitIPC, cycleNS float64) float64 { return rftiming.BIPS(commitIPC, cycleNS) }
+
+// Suite runs the paper's experiments (Table 1, Figures 3–8 and 10, plus the
+// ablation studies) with memoised simulations; see the methods on the
+// aliased type.
+type Suite = exper.Suite
+
+// NewSuite returns an experiment suite with the given per-run commit budget
+// (the paper ran 23M–910M instructions per benchmark; a few hundred thousand
+// reproduce the trends for the synthetic stand-ins).
+func NewSuite(budget int64) *Suite { return exper.NewSuite(budget) }
+
+// ParseAsm assembles textual assembly (the isa.Disasm syntax plus labels and
+// .entry/.word/.float directives; see internal/asm) into a runnable program.
+func ParseAsm(name, src string) (*Program, error) { return asm.Parse(name, src) }
+
+// Event is one pipeline transition delivered to Config.Tracer.
+type Event = core.Event
+
+// TraceRecorder collects pipeline events and renders D/I/C/R pipeline
+// diagrams; install its Hook as Config.Tracer.
+type TraceRecorder = trace.Recorder
+
+// NewTraceRecorder returns a recorder for up to limit instructions
+// (0 = unlimited).
+func NewTraceRecorder(limit int) *TraceRecorder { return trace.NewRecorder(limit) }
