@@ -20,15 +20,17 @@ import (
 	"time"
 
 	"regsim/internal/exper"
+	"regsim/internal/telemetry"
 )
 
 func main() {
 	budget := flag.Int64("n", 200_000, "committed instructions per simulation")
 	verbose := flag.Bool("v", false, "print a line per completed simulation")
+	progress := flag.Bool("progress", false, "print in-run heartbeats (cycles, committed, IPC, ETA) for long sweeps")
 	plots := flag.Bool("plots", false, "also render figures as ASCII charts")
 	asJSON := flag.Bool("json", false, "emit the experiment's data as JSON instead of tables")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: paper [-n budget] [-v] table1|fig3|fig4|fig5|fig6|fig7|fig8|fig10|findings|regreq|ports|ablations|all\n")
+		fmt.Fprintf(os.Stderr, "usage: paper [-n budget] [-v] [-progress] table1|fig3|fig4|fig5|fig6|fig7|fig8|fig10|findings|regreq|ports|ablations|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -40,6 +42,19 @@ func main() {
 	s := exper.NewSuite(*budget)
 	if *verbose {
 		s.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+	if *progress {
+		s.Heartbeat = func(p telemetry.Progress) {
+			if !p.Done { // per-run completion is already the -v line
+				fmt.Fprintf(os.Stderr, "  ... %s\n", p)
+			}
+		}
+		// Scale the heartbeat period so a run reports a handful of times
+		// regardless of budget (cycles ≈ budget / IPC; IPC ≈ 2–6).
+		s.HeartbeatEvery = *budget / 8
+		if s.HeartbeatEvery < 1<<12 {
+			s.HeartbeatEvery = 1 << 12
+		}
 	}
 	start := time.Now()
 	if err := run(s, flag.Arg(0), *plots, *asJSON); err != nil {

@@ -8,12 +8,20 @@
 // Benchmarks: compress doduc espresso gcc1 mdljdp2 mdljsp2 ora su2cor
 // tomcatv; random:<seed> for a generated structured program; or
 // asm:<path> to assemble and run a .s file (see internal/asm for syntax).
+//
+// Observability flags: -account prints the top-down cycle accounting,
+// -metrics-out writes the full telemetry snapshot (cycle accounts, latency
+// percentiles, port histograms) as JSON, -chrome-trace writes a Perfetto /
+// chrome://tracing loadable pipeline trace, and -cpuprofile profiles the
+// simulator itself.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -21,6 +29,7 @@ import (
 	"regsim/internal/asm"
 	"regsim/internal/isa"
 	"regsim/internal/stats"
+	"regsim/internal/telemetry"
 	"regsim/internal/trace"
 )
 
@@ -33,6 +42,13 @@ func main() {
 	budget := flag.Int64("n", 200_000, "committed-instruction budget")
 	track := flag.Bool("live", false, "track live-register histograms and print percentiles")
 	traceN := flag.Int("trace", 0, "render a pipeline diagram of the first N instructions")
+	account := flag.Bool("account", false, "print the top-down cycle accounting")
+	metricsOut := flag.String("metrics-out", "", "write the full telemetry snapshot as JSON to this file")
+	chromeTrace := flag.String("chrome-trace", "", "write a Chrome trace-event (Perfetto) JSON pipeline trace to this file")
+	traceStart := flag.Int64("trace-start", 0, "first cycle captured by -chrome-trace")
+	traceEnd := flag.Int64("trace-end", 0, "cycle bound of -chrome-trace capture (0 = unbounded)")
+	traceLimit := flag.Int("trace-limit", 0, "instruction cap of -chrome-trace capture (0 = default 100000)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator to this file")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintf(os.Stderr, "usage: regsim [flags] <benchmark>\nbenchmarks: %s, random:<seed>, asm:<path>\n",
@@ -40,14 +56,73 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+	// Reject malformed machine parameters here with a usage error rather
+	// than handing them to core.NewMachine: the flag is wrong, not the run.
+	if *width != 4 && *width != 8 {
+		fatalUsage("invalid -width %d: the machine model supports issue widths 4 and 8", *width)
+	}
+	if *regs < 0 {
+		fatalUsage("invalid -regs %d: the register-file size cannot be negative", *regs)
+	}
+	if *queue < 0 {
+		fatalUsage("invalid -queue %d: the dispatch-queue size cannot be negative", *queue)
+	}
+	if *budget <= 0 {
+		fatalUsage("invalid -n %d: the commit budget must be positive", *budget)
+	}
+	if *traceStart < 0 || *traceEnd < 0 || *traceLimit < 0 {
+		fatalUsage("invalid -trace-start/-trace-end/-trace-limit: capture bounds cannot be negative")
+	}
 
-	if err := run(flag.Arg(0), *width, *queue, *regs, *model, *ckind, *budget, *track, *traceN); err != nil {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "regsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "regsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
+	opts := runOpts{
+		width: *width, queue: *queue, regs: *regs,
+		model: *model, ckind: *ckind, budget: *budget,
+		track: *track, traceN: *traceN, account: *account,
+		metricsOut: *metricsOut, chromeTrace: *chromeTrace,
+		chromeOpts: trace.ChromeOptions{
+			StartCycle: *traceStart, EndCycle: *traceEnd, MaxInstructions: *traceLimit,
+		},
+	}
+	if err := run(flag.Arg(0), opts); err != nil {
 		fmt.Fprintf(os.Stderr, "regsim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench string, width, queue, regs int, model, ckind string, budget int64, track bool, traceN int) error {
+func fatalUsage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "regsim: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+type runOpts struct {
+	width, queue, regs int
+	model, ckind       string
+	budget             int64
+	track              bool
+	traceN             int
+	account            bool
+	metricsOut         string
+	chromeTrace        string
+	chromeOpts         trace.ChromeOptions
+}
+
+func run(bench string, o runOpts) error {
 	var p *regsim.Program
 	var err error
 	if path, ok := strings.CutPrefix(bench, "asm:"); ok {
@@ -69,22 +144,22 @@ func run(bench string, width, queue, regs int, model, ckind string, budget int64
 	}
 
 	cfg := regsim.DefaultConfig()
-	cfg.Width = width
-	if queue == 0 {
-		queue = 8 * width
+	cfg.Width = o.width
+	if o.queue == 0 {
+		o.queue = 8 * o.width
 	}
-	cfg.QueueSize = queue
-	cfg.RegsPerFile = regs
-	cfg.TrackLiveRegisters = track
-	switch model {
+	cfg.QueueSize = o.queue
+	cfg.RegsPerFile = o.regs
+	cfg.TrackLiveRegisters = o.track
+	switch o.model {
 	case "precise":
 		cfg.Model = regsim.Precise
 	case "imprecise":
 		cfg.Model = regsim.Imprecise
 	default:
-		return fmt.Errorf("unknown exception model %q", model)
+		return fmt.Errorf("unknown exception model %q", o.model)
 	}
-	switch ckind {
+	switch o.ckind {
 	case "perfect":
 		cfg.DCache = cfg.DCache.WithKind(regsim.PerfectCache)
 	case "lockup":
@@ -92,15 +167,46 @@ func run(bench string, width, queue, regs int, model, ckind string, budget int64
 	case "lockup-free":
 		cfg.DCache = cfg.DCache.WithKind(regsim.LockupFreeCache)
 	default:
-		return fmt.Errorf("unknown cache organisation %q", ckind)
+		return fmt.Errorf("unknown cache organisation %q", o.ckind)
 	}
 
 	var rec *trace.Recorder
-	if traceN > 0 {
-		rec = trace.NewRecorder(traceN)
-		cfg.Tracer = rec.Hook()
+	var hooks []func(regsim.Event)
+	if o.traceN > 0 {
+		rec = trace.NewRecorder(o.traceN)
+		hooks = append(hooks, rec.Hook())
 	}
-	res, err := regsim.Run(cfg, p, budget)
+	var ct *trace.ChromeTracer
+	if o.chromeTrace != "" {
+		ct = trace.NewChromeTracer(o.chromeOpts)
+		hooks = append(hooks, ct.Hook())
+		cfg.CounterSampler = ct.CounterHook()
+		// Counter tracks at 1/16 cycle resolution keep the trace small
+		// while still resolving queue-occupancy ramps.
+		cfg.CounterEvery = 16
+	}
+	switch len(hooks) {
+	case 0:
+	case 1:
+		cfg.Tracer = hooks[0]
+	default:
+		cfg.Tracer = func(ev regsim.Event) {
+			for _, h := range hooks {
+				h(ev)
+			}
+		}
+	}
+
+	var tel *regsim.Telemetry
+	if o.account || o.metricsOut != "" {
+		tel = regsim.NewTelemetry()
+		cfg.Telemetry = tel
+		if o.metricsOut != "" {
+			cfg.TrackLiveRegisters = true // the snapshot includes port histograms
+		}
+	}
+
+	res, err := regsim.Run(cfg, p, o.budget)
 	if err != nil {
 		return err
 	}
@@ -110,7 +216,7 @@ func run(bench string, width, queue, regs int, model, ckind string, budget int64
 	}
 
 	fmt.Printf("%s: %d-way, queue %d, %d regs/file, %s exceptions, %s cache\n",
-		p.Name, width, queue, regs, model, ckind)
+		p.Name, o.width, o.queue, o.regs, o.model, o.ckind)
 	fmt.Printf("  cycles              %12d\n", res.Cycles)
 	fmt.Printf("  committed           %12d   (commit IPC %.3f)\n", res.Committed, res.CommitIPC())
 	fmt.Printf("  executed            %12d   (issue IPC %.3f)\n", res.Issued, res.IssueIPC())
@@ -121,12 +227,106 @@ func run(bench string, width, queue, regs int, model, ckind string, budget int64
 	fmt.Printf("  no-free-reg cycles  %12d   (%.1f%% of run time)\n",
 		res.NoFreeRegCycles, 100*res.NoFreeRegFraction())
 	fmt.Printf("  halted: %v, checksum %#016x\n", res.Halted, res.Checksum)
-	if track {
+	if o.track {
 		for f := 0; f < 2; f++ {
 			d := stats.Normalize(res.Live[f].TotalLive())
 			fmt.Printf("  %s live registers: p50=%d p90=%d p100=%d\n",
 				isa.RegFile(f), d.Percentile(0.5), d.Percentile(0.9), d.FullCoveragePoint())
 		}
 	}
+	if o.account {
+		fmt.Printf("\n%v\n", &tel.Account)
+		fmt.Printf("latency (cycles):\n")
+		fmt.Printf("  dispatch→issue      %v\n", &tel.DispatchToIssue)
+		fmt.Printf("  issue→complete      %v\n", &tel.IssueToComplete)
+		fmt.Printf("  complete→commit     %v\n", &tel.CompleteToCommit)
+		fmt.Printf("  load-miss           %v\n", &tel.LoadMissLatency)
+	}
+
+	if o.metricsOut != "" {
+		if err := writeMetrics(o.metricsOut, bench, o, res, tel); err != nil {
+			return err
+		}
+	}
+	if ct != nil {
+		f, err := os.Create(o.chromeTrace)
+		if err != nil {
+			return err
+		}
+		if err := ct.Export(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s: %d instructions (%d dropped by the capture cap); load it at ui.perfetto.dev\n",
+			o.chromeTrace, ct.Instructions(), ct.Dropped())
+	}
 	return nil
+}
+
+// portJSON is the metrics-snapshot form of one register file's port usage.
+type portJSON struct {
+	// Reads[n]/Writes[n] count cycles using exactly n ports; the final
+	// entry is open-ended (see PortHist.Saturated).
+	Reads     []int64 `json:"reads"`
+	Writes    []int64 `json:"writes"`
+	Saturated bool    `json:"saturated"`
+}
+
+func trimZeros(h []int64) []int64 {
+	n := len(h)
+	for n > 0 && h[n-1] == 0 {
+		n--
+	}
+	return h[:n]
+}
+
+// metricsSnapshot is the `-metrics-out` schema (documented in README.md).
+type metricsSnapshot struct {
+	Benchmark string `json:"benchmark"`
+	Width     int    `json:"width"`
+	QueueSize int    `json:"queueSize"`
+	Regs      int    `json:"regsPerFile"`
+	Model     string `json:"model"`
+	Cache     string `json:"cache"`
+
+	Cycles    int64   `json:"cycles"`
+	Committed int64   `json:"committed"`
+	Issued    int64   `json:"issued"`
+	CommitIPC float64 `json:"commitIPC"`
+
+	Telemetry telemetry.Snapshot  `json:"telemetry"`
+	Ports     map[string]portJSON `json:"ports"`
+}
+
+func writeMetrics(path, bench string, o runOpts, res *regsim.Result, tel *regsim.Telemetry) error {
+	snap := metricsSnapshot{
+		Benchmark: bench,
+		Width:     o.width, QueueSize: o.queue, Regs: o.regs,
+		Model: o.model, Cache: o.ckind,
+		Cycles: res.Cycles, Committed: res.Committed, Issued: res.Issued,
+		CommitIPC: res.CommitIPC(),
+		Telemetry: tel.Snapshot(),
+		Ports:     make(map[string]portJSON, 2),
+	}
+	for f := 0; f < 2; f++ {
+		snap.Ports[isa.RegFile(f).String()] = portJSON{
+			Reads:     trimZeros(res.Ports[f].Reads),
+			Writes:    trimZeros(res.Ports[f].Writes),
+			Saturated: res.Ports[f].Saturated(),
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,0 +1,76 @@
+// Telemetry: where do the cycles go? Attach the telemetry sink to a run,
+// print the top-down cycle accounting and the stage-latency percentiles,
+// watch live progress heartbeats, and write a Perfetto-loadable pipeline
+// trace of the first few thousand cycles.
+//
+//	go run ./examples/telemetry
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"regsim"
+)
+
+func main() {
+	prog, err := regsim.Workload("compress")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := regsim.DefaultConfig()
+
+	// 1. The telemetry sink: cycle accounting + latency histograms.
+	tel := regsim.NewTelemetry()
+	cfg.Telemetry = tel
+
+	// 2. Progress heartbeats, delivered every ProgressEvery cycles.
+	cfg.Progress = func(p regsim.RunProgress) {
+		fmt.Printf("  %s\n", p)
+	}
+	cfg.ProgressEvery = 8192
+
+	// 3. A Perfetto trace of cycles [0, 5000).
+	ct := regsim.NewChromeTracer(regsim.ChromeTraceOptions{EndCycle: 5000})
+	cfg.Tracer = ct.Hook()
+	cfg.CounterSampler = ct.CounterHook()
+	cfg.CounterEvery = 16
+
+	fmt.Println("compress, 4-way, default machine:")
+	res, err := regsim.Run(cfg, prog, 100_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The accounting invariant: every cycle in exactly one bucket.
+	fmt.Printf("\n%s", tel.Account.String())
+	fmt.Printf("\nbuckets sum to %d cycles, run took %d (invariant checked by Run)\n",
+		tel.Account.Total(), res.Cycles)
+
+	fmt.Println("\nstage latencies:")
+	for _, s := range []struct {
+		name string
+		h    *regsim.LatencyHistogram
+	}{
+		{"dispatch→issue ", &tel.DispatchToIssue},
+		{"issue→complete ", &tel.IssueToComplete},
+		{"complete→commit", &tel.CompleteToCommit},
+		{"load miss      ", &tel.LoadMissLatency},
+	} {
+		fmt.Printf("  %s p50=%-3d p90=%-3d p99=%-3d max=%d\n",
+			s.name, s.h.P50(), s.h.P90(), s.h.P99(), s.h.Max())
+	}
+
+	f, err := os.Create("pipeline-trace.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := ct.Export(f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote pipeline-trace.json (%d instructions) — load it at https://ui.perfetto.dev\n",
+		ct.Instructions())
+}

@@ -18,6 +18,7 @@ import (
 	"regsim/internal/bpred"
 	"regsim/internal/cache"
 	"regsim/internal/rename"
+	"regsim/internal/telemetry"
 )
 
 // Config selects one machine configuration — the experiment axes of the
@@ -96,6 +97,26 @@ type Config struct {
 	// (dispatch, issue, complete, commit, squash, recovery). Tracing a
 	// long run is expensive; it is meant for short pipeline studies.
 	Tracer func(Event)
+
+	// --- Telemetry (see internal/telemetry). Each hook is fully skipped
+	// when nil; an uninstrumented run pays only the nil checks. ---
+
+	// Telemetry, when non-nil, receives the run's top-down cycle
+	// accounting and per-instruction stage-latency histograms. The sink is
+	// single-run: the machine checks at the end of Run that the accounting
+	// buckets sum exactly to the run's cycles.
+	Telemetry *telemetry.Telemetry
+	// Progress, when non-nil, receives a heartbeat every ProgressEvery
+	// cycles and once more when the run finishes.
+	Progress telemetry.ProgressFunc
+	// ProgressEvery is the heartbeat period in cycles (default 1<<20).
+	ProgressEvery int64
+	// CounterSampler, when non-nil, receives structural occupancy samples
+	// (dispatch-queue entries, free registers) every CounterEvery cycles.
+	// It feeds the Perfetto exporter's counter tracks.
+	CounterSampler func(CounterSample)
+	// CounterEvery is the sampling period in cycles (default 1).
+	CounterEvery int64
 }
 
 // DefaultConfig returns the paper's baseline 4-way machine: 32-entry
@@ -139,6 +160,9 @@ func (c Config) Validate() error {
 	}
 	if c.ReadPortsPerFile < 0 {
 		return fmt.Errorf("core: negative read-port budget")
+	}
+	if c.ProgressEvery < 0 || c.CounterEvery < 0 {
+		return fmt.Errorf("core: negative telemetry sampling period")
 	}
 	if err := c.DCache.Validate(); err != nil {
 		return err

@@ -1,0 +1,134 @@
+package core_test
+
+// The event-ordering contract of Config.Tracer, pinned here because the
+// Perfetto exporter (internal/trace) builds its per-stage slices from these
+// guarantees: for every instruction the tracer delivers
+// dispatch < issue < complete <= commit in cycle order, squashed sequence
+// numbers get exactly one EvSquash and never EvCommit, and committed
+// sequence numbers observe the full four-event lifecycle.
+
+import (
+	"testing"
+
+	"regsim/internal/core"
+	"regsim/internal/workload"
+)
+
+type seqEvents struct {
+	dispatch, issue, complete, commit, squash int64
+	events                                    int
+}
+
+func collectEvents(t *testing.T, bench string, budget int64) (map[int64]*seqEvents, *core.Result) {
+	t.Helper()
+	p, err := workload.Build(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	bySeq := map[int64]*seqEvents{}
+	lastCycle := int64(0)
+	cfg.Tracer = func(ev core.Event) {
+		if ev.Cycle < lastCycle {
+			t.Errorf("event stream went backwards: cycle %d after %d", ev.Cycle, lastCycle)
+		}
+		lastCycle = ev.Cycle
+		if ev.Kind == core.EvRecover {
+			return
+		}
+		r := bySeq[ev.Seq]
+		if r == nil {
+			r = &seqEvents{dispatch: -1, issue: -1, complete: -1, commit: -1, squash: -1}
+			bySeq[ev.Seq] = r
+			if ev.Kind != core.EvDispatch {
+				t.Errorf("seq %d: first event is %v, want dispatch", ev.Seq, ev.Kind)
+			}
+		}
+		r.events++
+		switch ev.Kind {
+		case core.EvDispatch:
+			if r.dispatch >= 0 {
+				t.Errorf("seq %d: duplicate dispatch", ev.Seq)
+			}
+			r.dispatch = ev.Cycle
+		case core.EvIssue:
+			if r.issue >= 0 {
+				t.Errorf("seq %d: duplicate issue", ev.Seq)
+			}
+			r.issue = ev.Cycle
+		case core.EvComplete:
+			if r.complete >= 0 {
+				t.Errorf("seq %d: duplicate complete", ev.Seq)
+			}
+			r.complete = ev.Cycle
+		case core.EvCommit:
+			if r.commit >= 0 {
+				t.Errorf("seq %d: duplicate commit", ev.Seq)
+			}
+			r.commit = ev.Cycle
+		case core.EvSquash:
+			if r.squash >= 0 {
+				t.Errorf("seq %d: duplicate squash", ev.Seq)
+			}
+			r.squash = ev.Cycle
+		}
+	}
+	m, err := core.New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bySeq, res
+}
+
+func TestEventOrderingInvariant(t *testing.T) {
+	// gcc1 has the workload set's worst mispredict rate, so the stream
+	// contains plenty of squashes alongside the committed lifecycles.
+	bySeq, res := collectEvents(t, "gcc1", 3_000)
+
+	var committed, squashed int64
+	for seq, r := range bySeq {
+		switch {
+		case r.commit >= 0 && r.squash >= 0:
+			t.Errorf("seq %d: both committed (cycle %d) and squashed (cycle %d)", seq, r.commit, r.squash)
+		case r.commit >= 0:
+			committed++
+			// A committed instruction has the full lifecycle, in order.
+			if r.dispatch < 0 || r.issue < 0 || r.complete < 0 {
+				t.Errorf("seq %d: committed with missing events %+v", seq, r)
+				continue
+			}
+			if !(r.dispatch < r.issue && r.issue < r.complete && r.complete <= r.commit) {
+				t.Errorf("seq %d: lifecycle out of order: D@%d I@%d C@%d R@%d",
+					seq, r.dispatch, r.issue, r.complete, r.commit)
+			}
+		case r.squash >= 0:
+			squashed++
+			if r.dispatch < 0 {
+				t.Errorf("seq %d: squashed without dispatch", seq)
+			}
+			if r.issue >= 0 && r.issue <= r.dispatch {
+				t.Errorf("seq %d: issue at %d not after dispatch at %d", seq, r.issue, r.dispatch)
+			}
+			if r.complete >= 0 && r.complete <= r.issue {
+				t.Errorf("seq %d: complete at %d not after issue at %d", seq, r.complete, r.issue)
+			}
+			if r.squash < r.dispatch {
+				t.Errorf("seq %d: squash at %d before dispatch at %d", seq, r.squash, r.dispatch)
+			}
+		default:
+			// Still in flight when the budget ran out — dispatch only
+			// is legal; completion without commit is too.
+		}
+	}
+	if committed != res.Committed {
+		t.Errorf("tracer saw %d commits, result says %d", committed, res.Committed)
+	}
+	if res.Mispredicts == 0 || squashed == 0 {
+		t.Fatalf("test exercised no squashes (mispredicts %d, squashed %d): pick a branchier workload",
+			res.Mispredicts, squashed)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"regsim/internal/bpred"
 	"regsim/internal/cache"
@@ -11,6 +12,7 @@ import (
 	"regsim/internal/prog"
 	"regsim/internal/ref"
 	"regsim/internal/rename"
+	"regsim/internal/telemetry"
 )
 
 // Machine is one configured processor instance executing one program.
@@ -72,6 +74,20 @@ type Machine struct {
 	// Per-cycle dispatch stall flags.
 	stallReg   bool
 	stallQueue bool
+
+	// Telemetry bookkeeping (inert unless the corresponding Config hooks
+	// are set). commitsCycle counts this cycle's retirements; stallWB marks
+	// a commit blocked by a full write buffer; icacheStallUntil and
+	// redirectUntil remember why fetch is idle so zero-commit cycles can be
+	// attributed to the right top-down bucket.
+	commitsCycle     int
+	stallWB          bool
+	icacheStallUntil int64
+	redirectUntil    int64
+	runStart         time.Time
+	progressEvery    int64
+	nextProgressAt   int64
+	nextCounterAt    int64
 
 	// Per-cycle register-file port usage (reset in statsStage).
 	cycleReads  [2]int
@@ -153,9 +169,21 @@ func New(cfg Config, p *prog.Program) (*Machine, error) {
 // program; the paper's machine cannot legitimately stall this long).
 const watchdogCycles = 1 << 20
 
+// defaultProgressEvery is the heartbeat period when Config.Progress is set
+// but Config.ProgressEvery is zero.
+const defaultProgressEvery = 1 << 20
+
 // Run simulates until the program halts or maxCommit instructions have
 // committed, and returns the run statistics.
 func (m *Machine) Run(maxCommit int64) (*Result, error) {
+	if m.cfg.Progress != nil {
+		m.runStart = time.Now()
+		m.progressEvery = m.cfg.ProgressEvery
+		if m.progressEvery == 0 {
+			m.progressEvery = defaultProgressEvery
+		}
+		m.nextProgressAt = m.now + m.progressEvery
+	}
 	lastProgress := m.now
 	lastCommitted := m.res.Committed
 	for !m.done && m.res.Committed < maxCommit {
@@ -169,13 +197,45 @@ func (m *Machine) Run(maxCommit int64) (*Result, error) {
 		if !m.specValid && m.win.occupied() == 0 && !m.done {
 			return nil, fmt.Errorf("core: execution ran off the text segment at pc=%d with an empty window", m.specPC)
 		}
+		if m.cfg.Progress != nil && m.now >= m.nextProgressAt {
+			m.nextProgressAt = m.now + m.progressEvery
+			m.emitProgress(maxCommit, false)
+		}
+	}
+	if m.cfg.Progress != nil {
+		m.emitProgress(maxCommit, true)
 	}
 	m.res.Checksum = m.sum.Value()
 	m.res.DCache = m.dc.Stats()
 	m.res.ICacheAccesses = m.ic.Accesses
 	m.res.ICacheMisses = m.ic.Misses
+	if t := m.cfg.Telemetry; t != nil {
+		// The top-down invariant: every cycle lands in exactly one bucket.
+		if err := t.Check(m.res.Cycles); err != nil {
+			return nil, err
+		}
+	}
 	r := m.res
 	return &r, nil
+}
+
+// emitProgress delivers one heartbeat to Config.Progress.
+func (m *Machine) emitProgress(budget int64, done bool) {
+	elapsed := time.Since(m.runStart)
+	p := telemetry.Progress{
+		Cycles:    m.now,
+		Committed: m.res.Committed,
+		Budget:    budget,
+		Elapsed:   elapsed,
+		Done:      done,
+	}
+	if m.now > 0 {
+		p.IPC = float64(m.res.Committed) / float64(m.now)
+	}
+	if !done && m.res.Committed > 0 && budget > m.res.Committed {
+		p.ETA = time.Duration(float64(elapsed) * float64(budget-m.res.Committed) / float64(m.res.Committed))
+	}
+	m.cfg.Progress(p)
 }
 
 // Rename exposes the rename unit for invariant checks in tests.

@@ -1,0 +1,42 @@
+package core
+
+import "testing"
+
+// TestPortHistSaturation is the regression test for portHistMax: completions
+// per cycle are not bounded by issue width (a burst of cache fills can write
+// arbitrarily many registers at once), so an over-wide burst must land in
+// the open-ended last bucket instead of indexing out of range.
+func TestPortHistSaturation(t *testing.T) {
+	h := newPortHist()
+	h.record(3, 100) // a >63-write burst
+	if got := h.Writes[portHistMax]; got != 1 {
+		t.Errorf("100-write burst: last bucket holds %d, want 1", got)
+	}
+	if got := h.Reads[3]; got != 1 {
+		t.Errorf("3 reads recorded as %d", got)
+	}
+	if !h.Saturated() {
+		t.Error("Saturated() false after an over-wide burst")
+	}
+
+	h2 := newPortHist()
+	h2.record(100, 2) // reads saturate the same way
+	if got := h2.Reads[portHistMax]; got != 1 {
+		t.Errorf("100-read burst: last bucket holds %d, want 1", got)
+	}
+	if !h2.Saturated() {
+		t.Error("Saturated() false after an over-wide read burst")
+	}
+
+	h3 := newPortHist()
+	h3.record(8, 16)
+	h3.record(portHistMax-1, portHistMax-1)
+	if h3.Saturated() {
+		t.Error("Saturated() true for in-range usage")
+	}
+
+	var empty PortHist // tracking disabled: nil slices
+	if empty.Saturated() {
+		t.Error("Saturated() true for an untracked run")
+	}
+}

@@ -171,9 +171,25 @@ func newPortHist() PortHist {
 	return PortHist{Reads: make([]int64, portHistMax+1), Writes: make([]int64, portHistMax+1)}
 }
 
-// portHistMax caps the histograms; write bursts beyond it saturate into the
-// last bucket (completions per cycle are not bounded by issue width).
+// portHistMax caps the histograms: a cycle using more than 63 ports is
+// counted in the last bucket rather than growing (or overrunning) the
+// histogram. Reads per cycle are bounded by issue width × 2 operands, but
+// completions are not bounded by issue width — a burst of cache fills
+// arriving together can write arbitrarily many registers in one cycle — so
+// the last bucket means "portHistMax or more". PortHist.Saturated reports
+// whether that ever happened, and consumers (the metrics JSON dump) must
+// treat the final bucket as open-ended.
 const portHistMax = 63
+
+// Saturated reports whether any cycle's port usage landed in the open-ended
+// final bucket (portHistMax or more reads or writes), i.e. whether the
+// histogram's tail under-reports true peak demand.
+func (h *PortHist) Saturated() bool {
+	if len(h.Reads) == 0 || len(h.Writes) == 0 {
+		return false
+	}
+	return h.Reads[len(h.Reads)-1] > 0 || h.Writes[len(h.Writes)-1] > 0
+}
 
 func (h *PortHist) record(reads, writes int) {
 	if reads > portHistMax {

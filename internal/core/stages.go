@@ -6,6 +6,7 @@ import (
 	"regsim/internal/mem"
 	"regsim/internal/prog"
 	"regsim/internal/rename"
+	"regsim/internal/telemetry"
 )
 
 // step advances the machine one clock cycle. Stage order within a cycle:
@@ -27,7 +28,8 @@ import (
 // in its insertion cycle.
 func (m *Machine) step() {
 	m.now++
-	m.stallReg, m.stallQueue = false, false
+	m.stallReg, m.stallQueue, m.stallWB = false, false, false
+	m.commitsCycle = 0
 
 	m.dc.Tick(m.now)
 	m.drainWriteBuffer()
@@ -127,6 +129,7 @@ func (m *Machine) recover(boundary int64) {
 	}
 	m.specValid = true
 	m.fetchResumeAt = m.now + 1 + int64(m.cfg.FrontEndDelay)
+	m.redirectUntil = m.fetchResumeAt
 }
 
 // squash undoes one instruction (newest-first within a recovery).
@@ -202,6 +205,7 @@ func (m *Machine) commitStage() {
 		}
 		if u.class == isa.ClassStore && m.cfg.WriteBufferEntries > 0 && m.wbCount >= m.cfg.WriteBufferEntries {
 			m.res.WriteBufferStalls++
+			m.stallWB = true
 			break // the write buffer is full: the store cannot commit
 		}
 		m.commit(u)
@@ -215,7 +219,16 @@ func (m *Machine) commitStage() {
 
 func (m *Machine) commit(u *uop) {
 	m.res.Committed++
+	m.commitsCycle++
 	m.emit(EvCommit, u)
+	if t := m.cfg.Telemetry; t != nil {
+		t.DispatchToIssue.Record(u.issueAt - u.dispatchAt)
+		t.IssueToComplete.Record(u.completeAt - u.issueAt)
+		t.CompleteToCommit.Record(m.now - u.completeAt)
+		if u.miss {
+			t.LoadMissLatency.Record(u.completeAt - u.issueAt)
+		}
+	}
 	m.sum.Add(u.pc, u.in.Op, u.result)
 	switch u.class {
 	case isa.ClassLoad:
@@ -336,6 +349,7 @@ func (m *Machine) freeDivider() int {
 
 func (m *Machine) issue(u *uop) {
 	u.state = sIssued
+	u.issueAt = m.now
 	m.emit(EvIssue, u)
 	m.unissuedRemove(u)
 	m.res.Issued++
@@ -367,6 +381,7 @@ func (m *Machine) issue(u *uop) {
 			u.fill = r.Fill
 			if r.Miss {
 				m.res.LoadMisses++
+				u.miss = true
 			}
 		}
 	case isa.ClassStore:
@@ -411,6 +426,7 @@ func (m *Machine) dispatchStage() {
 		}
 		if hit, readyAt := m.ic.Fetch(prog.PCByteAddr(m.specPC), m.now); !hit && readyAt > m.now {
 			m.fetchResumeAt = readyAt
+			m.icacheStallUntil = readyAt
 			return
 		}
 		dst, hasDst := in.Dst()
@@ -432,6 +448,7 @@ func (m *Machine) dispatchOne(in isa.Inst, dst isa.Reg, hasDst bool) {
 	u.pc = m.specPC
 	u.in = in
 	u.class = in.Op.Class()
+	u.dispatchAt = m.now
 
 	var srcBuf [2]isa.Reg
 	srcs := in.Srcs(srcBuf[:0])
@@ -512,9 +529,62 @@ func (m *Machine) dispatchOne(in isa.Inst, dst isa.Reg, hasDst bool) {
 	m.emit(EvDispatch, u)
 }
 
+// classifyCycle attributes the cycle that just executed to one top-down
+// accounting bucket. A cycle that retires at full commit bandwidth is
+// healthy; a partially-retiring cycle is charged to commit; a zero-commit
+// cycle is charged to the nearest bottleneck, walking from the back of the
+// pipeline (commit blocked, window head under a cache miss) to the front
+// (dispatch stalls, fetch starvation).
+func (m *Machine) classifyCycle() telemetry.Bucket {
+	switch {
+	case m.commitsCycle >= m.limits.Commit:
+		return telemetry.BucketCommitFull
+	case m.commitsCycle > 0:
+		return telemetry.BucketCommitPartial
+	}
+	if m.stallWB {
+		return telemetry.BucketWriteBuffer
+	}
+	if m.win.headSeq < m.win.nextSeq {
+		u := m.win.at(m.win.headSeq)
+		if u.seq == m.win.headSeq && u.state == sIssued && u.miss && u.completeAt > m.now {
+			return telemetry.BucketDCacheMiss
+		}
+	}
+	if m.stallQueue {
+		return telemetry.BucketQueueFull
+	}
+	if m.stallReg {
+		return telemetry.BucketNoFreeReg
+	}
+	if m.now < m.redirectUntil {
+		return telemetry.BucketRecovery
+	}
+	if m.now < m.icacheStallUntil {
+		return telemetry.BucketICacheMiss
+	}
+	return telemetry.BucketOther
+}
+
 // statsStage records per-cycle statistics.
 func (m *Machine) statsStage() {
 	m.res.Cycles = m.now
+	if t := m.cfg.Telemetry; t != nil {
+		t.Account.Observe(m.classifyCycle())
+	}
+	if m.cfg.CounterSampler != nil && m.now >= m.nextCounterAt {
+		every := m.cfg.CounterEvery
+		if every == 0 {
+			every = 1
+		}
+		m.nextCounterAt = m.now + every
+		m.cfg.CounterSampler(CounterSample{
+			Cycle:          m.now,
+			QueueOccupancy: m.qCounts[0] + m.qCounts[1] + m.qCounts[2],
+			FreeIntRegs:    m.ren.FreeCount(isa.IntFile),
+			FreeFPRegs:     m.ren.FreeCount(isa.FPFile),
+		})
+	}
 	if m.ren.FreeCount(isa.IntFile) == 0 || m.ren.FreeCount(isa.FPFile) == 0 {
 		m.res.NoFreeRegCycles++
 	}

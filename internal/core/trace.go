@@ -59,6 +59,20 @@ type Event struct {
 	Mispredict bool
 }
 
+// CounterSample is one periodic structural-occupancy sample, delivered to
+// Config.CounterSampler every Config.CounterEvery cycles. It drives the
+// Perfetto exporter's counter tracks (dispatch-queue occupancy and free
+// physical registers) but is independent of the event tracer.
+type CounterSample struct {
+	Cycle int64
+	// QueueOccupancy is the number of un-issued instructions across all
+	// dispatch queues.
+	QueueOccupancy int
+	// FreeIntRegs/FreeFPRegs are the free-list depths of the two files.
+	FreeIntRegs int
+	FreeFPRegs  int
+}
+
 func (m *Machine) emit(kind EventKind, u *uop) {
 	if m.cfg.Tracer == nil {
 		return

@@ -52,8 +52,12 @@ type uop struct {
 	mispredict bool
 	snapshot   bpred.History
 
-	// Timing.
+	// Timing. dispatchAt/issueAt feed the telemetry latency histograms;
+	// miss marks a load that probed the data cache and missed.
 	completeAt int64
+	dispatchAt int64
+	issueAt    int64
+	miss       bool
 
 	// Unissued (dispatch queue) intrusive list, in program order.
 	prevUn, nextUn int64

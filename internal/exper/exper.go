@@ -29,6 +29,7 @@ import (
 	"regsim/internal/cache"
 	"regsim/internal/core"
 	"regsim/internal/rename"
+	"regsim/internal/telemetry"
 	"regsim/internal/workload"
 )
 
@@ -61,6 +62,12 @@ type Suite struct {
 	Budget int64
 	// Progress, when non-nil, receives a line per completed run.
 	Progress func(string)
+	// Heartbeat, when non-nil, receives in-run progress heartbeats
+	// (labelled with the running spec) every HeartbeatEvery cycles — the
+	// live view into sweeps whose individual runs take minutes.
+	Heartbeat telemetry.ProgressFunc
+	// HeartbeatEvery is the heartbeat period in cycles (default 1<<20).
+	HeartbeatEvery int64
 
 	memo map[Spec]*core.Result
 }
@@ -92,6 +99,15 @@ func (s *Suite) Run(spec Spec) (*core.Result, error) {
 	cfg.Model = spec.Model
 	cfg.DCache = cfg.DCache.WithKind(spec.Cache)
 	cfg.TrackLiveRegisters = spec.Track
+	if s.Heartbeat != nil {
+		label := fmt.Sprintf("%s w=%d q=%d regs=%d", spec.Bench, spec.Width, spec.Queue, spec.Regs)
+		hb := s.Heartbeat
+		cfg.Progress = func(p telemetry.Progress) {
+			p.Label = label
+			hb(p)
+		}
+		cfg.ProgressEvery = s.HeartbeatEvery
+	}
 	m, err := core.New(cfg, p)
 	if err != nil {
 		return nil, fmt.Errorf("exper %v: %w", spec, err)

@@ -1,0 +1,46 @@
+package exper
+
+import (
+	"strings"
+	"testing"
+
+	"regsim/internal/cache"
+	"regsim/internal/rename"
+	"regsim/internal/telemetry"
+)
+
+// TestSuiteHeartbeat checks that in-run heartbeats flow out of Suite runs
+// labelled with the spec being simulated.
+func TestSuiteHeartbeat(t *testing.T) {
+	s := NewSuite(20_000)
+	var beats []telemetry.Progress
+	s.Heartbeat = func(p telemetry.Progress) { beats = append(beats, p) }
+	s.HeartbeatEvery = 1024
+
+	spec := Spec{Bench: "tomcatv", Width: 4, Queue: 32, Regs: 80,
+		Model: rename.Precise, Cache: cache.LockupFree}
+	res, err := s.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(beats) < 2 {
+		t.Fatalf("%d heartbeats for a %d-cycle run at period 1024", len(beats), res.Cycles)
+	}
+	for _, b := range beats {
+		if !strings.Contains(b.Label, "tomcatv") || !strings.Contains(b.Label, "w=4") {
+			t.Fatalf("heartbeat label %q does not identify the spec", b.Label)
+		}
+	}
+	if last := beats[len(beats)-1]; !last.Done || last.Committed != res.Committed {
+		t.Errorf("final heartbeat %+v disagrees with result (%d committed)", last, res.Committed)
+	}
+
+	// A memoised re-run performs no simulation and emits no heartbeats.
+	n := len(beats)
+	if _, err := s.Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	if len(beats) != n {
+		t.Errorf("memoised run emitted %d extra heartbeats", len(beats)-n)
+	}
+}

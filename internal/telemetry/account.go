@@ -1,0 +1,149 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Bucket is one top-down cycle-accounting category. Every simulated cycle is
+// attributed to exactly one bucket.
+type Bucket uint8
+
+const (
+	// BucketCommitFull: the cycle retired instructions at the machine's
+	// full commit bandwidth (2× issue width) — the healthy case.
+	BucketCommitFull Bucket = iota
+	// BucketCommitPartial: the cycle retired at least one instruction but
+	// fewer than the commit bandwidth.
+	BucketCommitPartial
+	// BucketQueueFull: nothing retired, and dispatch stopped early because
+	// the dispatch queue (or, with split queues, one class queue) was full.
+	BucketQueueFull
+	// BucketNoFreeReg: nothing retired, and dispatch stopped early because
+	// a destination needed a physical register and the free list was empty
+	// — the paper's register-pressure stall.
+	BucketNoFreeReg
+	// BucketICacheMiss: nothing retired while fetch was starved by an
+	// instruction-cache miss.
+	BucketICacheMiss
+	// BucketRecovery: nothing retired while fetch was redirecting after a
+	// misprediction recovery (the front-end refill shadow).
+	BucketRecovery
+	// BucketDCacheMiss: nothing retired because the oldest instruction in
+	// the window is a load still waiting on a data-cache miss — the miss
+	// shadow the paper's lockup-free cache is designed to hide.
+	BucketDCacheMiss
+	// BucketWriteBuffer: nothing retired because commit stopped at a store
+	// with the finite write buffer full.
+	BucketWriteBuffer
+	// BucketOther: every remaining zero-commit cycle — pipeline warm-up,
+	// execution latency of the window head (e.g. a divide), and post-halt
+	// drain.
+	BucketOther
+
+	// NumBuckets is the number of accounting categories.
+	NumBuckets
+)
+
+var bucketNames = [NumBuckets]string{
+	"commit-full",
+	"commit-partial",
+	"dispatch-queue-full",
+	"no-free-reg",
+	"icache-miss",
+	"mispredict-recovery",
+	"dcache-miss",
+	"write-buffer",
+	"other",
+}
+
+// String returns the bucket's stable snake-case name (used as the JSON key).
+func (b Bucket) String() string {
+	if b < NumBuckets {
+		return bucketNames[b]
+	}
+	return fmt.Sprintf("bucket(%d)", uint8(b))
+}
+
+// Buckets returns all buckets in accounting order.
+func Buckets() []Bucket {
+	bs := make([]Bucket, NumBuckets)
+	for i := range bs {
+		bs[i] = Bucket(i)
+	}
+	return bs
+}
+
+// CycleAccount is a top-down cycle-accounting tally. The zero value is ready
+// to use.
+type CycleAccount struct {
+	Counts [NumBuckets]int64
+}
+
+// Observe charges one cycle to bucket b.
+func (a *CycleAccount) Observe(b Bucket) { a.Counts[b]++ }
+
+// Total returns the number of accounted cycles.
+func (a *CycleAccount) Total() int64 {
+	var t int64
+	for _, c := range a.Counts {
+		t += c
+	}
+	return t
+}
+
+// Fraction returns bucket b's share of the accounted cycles.
+func (a *CycleAccount) Fraction(b Bucket) float64 {
+	t := a.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(a.Counts[b]) / float64(t)
+}
+
+// Check verifies the invariant that every simulated cycle was attributed to
+// exactly one bucket: the bucket counts must sum to cycles.
+func (a *CycleAccount) Check(cycles int64) error {
+	if t := a.Total(); t != cycles {
+		return fmt.Errorf("telemetry: cycle accounts sum to %d, run took %d cycles", t, cycles)
+	}
+	return nil
+}
+
+// AccountSnapshot is the JSON form of a CycleAccount.
+type AccountSnapshot struct {
+	TotalCycles int64            `json:"totalCycles"`
+	Cycles      map[string]int64 `json:"cycles"`
+	// Fractions is Cycles normalised by TotalCycles, rounded to 1e-6.
+	Fractions map[string]float64 `json:"fractions"`
+}
+
+// Snapshot renders the account as plain data.
+func (a *CycleAccount) Snapshot() AccountSnapshot {
+	s := AccountSnapshot{
+		TotalCycles: a.Total(),
+		Cycles:      make(map[string]int64, NumBuckets),
+		Fractions:   make(map[string]float64, NumBuckets),
+	}
+	for b := Bucket(0); b < NumBuckets; b++ {
+		s.Cycles[b.String()] = a.Counts[b]
+		s.Fractions[b.String()] = float64(int64(a.Fraction(b)*1e6+0.5)) / 1e6
+	}
+	return s
+}
+
+// MarshalJSON emits the snapshot form.
+func (a *CycleAccount) MarshalJSON() ([]byte, error) { return json.Marshal(a.Snapshot()) }
+
+// String renders a one-line-per-bucket table, largest share first omitted —
+// buckets are printed in pipeline order so related runs line up.
+func (a *CycleAccount) String() string {
+	var sb strings.Builder
+	t := a.Total()
+	fmt.Fprintf(&sb, "cycle accounting (%d cycles):", t)
+	for b := Bucket(0); b < NumBuckets; b++ {
+		fmt.Fprintf(&sb, "\n  %-20s %12d  %5.1f%%", b, a.Counts[b], 100*a.Fraction(b))
+	}
+	return sb.String()
+}

@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// smallMax is the exclusive upper bound of the histogram's exact range:
+// latencies below it are counted per value, larger ones fall into log2
+// buckets. 128 covers every fixed operation latency and all but the most
+// contended queue waits exactly; percentile error above it is bounded by a
+// factor of two (the log2 bucket width).
+const smallMax = 128
+
+// Histogram is a latency histogram tuned for the simulator's hot path:
+// Record is a couple of array increments with no allocation, values in
+// [0, 128) are counted exactly, and larger values land in log2 buckets.
+// The zero value is ready to use.
+type Histogram struct {
+	count int64
+	sum   int64
+	max   int64
+	small [smallMax]int64
+	// large[i] counts values v >= smallMax with bits.Len64(v) == i,
+	// i.e. v in [2^(i-1), 2^i).
+	large [65]int64
+}
+
+// Record adds one latency observation. Negative values clamp to zero.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	if v < smallMax {
+		h.small[v]++
+		return
+	}
+	h.large[bits.Len64(uint64(v))]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() int64 { return h.max }
+
+// Mean returns the average observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns the smallest latency L such that at least a fraction q of
+// observations are <= L. Exact for values below 128; for larger values it
+// returns the log2 bucket's inclusive upper bound (clamped to the observed
+// maximum). q is clamped to (0, 1].
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
+	if target > h.count {
+		target = h.count
+	}
+	var cum int64
+	for v, c := range h.small {
+		cum += c
+		if cum >= target {
+			return int64(v)
+		}
+	}
+	for i, c := range h.large {
+		cum += c
+		if cum >= target {
+			ub := int64(1)<<uint(i) - 1
+			if ub > h.max {
+				ub = h.max
+			}
+			return ub
+		}
+	}
+	return h.max
+}
+
+// P50 is the median latency.
+func (h *Histogram) P50() int64 { return h.Quantile(0.50) }
+
+// P90 is the 90th-percentile latency.
+func (h *Histogram) P90() int64 { return h.Quantile(0.90) }
+
+// P99 is the 99th-percentile latency.
+func (h *Histogram) P99() int64 { return h.Quantile(0.99) }
+
+// BucketCount is one non-empty histogram bucket: Count observations fell in
+// [Lo, Hi] inclusive.
+type BucketCount struct {
+	Lo    int64 `json:"lo"`
+	Hi    int64 `json:"hi"`
+	Count int64 `json:"count"`
+}
+
+// Buckets returns the non-empty buckets in ascending latency order, with the
+// exact range coalesced into log2-sized buckets so the output is uniformly
+// log-scaled (bucket [2^k, 2^(k+1)-1], plus [0,0] and [1,1]).
+func (h *Histogram) Buckets() []BucketCount {
+	var out []BucketCount
+	add := func(lo, hi, c int64) {
+		if c > 0 {
+			out = append(out, BucketCount{Lo: lo, Hi: hi, Count: c})
+		}
+	}
+	add(0, 0, h.small[0])
+	for lo := int64(1); lo < smallMax; lo *= 2 {
+		hi := 2*lo - 1
+		var c int64
+		for v := lo; v <= hi; v++ {
+			c += h.small[v]
+		}
+		add(lo, hi, c)
+	}
+	for i, c := range h.large {
+		add(int64(1)<<uint(i-1), int64(1)<<uint(i)-1, c)
+	}
+	return out
+}
+
+// HistStats is the JSON summary of a Histogram.
+type HistStats struct {
+	Count   int64         `json:"count"`
+	Mean    float64       `json:"mean"`
+	Max     int64         `json:"max"`
+	P50     int64         `json:"p50"`
+	P90     int64         `json:"p90"`
+	P99     int64         `json:"p99"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Stats summarises the histogram as plain data.
+func (h *Histogram) Stats() HistStats {
+	return HistStats{
+		Count:   h.count,
+		Mean:    math.Round(h.Mean()*1000) / 1000,
+		Max:     h.max,
+		P50:     h.P50(),
+		P90:     h.P90(),
+		P99:     h.P99(),
+		Buckets: h.Buckets(),
+	}
+}
+
+// MarshalJSON emits the summary form.
+func (h *Histogram) MarshalJSON() ([]byte, error) { return json.Marshal(h.Stats()) }
+
+// String renders a one-line summary.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50=%d p90=%d p99=%d max=%d",
+		h.count, h.Mean(), h.P50(), h.P90(), h.P99(), h.max)
+}

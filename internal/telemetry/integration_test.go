@@ -1,0 +1,196 @@
+package telemetry_test
+
+import (
+	"fmt"
+	"testing"
+
+	"regsim/internal/core"
+	"regsim/internal/telemetry"
+	"regsim/internal/workload"
+)
+
+// TestAccountingSumsAcrossWorkloads is the accounting acceptance gate: for
+// every benchmark in the paper's workload set, at both issue widths, the
+// top-down cycle buckets must sum exactly to the run's cycle count, and the
+// latency histograms must agree with the commit counters.
+func TestAccountingSumsAcrossWorkloads(t *testing.T) {
+	const budget = 5_000
+	names := workload.Names()
+	if len(names) != 9 {
+		t.Fatalf("%d workloads, want the paper's 9", len(names))
+	}
+	for _, bench := range names {
+		for _, width := range []int{4, 8} {
+			t.Run(fmt.Sprintf("%s/w%d", bench, width), func(t *testing.T) {
+				p, err := workload.Build(bench)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := core.DefaultConfig()
+				cfg.Width = width
+				cfg.QueueSize = 8 * width
+				tel := telemetry.New()
+				cfg.Telemetry = tel
+				m, err := core.New(cfg, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := m.Run(budget)
+				if err != nil {
+					// Run itself re-checks the invariant and fails the
+					// run on violation.
+					t.Fatal(err)
+				}
+
+				if err := tel.Check(res.Cycles); err != nil {
+					t.Error(err)
+				}
+				if got := tel.Account.Total(); got != res.Cycles {
+					t.Errorf("accounted %d cycles, ran %d", got, res.Cycles)
+				}
+
+				// Every committed instruction contributes exactly one
+				// observation to each stage histogram.
+				for name, h := range map[string]*telemetry.Histogram{
+					"dispatch→issue":  &tel.DispatchToIssue,
+					"issue→complete":  &tel.IssueToComplete,
+					"complete→commit": &tel.CompleteToCommit,
+				} {
+					if h.Count() != res.Committed {
+						t.Errorf("%s has %d observations, committed %d", name, h.Count(), res.Committed)
+					}
+				}
+				// Miss latencies come only from committed missing loads.
+				if n := tel.LoadMissLatency.Count(); n > res.LoadMisses || n > res.CommittedLoads {
+					t.Errorf("loadMiss count %d exceeds misses %d / committed loads %d",
+						n, res.LoadMisses, res.CommittedLoads)
+				}
+
+				// Structural sanity: every operation takes at least one
+				// cycle to execute, and something retired.
+				if tel.IssueToComplete.Quantile(0.01) < 1 {
+					t.Error("issue→complete latency below one cycle")
+				}
+				retired := tel.Account.Counts[telemetry.BucketCommitFull] +
+					tel.Account.Counts[telemetry.BucketCommitPartial]
+				if retired == 0 {
+					t.Error("no retiring cycles accounted")
+				}
+			})
+		}
+	}
+}
+
+// TestAccountingSeesKnownBottlenecks pins the classifier's attribution on
+// configurations engineered to stress one resource.
+func TestAccountingSeesKnownBottlenecks(t *testing.T) {
+	run := func(t *testing.T, bench string, mutate func(*core.Config)) (*core.Result, *telemetry.Telemetry) {
+		t.Helper()
+		p, err := workload.Build(bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := core.DefaultConfig()
+		mutate(&cfg)
+		tel := telemetry.New()
+		cfg.Telemetry = tel
+		m, err := core.New(cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run(10_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, tel
+	}
+
+	t.Run("tiny register file charges no-free-reg", func(t *testing.T) {
+		res, tel := run(t, "tomcatv", func(c *core.Config) { c.RegsPerFile = 34 })
+		if res.DispatchRegStalls == 0 {
+			t.Skip("configuration did not produce register stalls")
+		}
+		if tel.Account.Counts[telemetry.BucketNoFreeReg] == 0 {
+			t.Errorf("register-starved run charged no cycles to no-free-reg:\n%v", &tel.Account)
+		}
+	})
+
+	t.Run("tiny queue charges queue-full", func(t *testing.T) {
+		res, tel := run(t, "espresso", func(c *core.Config) { c.QueueSize = 4 })
+		if res.DispatchQueueFullStalls == 0 {
+			t.Skip("configuration did not produce queue stalls")
+		}
+		if tel.Account.Counts[telemetry.BucketQueueFull] == 0 {
+			t.Errorf("queue-bound run charged no cycles to dispatch-queue-full:\n%v", &tel.Account)
+		}
+	})
+
+	t.Run("missing workload charges dcache", func(t *testing.T) {
+		_, tel := run(t, "compress", func(c *core.Config) {})
+		if tel.Account.Counts[telemetry.BucketDCacheMiss] == 0 {
+			t.Errorf("compress (15%% miss rate) charged no cycles to dcache-miss:\n%v", &tel.Account)
+		}
+	})
+
+	t.Run("mispredicting workload charges recovery", func(t *testing.T) {
+		_, tel := run(t, "gcc1", func(c *core.Config) {})
+		if tel.Account.Counts[telemetry.BucketRecovery] == 0 {
+			t.Errorf("gcc1 (19%% mispredicts) charged no cycles to mispredict-recovery:\n%v", &tel.Account)
+		}
+	})
+
+	t.Run("finite write buffer charges write-buffer", func(t *testing.T) {
+		res, tel := run(t, "tomcatv", func(c *core.Config) {
+			c.WriteBufferEntries = 1
+			c.WriteBufferDrain = 64
+		})
+		if res.WriteBufferStalls == 0 {
+			t.Skip("configuration did not produce write-buffer stalls")
+		}
+		if tel.Account.Counts[telemetry.BucketWriteBuffer] == 0 {
+			t.Errorf("buffer-bound run charged no cycles to write-buffer:\n%v", &tel.Account)
+		}
+	})
+}
+
+// TestProgressHeartbeats checks the machine-level heartbeat plumbing.
+func TestProgressHeartbeats(t *testing.T) {
+	p, err := workload.Build("tomcatv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	var beats []telemetry.Progress
+	cfg.Progress = func(pr telemetry.Progress) { beats = append(beats, pr) }
+	cfg.ProgressEvery = 1024
+	m, err := core.New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(beats) < 2 {
+		t.Fatalf("%d heartbeats for a %d-cycle run at period 1024", len(beats), res.Cycles)
+	}
+	last := beats[len(beats)-1]
+	if !last.Done {
+		t.Error("final heartbeat not marked done")
+	}
+	if last.Committed != res.Committed || last.Cycles != res.Cycles {
+		t.Errorf("final heartbeat %+v disagrees with result (%d committed, %d cycles)",
+			last, res.Committed, res.Cycles)
+	}
+	for i, b := range beats[:len(beats)-1] {
+		if b.Done {
+			t.Errorf("heartbeat %d marked done early", i)
+		}
+		if i > 0 && b.Cycles <= beats[i-1].Cycles {
+			t.Errorf("heartbeat cycles not increasing: %d then %d", beats[i-1].Cycles, b.Cycles)
+		}
+		if b.Budget != 20_000 {
+			t.Errorf("heartbeat budget %d", b.Budget)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package telemetry
+
+import (
+	"fmt"
+	"time"
+)
+
+// Progress is one heartbeat of a running simulation, delivered to a
+// ProgressFunc every core.Config.ProgressEvery cycles and once more when the
+// run finishes (Done set). It exists so multi-million-cycle experiment
+// sweeps are observable while they run.
+type Progress struct {
+	// Label identifies the run within a sweep (benchmark and
+	// configuration); empty for bare core.Machine runs.
+	Label string
+	// Cycles and Committed are the progress so far.
+	Cycles    int64
+	Committed int64
+	// Budget is the run's committed-instruction budget (the Run argument).
+	Budget int64
+	// IPC is the commit IPC so far.
+	IPC float64
+	// Elapsed is the wall-clock time since the run started.
+	Elapsed time.Duration
+	// ETA estimates the remaining wall-clock time from the commit rate so
+	// far (zero when unknown or on the final heartbeat).
+	ETA time.Duration
+	// Done marks the final heartbeat, emitted when the run returns.
+	Done bool
+}
+
+// ProgressFunc receives heartbeats. It is called synchronously from the
+// simulation loop, so it should be fast; anything slow (network, disk)
+// belongs behind a channel.
+type ProgressFunc func(Progress)
+
+// String renders the heartbeat as a log line.
+func (p Progress) String() string {
+	label := ""
+	if p.Label != "" {
+		label = p.Label + ": "
+	}
+	pct := ""
+	if p.Budget > 0 {
+		pct = fmt.Sprintf(" (%.0f%%)", 100*float64(p.Committed)/float64(p.Budget))
+	}
+	s := fmt.Sprintf("%scycle %d: %d committed%s, IPC %.2f, %s elapsed",
+		label, p.Cycles, p.Committed, pct, p.IPC, p.Elapsed.Round(time.Millisecond))
+	if p.Done {
+		return s + ", done"
+	}
+	if p.ETA > 0 {
+		s += fmt.Sprintf(", ETA %s", p.ETA.Round(time.Millisecond))
+	}
+	return s
+}

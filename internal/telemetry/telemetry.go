@@ -1,0 +1,83 @@
+// Package telemetry is the simulator's observability layer: top-down cycle
+// accounting (every simulated cycle attributed to exactly one cause bucket),
+// per-instruction stage-latency histograms, and run-progress heartbeats for
+// long experiment sweeps.
+//
+// The package is a dependency leaf — it imports only the standard library —
+// so that internal/core can feed it directly from the pipeline hot path.
+// All instrumentation in the core is guarded by nil checks: a run with no
+// Telemetry attached pays nothing beyond a handful of predictable branches.
+//
+// The cycle-accounting methodology is "top-down": a cycle that retires at
+// full commit bandwidth is healthy; any other cycle is charged to the
+// nearest bottleneck, walking from the back of the pipeline (commit blocked
+// by a full write buffer, the window head stuck under a data-cache miss) to
+// the front (dispatch queue full, no free physical register, instruction-
+// cache starvation, misprediction redirect). The buckets therefore sum
+// exactly to the run's cycle count — an invariant checked by
+// (*CycleAccount).Check and enforced at the end of every instrumented run.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Telemetry collects one run's worth of observability data. Attach a fresh
+// instance to core.Config.Telemetry before the run; read it after the run
+// returns. A Telemetry is single-run: reusing one across runs would break
+// the accounting invariant (buckets must sum to the run's cycles).
+type Telemetry struct {
+	// Account is the top-down cycle accounting.
+	Account CycleAccount
+
+	// DispatchToIssue is the per-committed-instruction latency from
+	// dispatch-queue insertion to functional-unit issue (cycles spent
+	// waiting for operands and issue slots).
+	DispatchToIssue Histogram
+	// IssueToComplete is the latency from issue to result production
+	// (the operation latency; cache-determined for loads).
+	IssueToComplete Histogram
+	// CompleteToCommit is the latency from completion to architectural
+	// retirement (cycles spent waiting for older instructions).
+	CompleteToCommit Histogram
+	// LoadMissLatency is the issue-to-complete latency of committed loads
+	// that missed in the data cache.
+	LoadMissLatency Histogram
+}
+
+// New returns an empty telemetry sink.
+func New() *Telemetry { return &Telemetry{} }
+
+// Check verifies the accounting invariant against the run's cycle count.
+func (t *Telemetry) Check(cycles int64) error { return t.Account.Check(cycles) }
+
+// Snapshot is the JSON-friendly view of a Telemetry: the cycle accounts with
+// fractions, and summary statistics per latency histogram. It is the schema
+// emitted by `regsim -metrics-out`.
+type Snapshot struct {
+	CycleAccounting AccountSnapshot      `json:"cycleAccounting"`
+	Latencies       map[string]HistStats `json:"latencies"`
+}
+
+// Snapshot renders the telemetry as plain data.
+func (t *Telemetry) Snapshot() Snapshot {
+	return Snapshot{
+		CycleAccounting: t.Account.Snapshot(),
+		Latencies: map[string]HistStats{
+			"dispatchToIssue":  t.DispatchToIssue.Stats(),
+			"issueToComplete":  t.IssueToComplete.Stats(),
+			"completeToCommit": t.CompleteToCommit.Stats(),
+			"loadMiss":         t.LoadMissLatency.Stats(),
+		},
+	}
+}
+
+// MarshalJSON emits the snapshot form.
+func (t *Telemetry) MarshalJSON() ([]byte, error) { return json.Marshal(t.Snapshot()) }
+
+// String summarises the run in a few lines for terminal output.
+func (t *Telemetry) String() string {
+	return fmt.Sprintf("%v\nd→i %v\ni→c %v\nc→r %v\nmiss %v",
+		&t.Account, &t.DispatchToIssue, &t.IssueToComplete, &t.CompleteToCommit, &t.LoadMissLatency)
+}

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"regsim/internal/core"
+	"regsim/internal/workload"
+)
+
+// runChrome captures a compress run under the given options.
+func runChrome(t *testing.T, opts ChromeOptions, budget int64) *ChromeTracer {
+	t.Helper()
+	p, err := workload.Build("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	ct := NewChromeTracer(opts)
+	cfg.Tracer = ct.Hook()
+	cfg.CounterSampler = ct.CounterHook()
+	cfg.CounterEvery = 4
+	m, err := core.New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(budget); err != nil {
+		t.Fatal(err)
+	}
+	return ct
+}
+
+// schemaEvent mirrors the fields the Chrome trace-event schema requires.
+type schemaEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   *int64         `json:"ts"`
+	Dur  int64          `json:"dur"`
+	Pid  *int           `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+func decodeTrace(t *testing.T, ct *ChromeTracer) []schemaEvent {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := ct.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents     []schemaEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(file.TraceEvents) == 0 {
+		t.Fatal("empty traceEvents")
+	}
+	return file.TraceEvents
+}
+
+// TestChromeTraceSchema is the acceptance gate for the exporter: the output
+// must parse under the Chrome trace-event schema with well-formed phases,
+// timestamps and durations, and must carry all the advertised tracks.
+func TestChromeTraceSchema(t *testing.T) {
+	ct := runChrome(t, ChromeOptions{}, 2_000)
+	events := decodeTrace(t, ct)
+
+	allowedPh := map[string]bool{"M": true, "X": true, "C": true, "i": true}
+	stageSlices := map[int]int{}
+	counters := map[string]int{}
+	for i, ev := range events {
+		if !allowedPh[ev.Ph] {
+			t.Fatalf("event %d: phase %q outside the emitted set", i, ev.Ph)
+		}
+		if ev.Name == "" {
+			t.Errorf("event %d: empty name", i)
+		}
+		if ev.Pid == nil {
+			t.Errorf("event %d (%s): missing pid", i, ev.Name)
+		}
+		switch ev.Ph {
+		case "M": // metadata carries no timestamp
+		default:
+			if ev.Ts == nil || *ev.Ts < 0 {
+				t.Errorf("event %d (%s): missing or negative ts", i, ev.Name)
+			}
+		}
+		switch ev.Ph {
+		case "X":
+			if ev.Dur < 0 {
+				t.Errorf("slice %d (%s): negative dur %d", i, ev.Name, ev.Dur)
+			}
+			stageSlices[ev.Tid]++
+			if ev.Args["seq"] == nil {
+				t.Errorf("slice %d (%s): no seq in args", i, ev.Name)
+			}
+		case "C":
+			if len(ev.Args) == 0 {
+				t.Errorf("counter %d (%s): no args", i, ev.Name)
+			}
+			counters[ev.Name]++
+		}
+	}
+	for _, tid := range []int{tidQueue, tidExecute, tidCommit} {
+		if stageSlices[tid] == 0 {
+			t.Errorf("no slices on stage track %d", tid)
+		}
+	}
+	for _, name := range []string{"dispatch queue occupancy", "free registers"} {
+		if counters[name] == 0 {
+			t.Errorf("no %q counter samples", name)
+		}
+	}
+	if ct.Instructions() == 0 {
+		t.Error("no instructions captured")
+	}
+}
+
+// TestChromeTraceWindow checks the size-budget controls: cycle windows drop
+// outside events, and the instruction cap counts what it discards.
+func TestChromeTraceWindow(t *testing.T) {
+	ct := runChrome(t, ChromeOptions{StartCycle: 100, EndCycle: 200}, 2_000)
+	events := decodeTrace(t, ct)
+	for i, ev := range events {
+		if ev.Ph == "M" || ev.Ts == nil {
+			continue
+		}
+		start, end := *ev.Ts, *ev.Ts+ev.Dur
+		if start < 100 || end > 200 {
+			t.Errorf("event %d (%s, ph %s): [%d,%d] outside window [100,200)", i, ev.Name, ev.Ph, start, end)
+		}
+	}
+
+	capped := runChrome(t, ChromeOptions{MaxInstructions: 50}, 2_000)
+	if got := capped.Instructions(); got > 50 {
+		t.Errorf("captured %d instructions, cap 50", got)
+	}
+	if capped.Dropped() == 0 {
+		t.Error("2000-instruction run under a 50-instruction cap dropped nothing")
+	}
+	decodeTrace(t, capped) // still schema-valid
+}

@@ -34,6 +34,7 @@ import (
 	"regsim/internal/prog"
 	"regsim/internal/rename"
 	"regsim/internal/rftiming"
+	"regsim/internal/telemetry"
 	"regsim/internal/trace"
 	"regsim/internal/workload"
 )
@@ -162,3 +163,60 @@ type TraceRecorder = trace.Recorder
 // NewTraceRecorder returns a recorder for up to limit instructions
 // (0 = unlimited).
 func NewTraceRecorder(limit int) *TraceRecorder { return trace.NewRecorder(limit) }
+
+// Telemetry collects one run's observability data: top-down cycle accounting
+// and per-instruction stage-latency histograms. Attach a fresh instance to
+// Config.Telemetry before Run and read it afterwards; the machine verifies
+// at the end of the run that the accounting buckets sum exactly to the run's
+// cycle count.
+type Telemetry = telemetry.Telemetry
+
+// NewTelemetry returns an empty telemetry sink.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// CycleAccount is the top-down cycle-accounting tally: every simulated cycle
+// attributed to exactly one CycleBucket.
+type CycleAccount = telemetry.CycleAccount
+
+// CycleBucket is one cycle-accounting category.
+type CycleBucket = telemetry.Bucket
+
+// Cycle-accounting buckets, in pipeline order from healthy retirement to
+// front-end starvation. See the telemetry package for the attribution rules.
+const (
+	CycleCommitFull    = telemetry.BucketCommitFull
+	CycleCommitPartial = telemetry.BucketCommitPartial
+	CycleQueueFull     = telemetry.BucketQueueFull
+	CycleNoFreeReg     = telemetry.BucketNoFreeReg
+	CycleICacheMiss    = telemetry.BucketICacheMiss
+	CycleRecovery      = telemetry.BucketRecovery
+	CycleDCacheMiss    = telemetry.BucketDCacheMiss
+	CycleWriteBuffer   = telemetry.BucketWriteBuffer
+	CycleOther         = telemetry.BucketOther
+)
+
+// LatencyHistogram is a log2-bucketed latency histogram with exact counts
+// below 128 cycles and P50/P90/P99 helpers.
+type LatencyHistogram = telemetry.Histogram
+
+// RunProgress is one heartbeat of a running simulation, delivered to
+// Config.Progress (or Suite.Heartbeat) every Config.ProgressEvery cycles.
+type RunProgress = telemetry.Progress
+
+// CounterSample is one periodic structural-occupancy sample (dispatch-queue
+// entries, free registers) delivered to Config.CounterSampler; it feeds the
+// Chrome-trace exporter's counter tracks.
+type CounterSample = core.CounterSample
+
+// ChromeTracer converts the Config.Tracer event stream into a Chrome
+// trace-event (Perfetto) JSON file: per-stage slice tracks plus counter
+// tracks, loadable at ui.perfetto.dev or chrome://tracing.
+type ChromeTracer = trace.ChromeTracer
+
+// ChromeTraceOptions bounds a Chrome-trace capture (cycle window and
+// instruction cap) so multi-million-cycle runs stay within a size budget.
+type ChromeTraceOptions = trace.ChromeOptions
+
+// NewChromeTracer returns a Chrome-trace capture; install its Hook as
+// Config.Tracer and its CounterHook as Config.CounterSampler.
+func NewChromeTracer(opts ChromeTraceOptions) *ChromeTracer { return trace.NewChromeTracer(opts) }
