@@ -4,11 +4,17 @@
 //
 // Usage:
 //
-//	paper [-n budget] [-v] table1|fig3|fig4|fig5|fig6|fig7|fig8|fig10|findings|regreq|ports|ablations|all
+//	paper [-n budget] [-jobs N] [-cache-dir dir] [-v] table1|fig3|fig4|fig5|fig6|fig7|fig8|fig10|findings|regreq|ports|ablations|all
 //
 // -n sets the committed-instruction budget per simulation (default 200000;
 // the paper ran 23M–910M instructions per benchmark, but the distributions
 // and averages converge much earlier for the synthetic stand-ins).
+//
+// Sweeps run on the parallel sweep engine: -jobs bounds the number of
+// concurrent simulations (default GOMAXPROCS; output is byte-identical
+// regardless), and completed results persist in -cache-dir (default under
+// the user cache directory), making reruns at the same budget near-instant.
+// -no-cache bypasses the store.
 package main
 
 import (
@@ -17,20 +23,36 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"runtime"
 	"time"
 
 	"regsim/internal/exper"
+	"regsim/internal/sweep/rescache"
 	"regsim/internal/telemetry"
 )
 
+// defaultCacheDir places the persistent result cache under the OS user
+// cache directory; empty (caching off) when the platform reports none.
+func defaultCacheDir() string {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return ""
+	}
+	return filepath.Join(base, "regsim", "results")
+}
+
 func main() {
 	budget := flag.Int64("n", 200_000, "committed instructions per simulation")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulations during sweeps")
+	cacheDir := flag.String("cache-dir", defaultCacheDir(), "persistent result-cache directory (empty disables caching)")
+	noCache := flag.Bool("no-cache", false, "bypass the persistent result cache")
 	verbose := flag.Bool("v", false, "print a line per completed simulation")
 	progress := flag.Bool("progress", false, "print in-run heartbeats (cycles, committed, IPC, ETA) for long sweeps")
 	plots := flag.Bool("plots", false, "also render figures as ASCII charts")
 	asJSON := flag.Bool("json", false, "emit the experiment's data as JSON instead of tables")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: paper [-n budget] [-v] [-progress] table1|fig3|fig4|fig5|fig6|fig7|fig8|fig10|findings|regreq|ports|ablations|all\n")
+		fmt.Fprintf(os.Stderr, "usage: paper [-n budget] [-jobs N] [-cache-dir dir] [-v] [-progress] table1|fig3|fig4|fig5|fig6|fig7|fig8|fig10|findings|regreq|ports|ablations|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -38,8 +60,24 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	// Reject malformed sweep parameters with a usage error rather than
+	// handing them to the engine: the flag is wrong, not the sweep.
+	if *jobs < 1 {
+		fatalUsage("invalid -jobs %d: the sweep needs at least one worker", *jobs)
+	}
+	if *budget < 1 {
+		fatalUsage("invalid -n %d: each simulation must commit at least one instruction", *budget)
+	}
 
 	s := exper.NewSuite(*budget)
+	s.Jobs = *jobs
+	if !*noCache && *cacheDir != "" {
+		store, err := rescache.Open(*cacheDir)
+		if err != nil {
+			fatalUsage("invalid -cache-dir %q: %v", *cacheDir, err)
+		}
+		s.Cache = store
+	}
 	if *verbose {
 		s.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
@@ -61,7 +99,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "paper: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "\n[%s, budget %d instructions/run]\n", time.Since(start).Round(time.Millisecond), *budget)
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "%v\n", s.SweepStats())
+	}
+	fmt.Fprintf(os.Stderr, "\n[%s, budget %d instructions/run, %d jobs]\n", time.Since(start).Round(time.Millisecond), *budget, *jobs)
+}
+
+func fatalUsage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "paper: "+format+"\n", args...)
+	os.Exit(2)
 }
 
 type printer interface{ Print(io.Writer) }

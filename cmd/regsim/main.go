@@ -14,6 +14,12 @@
 // percentiles, port histograms) as JSON, -chrome-trace writes a Perfetto /
 // chrome://tracing loadable pipeline trace, and -cpuprofile profiles the
 // simulator itself.
+//
+// -cache-dir attaches the persistent result cache shared with cmd/paper: a
+// plain benchmark run whose spec (and budget) was simulated before — by
+// either command — is answered from disk instead of re-simulated. Runs that
+// need the live machine (-trace, -chrome-trace, -account, -metrics-out) or
+// a non-registry program (asm:/random:) always simulate.
 package main
 
 import (
@@ -27,8 +33,10 @@ import (
 
 	"regsim"
 	"regsim/internal/asm"
+	"regsim/internal/exper"
 	"regsim/internal/isa"
 	"regsim/internal/stats"
+	"regsim/internal/sweep/rescache"
 	"regsim/internal/telemetry"
 	"regsim/internal/trace"
 )
@@ -49,6 +57,8 @@ func main() {
 	traceEnd := flag.Int64("trace-end", 0, "cycle bound of -chrome-trace capture (0 = unbounded)")
 	traceLimit := flag.Int("trace-limit", 0, "instruction cap of -chrome-trace capture (0 = default 100000)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator to this file")
+	cacheDir := flag.String("cache-dir", "", "persistent result-cache directory shared with cmd/paper (empty disables caching)")
+	noCache := flag.Bool("no-cache", false, "bypass the persistent result cache")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintf(os.Stderr, "usage: regsim [flags] <benchmark>\nbenchmarks: %s, random:<seed>, asm:<path>\n",
@@ -73,6 +83,13 @@ func main() {
 	if *traceStart < 0 || *traceEnd < 0 || *traceLimit < 0 {
 		fatalUsage("invalid -trace-start/-trace-end/-trace-limit: capture bounds cannot be negative")
 	}
+	var store *rescache.Store
+	if *cacheDir != "" && !*noCache {
+		var err error
+		if store, err = rescache.Open(*cacheDir); err != nil {
+			fatalUsage("invalid -cache-dir %q: %v", *cacheDir, err)
+		}
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -94,7 +111,7 @@ func main() {
 		width: *width, queue: *queue, regs: *regs,
 		model: *model, ckind: *ckind, budget: *budget,
 		track: *track, traceN: *traceN, account: *account,
-		metricsOut: *metricsOut, chromeTrace: *chromeTrace,
+		metricsOut: *metricsOut, chromeTrace: *chromeTrace, store: store,
 		chromeOpts: trace.ChromeOptions{
 			StartCycle: *traceStart, EndCycle: *traceEnd, MaxInstructions: *traceLimit,
 		},
@@ -120,6 +137,7 @@ type runOpts struct {
 	metricsOut         string
 	chromeTrace        string
 	chromeOpts         trace.ChromeOptions
+	store              *rescache.Store
 }
 
 func run(bench string, o runOpts) error {
@@ -159,16 +177,18 @@ func run(bench string, o runOpts) error {
 	default:
 		return fmt.Errorf("unknown exception model %q", o.model)
 	}
+	var kind regsim.CacheKind
 	switch o.ckind {
 	case "perfect":
-		cfg.DCache = cfg.DCache.WithKind(regsim.PerfectCache)
+		kind = regsim.PerfectCache
 	case "lockup":
-		cfg.DCache = cfg.DCache.WithKind(regsim.LockupCache)
+		kind = regsim.LockupCache
 	case "lockup-free":
-		cfg.DCache = cfg.DCache.WithKind(regsim.LockupFreeCache)
+		kind = regsim.LockupFreeCache
 	default:
 		return fmt.Errorf("unknown cache organisation %q", o.ckind)
 	}
+	cfg.DCache = cfg.DCache.WithKind(kind)
 
 	var rec *trace.Recorder
 	var hooks []func(regsim.Event)
@@ -206,7 +226,31 @@ func run(bench string, o runOpts) error {
 		}
 	}
 
-	res, err := regsim.Run(cfg, p, o.budget)
+	// A plain registry benchmark with no machine-observing flags can be
+	// answered from the persistent result cache (shared with cmd/paper);
+	// anything that needs the live pipeline always simulates.
+	var res *regsim.Result
+	if o.store != nil {
+		if strings.Contains(bench, ":") || len(hooks) > 0 || tel != nil {
+			fmt.Fprintln(os.Stderr, "regsim: note: this run needs the live machine; bypassing -cache-dir")
+			o.store = nil
+		}
+	}
+	if o.store != nil {
+		s := exper.NewSuite(o.budget)
+		s.Cache = o.store
+		res, err = s.Run(exper.Spec{
+			Bench: bench, Width: o.width, Queue: o.queue, Regs: o.regs,
+			Model: cfg.Model, Cache: kind, Track: o.track,
+		})
+		if err == nil {
+			if st := s.SweepStats(); st.CacheHits > 0 {
+				fmt.Fprintln(os.Stderr, "regsim: result served from the cache")
+			}
+		}
+	} else {
+		res, err = regsim.Run(cfg, p, o.budget)
+	}
 	if err != nil {
 		return err
 	}

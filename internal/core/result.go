@@ -5,7 +5,16 @@ import (
 	"regsim/internal/rename"
 )
 
-// Result holds the statistics of one simulation run.
+// Version identifies the simulator's behavioural revision. It is folded
+// into persistent result-cache fingerprints, so it MUST be bumped by any
+// change that can alter a simulation's Result for the same configuration
+// (pipeline rules, latencies, predictor details, statistics definitions).
+const Version = "core-1"
+
+// Result holds the statistics of one simulation run. Every field is
+// exported and JSON-encodable: the sweep subsystem's persistent cache
+// round-trips Results through JSON, so additions must remain losslessly
+// serialisable (see TestResultJSONRoundTrip).
 type Result struct {
 	// Cycles is the simulated run time.
 	Cycles int64

@@ -21,14 +21,25 @@
 // figures (3, 4, 5, 8) come from precise-model runs with a large (2048)
 // register file and passive classification; the performance figures (6, 7,
 // 10) run real machines under each exception model and register-file size.
+//
+// Execution rides on the sweep subsystem (internal/sweep): each figure
+// prefetches its whole spec matrix across a bounded worker pool, the
+// engine's memo guarantees every spec simulates at most once per process
+// (figures share configurations freely), and an optional persistent result
+// cache (internal/sweep/rescache) makes repeat sweeps near-instant.
 package exper
 
 import (
+	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"regsim/internal/cache"
 	"regsim/internal/core"
 	"regsim/internal/rename"
+	"regsim/internal/sweep"
+	"regsim/internal/sweep/rescache"
 	"regsim/internal/telemetry"
 	"regsim/internal/workload"
 )
@@ -53,40 +64,134 @@ type Spec struct {
 	Budget int64
 }
 
-// Suite runs simulations with memoisation, so figures that share
-// configurations (e.g. Figure 7's lockup-free points and Figure 6) reuse
-// results. A Suite is not safe for concurrent use.
+// Suite runs simulations on the sweep subsystem: every spec is simulated at
+// most once (the engine's memo replaces the old in-suite map), figure
+// generators batch-prefetch their spec matrices across Jobs workers, and an
+// optional persistent result cache answers repeat runs across processes.
+// Figures that share configurations (e.g. Figure 7's lockup-free points and
+// Figure 6) therefore reuse results automatically.
+//
+// A Suite is safe for concurrent use once running: Run may be called from
+// any number of goroutines and identical specs coalesce onto one execution.
+// The exported configuration fields, however, must be set before the first
+// Run/figure call and left alone afterwards.
 type Suite struct {
 	// Budget is the per-run commit budget used when a Spec leaves
 	// Budget zero.
 	Budget int64
-	// Progress, when non-nil, receives a line per completed run.
+	// Jobs bounds how many simulations execute concurrently during a
+	// batch prefetch (0 = GOMAXPROCS). Results are deterministic
+	// regardless of Jobs: simulations are independent and seeded.
+	Jobs int
+	// Cache, when non-nil, persists results across processes. Entries
+	// are keyed by a fingerprint of the spec, its budget, and the
+	// simulator/workload version strings, so a stale cache can never
+	// serve results for different code.
+	Cache *rescache.Store
+	// Progress, when non-nil, receives a line per completed run. It is
+	// called from worker goroutines but never concurrently.
 	Progress func(string)
 	// Heartbeat, when non-nil, receives in-run progress heartbeats
-	// (labelled with the running spec) every HeartbeatEvery cycles — the
-	// live view into sweeps whose individual runs take minutes.
+	// (labelled with the running spec and worker) every HeartbeatEvery
+	// cycles — the live view into sweeps whose individual runs take
+	// minutes. Serialised like Progress.
 	Heartbeat telemetry.ProgressFunc
 	// HeartbeatEvery is the heartbeat period in cycles (default 1<<20).
 	HeartbeatEvery int64
 
-	memo map[Spec]*core.Result
+	engOnce sync.Once
+	eng     *sweep.Engine[Spec, *core.Result]
+	progMu  sync.Mutex
+	sims    atomic.Int64 // simulations actually executed (cache misses)
 }
 
 // NewSuite returns a Suite with the given default per-run commit budget.
 func NewSuite(budget int64) *Suite {
-	return &Suite{Budget: budget, memo: make(map[Spec]*core.Result)}
+	return &Suite{Budget: budget}
 }
 
-// Run simulates one spec (memoised).
-func (s *Suite) Run(spec Spec) (*core.Result, error) {
+// normalize fills the suite-level default budget, so that equivalent specs
+// land on the same memo and cache entries.
+func (s *Suite) normalize(spec Spec) Spec {
 	if spec.Budget == 0 {
 		spec.Budget = s.Budget
 	}
-	if s.memo == nil {
-		s.memo = make(map[Spec]*core.Result)
+	return spec
+}
+
+// engine lazily builds the sweep engine so that Jobs/Cache set after
+// NewSuite still take effect.
+func (s *Suite) engine() *sweep.Engine[Spec, *core.Result] {
+	s.engOnce.Do(func() {
+		s.eng = sweep.New(s.Jobs, s.simulate)
+	})
+	return s.eng
+}
+
+// Run simulates one spec. Identical specs — across calls, goroutines, and
+// (with a Cache) processes — are simulated exactly once.
+func (s *Suite) Run(spec Spec) (*core.Result, error) {
+	return s.engine().Do(context.Background(), s.normalize(spec))
+}
+
+// prefetch simulates a figure's whole spec matrix across the worker pool;
+// the figure generator then renders from the memo in its own deterministic
+// order. Duplicate specs are coalesced, and the first failure cancels the
+// outstanding work.
+func (s *Suite) prefetch(specs []Spec) error {
+	for i := range specs {
+		specs[i] = s.normalize(specs[i])
 	}
-	if r, ok := s.memo[spec]; ok {
-		return r, nil
+	_, err := s.engine().DoAll(context.Background(), specs)
+	return err
+}
+
+// progressf emits one serialised Progress line.
+func (s *Suite) progressf(format string, args ...any) {
+	if s.Progress == nil {
+		return
+	}
+	s.progMu.Lock()
+	defer s.progMu.Unlock()
+	s.Progress(fmt.Sprintf(format, args...))
+}
+
+// fingerprint is the persistent-cache key: everything that can change a
+// spec's result, including the behavioural versions of the simulator and
+// the workload generators. Model and cache kind are encoded as strings so
+// reordering the enums cannot silently alias old entries.
+func fingerprint(spec Spec) string {
+	return rescache.Fingerprint(struct {
+		Sim      string `json:"sim"`
+		Workload string `json:"workload"`
+		Bench    string `json:"bench"`
+		Width    int    `json:"width"`
+		Queue    int    `json:"queue"`
+		Regs     int    `json:"regs"`
+		Model    string `json:"model"`
+		Cache    string `json:"cache"`
+		Track    bool   `json:"track"`
+		Budget   int64  `json:"budget"`
+	}{
+		Sim: core.Version, Workload: workload.Version,
+		Bench: spec.Bench, Width: spec.Width, Queue: spec.Queue, Regs: spec.Regs,
+		Model: spec.Model.String(), Cache: spec.Cache.String(),
+		Track: spec.Track, Budget: spec.Budget,
+	})
+}
+
+// simulate is the engine's run function: persistent-cache lookup, then a
+// real simulation, then a cache fill. It may run on any pool worker.
+func (s *Suite) simulate(ctx context.Context, spec Spec) (*core.Result, error) {
+	var key string
+	if s.Cache != nil {
+		key = fingerprint(spec)
+		var r core.Result
+		if s.Cache.Get(key, &r) {
+			s.progressf("hit %-9s w=%d q=%-3d regs=%-4d %s/%s: IPC %.2f (cached)",
+				spec.Bench, spec.Width, spec.Queue, spec.Regs, spec.Model, spec.Cache, r.CommitIPC())
+			return &r, nil
+		}
 	}
 	p, err := workload.Build(spec.Bench)
 	if err != nil {
@@ -101,9 +206,14 @@ func (s *Suite) Run(spec Spec) (*core.Result, error) {
 	cfg.TrackLiveRegisters = spec.Track
 	if s.Heartbeat != nil {
 		label := fmt.Sprintf("%s w=%d q=%d regs=%d", spec.Bench, spec.Width, spec.Queue, spec.Regs)
+		if w := sweep.WorkerID(ctx); w > 0 {
+			label = fmt.Sprintf("w%d: %s", w, label)
+		}
 		hb := s.Heartbeat
 		cfg.Progress = func(p telemetry.Progress) {
 			p.Label = label
+			s.progMu.Lock()
+			defer s.progMu.Unlock()
 			hb(p)
 		}
 		cfg.ProgressEvery = s.HeartbeatEvery
@@ -112,16 +222,38 @@ func (s *Suite) Run(spec Spec) (*core.Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("exper %v: %w", spec, err)
 	}
+	s.sims.Add(1)
 	res, err := m.Run(spec.Budget)
 	if err != nil {
 		return nil, fmt.Errorf("exper %v: %w", spec, err)
 	}
-	s.memo[spec] = res
-	if s.Progress != nil {
-		s.Progress(fmt.Sprintf("ran %-9s w=%d q=%-3d regs=%-4d %s/%s: IPC %.2f",
-			spec.Bench, spec.Width, spec.Queue, spec.Regs, spec.Model, spec.Cache, res.CommitIPC()))
+	if s.Cache != nil {
+		if err := s.Cache.Put(key, res); err != nil {
+			// A failed fill costs a future re-simulation, never the sweep.
+			s.progressf("cache put %s: %v", spec.Bench, err)
+		}
 	}
+	s.progressf("ran %-9s w=%d q=%-3d regs=%-4d %s/%s: IPC %.2f",
+		spec.Bench, spec.Width, spec.Queue, spec.Regs, spec.Model, spec.Cache, res.CommitIPC())
 	return res, nil
+}
+
+// SweepStats snapshots the scheduler and persistent-cache counters. Runs
+// counts simulations actually executed: an engine execution answered by the
+// persistent cache is a cache hit, not a run.
+func (s *Suite) SweepStats() telemetry.SweepStats {
+	eng := s.engine().Stats()
+	st := telemetry.SweepStats{
+		Workers:  eng.Jobs,
+		Runs:     s.sims.Load(),
+		MemoHits: eng.MemoHits,
+		Deduped:  eng.Deduped,
+	}
+	if s.Cache != nil {
+		cs := s.Cache.Stats()
+		st.CacheHits, st.CacheMisses, st.CacheErrors = cs.Hits, cs.Misses, cs.Errors
+	}
+	return st
 }
 
 // measureSpec is the usage-measurement configuration for one benchmark at a

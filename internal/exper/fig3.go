@@ -48,9 +48,21 @@ type Fig3 struct {
 }
 
 // Fig3 runs the measurement matrix: every benchmark at every queue size and
-// width, with 2048 registers and live-register classification.
+// width, with 2048 registers and live-register classification. The whole
+// matrix is prefetched across the suite's worker pool first.
 func (s *Suite) Fig3() (*Fig3, error) {
 	f := &Fig3{Budget: s.Budget}
+	var specs []Spec
+	for _, width := range Widths {
+		for _, queue := range QueueSizes {
+			for _, bench := range workload.Names() {
+				specs = append(specs, measureSpec(bench, width, queue))
+			}
+		}
+	}
+	if err := s.prefetch(specs); err != nil {
+		return nil, err
+	}
 	for _, width := range Widths {
 		for _, queue := range QueueSizes {
 			pt, err := s.fig3Point(width, queue)

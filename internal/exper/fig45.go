@@ -32,6 +32,15 @@ type Fig4 struct {
 // runs at the cost-effective queue sizes.
 func (s *Suite) Fig4() (*Fig4, error) {
 	f := &Fig4{Budget: s.Budget}
+	var specs []Spec
+	for _, width := range Widths {
+		for _, bench := range workload.Names() {
+			specs = append(specs, measureSpec(bench, width, CostEffectiveQueue(width)))
+		}
+	}
+	if err := s.prefetch(specs); err != nil {
+		return nil, err
+	}
 	for _, width := range Widths {
 		for file := 0; file < 2; file++ {
 			var prec, imp []stats.Dist

@@ -31,9 +31,26 @@ type Fig6 struct {
 	Points []Fig6Point
 }
 
-// Fig6 runs the 2 × 2 × len(RegSizes) × benchmarks sweep.
+// Fig6 runs the 2 × 2 × len(RegSizes) × benchmarks sweep (prefetched across
+// the suite's worker pool).
 func (s *Suite) Fig6() (*Fig6, error) {
 	f := &Fig6{Budget: s.Budget}
+	var specs []Spec
+	for _, width := range Widths {
+		for _, model := range []rename.Model{rename.Precise, rename.Imprecise} {
+			for _, regs := range RegSizes {
+				for _, bench := range workload.Names() {
+					specs = append(specs, Spec{
+						Bench: bench, Width: width, Queue: CostEffectiveQueue(width),
+						Regs: regs, Model: model, Cache: cache.LockupFree,
+					})
+				}
+			}
+		}
+	}
+	if err := s.prefetch(specs); err != nil {
+		return nil, err
+	}
 	for _, width := range Widths {
 		for _, model := range []rename.Model{rename.Precise, rename.Imprecise} {
 			for _, regs := range RegSizes {
@@ -103,9 +120,27 @@ type Fig7 struct {
 }
 
 // Fig7 runs the cache-organisation sweep (lockup-free points are shared with
-// Figure 6 through the suite's memo).
+// Figure 6 through the engine's memo; the rest is prefetched in parallel).
 func (s *Suite) Fig7() (*Fig7, error) {
 	f := &Fig7{Budget: s.Budget}
+	var specs []Spec
+	for _, model := range []rename.Model{rename.Imprecise, rename.Precise} {
+		for _, kind := range []cache.Kind{cache.Perfect, cache.LockupFree, cache.Lockup} {
+			for _, width := range Widths {
+				for _, regs := range RegSizes {
+					for _, bench := range workload.Names() {
+						specs = append(specs, Spec{
+							Bench: bench, Width: width, Queue: CostEffectiveQueue(width),
+							Regs: regs, Model: model, Cache: kind,
+						})
+					}
+				}
+			}
+		}
+	}
+	if err := s.prefetch(specs); err != nil {
+		return nil, err
+	}
 	for _, model := range []rename.Model{rename.Imprecise, rename.Precise} {
 		for _, kind := range []cache.Kind{cache.Perfect, cache.LockupFree, cache.Lockup} {
 			for _, width := range Widths {
@@ -172,9 +207,18 @@ type Fig8 struct {
 	Dist   map[cache.Kind]stats.Dist
 }
 
-// Fig8 runs the three measurement configurations.
+// Fig8 runs the three measurement configurations (prefetched in parallel).
 func (s *Suite) Fig8() (*Fig8, error) {
 	f := &Fig8{Budget: s.Budget, Dist: map[cache.Kind]stats.Dist{}}
+	var specs []Spec
+	for _, kind := range []cache.Kind{cache.Perfect, cache.LockupFree, cache.Lockup} {
+		spec := measureSpec("compress", 4, CostEffectiveQueue(4))
+		spec.Cache = kind
+		specs = append(specs, spec)
+	}
+	if err := s.prefetch(specs); err != nil {
+		return nil, err
+	}
 	for _, kind := range []cache.Kind{cache.Perfect, cache.LockupFree, cache.Lockup} {
 		spec := measureSpec("compress", 4, CostEffectiveQueue(4))
 		spec.Cache = kind

@@ -27,8 +27,18 @@ type PortUsage struct {
 }
 
 // Ports runs the measurement configurations (shared with Figure 3 through
-// the memo) and aggregates port-usage distributions across all benchmarks.
+// the engine's memo, prefetched in parallel otherwise) and aggregates
+// port-usage distributions across all benchmarks.
 func (s *Suite) Ports() (*PortUsage, error) {
+	var specs []Spec
+	for _, width := range Widths {
+		for _, bench := range workload.Names() {
+			specs = append(specs, measureSpec(bench, width, CostEffectiveQueue(width)))
+		}
+	}
+	if err := s.prefetch(specs); err != nil {
+		return nil, err
+	}
 	pu := &PortUsage{
 		Budget:      s.Budget,
 		Reads:       map[int][2]stats.Dist{},

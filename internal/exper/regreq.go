@@ -34,9 +34,18 @@ type RegReq struct {
 }
 
 // RegReq builds the table from the measurement runs (shared with Figures
-// 3–5 and 8 through the suite's memo).
+// 3–5 and 8 through the engine's memo; prefetched in parallel otherwise).
 func (s *Suite) RegReq() (*RegReq, error) {
 	out := &RegReq{Budget: s.Budget}
+	var specs []Spec
+	for _, width := range Widths {
+		for _, bench := range workload.Names() {
+			specs = append(specs, measureSpec(bench, width, CostEffectiveQueue(width)))
+		}
+	}
+	if err := s.prefetch(specs); err != nil {
+		return nil, err
+	}
 	for _, width := range Widths {
 		for _, bench := range workload.Names() {
 			res, err := s.Run(measureSpec(bench, width, CostEffectiveQueue(width)))

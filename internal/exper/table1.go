@@ -34,9 +34,22 @@ type Table1 struct {
 	Rows   []Table1Row
 }
 
-// Table1 runs the table's 18 configurations.
+// Table1 runs the table's 18 configurations (prefetched across the suite's
+// worker pool, then rendered in row order).
 func (s *Suite) Table1() (*Table1, error) {
 	t := &Table1{Budget: s.Budget}
+	var specs []Spec
+	for _, bench := range workload.Names() {
+		for _, width := range Widths {
+			specs = append(specs, Spec{
+				Bench: bench, Width: width, Queue: CostEffectiveQueue(width),
+				Regs: MeasureRegs, Model: rename.Precise, Cache: cache.LockupFree,
+			})
+		}
+	}
+	if err := s.prefetch(specs); err != nil {
+		return nil, err
+	}
 	for _, bench := range workload.Names() {
 		for _, width := range Widths {
 			spec := Spec{

@@ -1,0 +1,37 @@
+package telemetry
+
+import "fmt"
+
+// SweepStats is the observability snapshot of one experiment sweep: the
+// scheduler's execution/deduplication counters and the persistent result
+// cache's hit/miss/error counters. internal/exper fills it from the sweep
+// engine and rescache store; cmd/paper prints it after a verbose sweep.
+type SweepStats struct {
+	// Workers is the scheduler's worker-pool bound.
+	Workers int `json:"workers"`
+	// Runs counts simulations actually executed this process.
+	Runs int64 `json:"runs"`
+	// MemoHits counts requests answered from the in-memory memo.
+	MemoHits int64 `json:"memoHits"`
+	// Deduped counts requests that piggybacked on an in-flight execution
+	// of the same spec (singleflight coalescing).
+	Deduped int64 `json:"deduped"`
+	// CacheHits/CacheMisses/CacheErrors are the persistent result-cache
+	// counters; all zero when no cache is attached. Every error (corrupt
+	// entry, unreadable file) is also counted as a miss and answered by
+	// re-simulation.
+	CacheHits   int64 `json:"cacheHits"`
+	CacheMisses int64 `json:"cacheMisses"`
+	CacheErrors int64 `json:"cacheErrors"`
+}
+
+// String renders the snapshot as a one-line summary.
+func (s SweepStats) String() string {
+	line := fmt.Sprintf("sweep: %d workers, %d simulated, %d memo hits, %d deduped",
+		s.Workers, s.Runs, s.MemoHits, s.Deduped)
+	if s.CacheHits+s.CacheMisses+s.CacheErrors > 0 {
+		line += fmt.Sprintf("; cache: %d hits, %d misses, %d errors",
+			s.CacheHits, s.CacheMisses, s.CacheErrors)
+	}
+	return line
+}

@@ -27,6 +27,12 @@ import (
 	"regsim/internal/prog"
 )
 
+// Version identifies the workload generators' revision. It is folded into
+// persistent result-cache fingerprints, so it MUST be bumped by any change
+// that alters a generated program (instruction stream, data layout, tuning
+// parameters) for the same benchmark name.
+const Version = "workload-1"
+
 // Info describes one benchmark stand-in, including the paper's Table 1
 // targets that guided its construction (4-way issue figures).
 type Info struct {

@@ -34,6 +34,7 @@ import (
 	"regsim/internal/prog"
 	"regsim/internal/rename"
 	"regsim/internal/rftiming"
+	"regsim/internal/sweep/rescache"
 	"regsim/internal/telemetry"
 	"regsim/internal/trace"
 	"regsim/internal/workload"
@@ -140,14 +141,37 @@ func PortsForWidth(width int, fpFile bool) TimingPorts { return rftiming.PortsFo
 func BIPS(commitIPC, cycleNS float64) float64 { return rftiming.BIPS(commitIPC, cycleNS) }
 
 // Suite runs the paper's experiments (Table 1, Figures 3–8 and 10, plus the
-// ablation studies) with memoised simulations; see the methods on the
-// aliased type.
+// ablation studies) on the parallel sweep engine: every spec simulates at
+// most once, figure matrices prefetch across Suite.Jobs workers, and an
+// optional persistent result cache (Suite.Cache) makes repeat sweeps
+// near-instant. See the methods on the aliased type.
 type Suite = exper.Suite
 
 // NewSuite returns an experiment suite with the given per-run commit budget
 // (the paper ran 23M–910M instructions per benchmark; a few hundred thousand
 // reproduce the trends for the synthetic stand-ins).
 func NewSuite(budget int64) *Suite { return exper.NewSuite(budget) }
+
+// SweepSpec identifies one simulation run in an experiment sweep: the
+// benchmark and the machine-configuration axes of the paper.
+type SweepSpec = exper.Spec
+
+// ResultCache is the sweep subsystem's persistent, content-addressed
+// on-disk result store. Entries are keyed by a fingerprint of the spec, its
+// commit budget, and the simulator/workload version strings; writes are
+// atomic and corrupt entries are re-simulated, never fatal. A ResultCache
+// is safe for concurrent use, including by multiple processes sharing one
+// directory.
+type ResultCache = rescache.Store
+
+// OpenResultCache creates (if needed) and validates a result-cache
+// directory; attach the store to Suite.Cache.
+func OpenResultCache(dir string) (*ResultCache, error) { return rescache.Open(dir) }
+
+// SweepStats is the observability snapshot of one experiment sweep —
+// scheduler executions, memo/dedup counters, and persistent-cache
+// hit/miss/error counts — returned by Suite.SweepStats.
+type SweepStats = telemetry.SweepStats
 
 // ParseAsm assembles textual assembly (the isa.Disasm syntax plus labels and
 // .entry/.word/.float directives; see internal/asm) into a runnable program.
