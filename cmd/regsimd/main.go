@@ -1,0 +1,138 @@
+// Command regsimd serves the simulator over HTTP: simulation-as-a-service
+// for the paper's design-space sweeps. One daemon hosts one experiment
+// suite, so every request shares the same in-memory memo, in-flight
+// coalescing, and (with -cache-dir) the same persistent result cache as
+// cmd/paper and cmd/regsim.
+//
+// Usage:
+//
+//	regsimd [-addr :8265] [-jobs N] [-cache-dir dir] [-n budget] ...
+//
+// Endpoints: POST /v1/simulate, POST /v1/sweep, GET /v1/workloads,
+// GET /v1/timing, GET /healthz, GET /metrics. See the README's Serving
+// section for the wire format and curl examples.
+//
+// SIGINT/SIGTERM triggers a graceful drain: /healthz flips to 503, new
+// simulation requests are refused with Retry-After, in-flight requests run
+// to completion (bounded by -drain-timeout), and the final sweep statistics
+// are logged on the way out.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"syscall"
+	"time"
+
+	"regsim/internal/exper"
+	"regsim/internal/server"
+	"regsim/internal/sweep/rescache"
+)
+
+// defaultCacheDir mirrors cmd/paper: the shared persistent result cache
+// under the OS user cache directory, empty (caching off) when the platform
+// reports none.
+func defaultCacheDir() string {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return ""
+	}
+	return filepath.Join(base, "regsim", "results")
+}
+
+func main() {
+	addr := flag.String("addr", ":8265", "listen address")
+	budget := flag.Int64("n", 200_000, "default committed-instruction budget for specs that omit one")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulations inside one sweep request")
+	cacheDir := flag.String("cache-dir", defaultCacheDir(), "persistent result-cache directory shared with cmd/paper and cmd/regsim (empty disables caching)")
+	noCache := flag.Bool("no-cache", false, "bypass the persistent result cache")
+	maxInFlight := flag.Int("max-inflight", 0, "admission bound on concurrently executing simulation requests (0 = GOMAXPROCS)")
+	maxQueue := flag.Int("max-queue", 0, "bounded wait queue behind the in-flight slots (0 = 4×max-inflight)")
+	defaultTimeout := flag.Duration("default-timeout", 30*time.Second, "per-request deadline when the client sends no ?timeout=")
+	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "upper clamp on client ?timeout= requests")
+	maxSweepSpecs := flag.Int("max-sweep-specs", 512, "largest spec matrix one sweep request may carry")
+	maxBudget := flag.Int64("max-budget", 10_000_000, "largest per-spec commit budget a request may ask for")
+	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for in-flight requests")
+	quiet := flag.Bool("quiet", false, "suppress the per-request access log")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: regsimd [flags] (it takes no arguments)")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "regsimd ", log.LstdFlags)
+
+	suite := exper.NewSuite(*budget)
+	suite.Jobs = *jobs
+	if *cacheDir != "" && !*noCache {
+		store, err := rescache.Open(*cacheDir)
+		if err != nil {
+			logger.Fatalf("invalid -cache-dir %q: %v", *cacheDir, err)
+		}
+		suite.Cache = store
+		logger.Printf("result cache at %s", *cacheDir)
+	} else {
+		logger.Printf("result cache disabled; every cold spec simulates")
+	}
+
+	cfg := server.Config{
+		Suite:          suite,
+		MaxInFlight:    *maxInFlight,
+		MaxQueue:       *maxQueue,
+		DefaultTimeout: *defaultTimeout,
+		MaxTimeout:     *maxTimeout,
+		MaxSweepSpecs:  *maxSweepSpecs,
+		MaxBudget:      *maxBudget,
+		ErrorLog:       logger,
+	}
+	if !*quiet {
+		cfg.AccessLog = logger
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Graceful drain: the first signal stops admission and waits for
+	// in-flight work; a second signal aborts immediately.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		stop() // restore default signal behaviour: a second ^C kills us
+		logger.Printf("drain: refusing new simulation work, waiting up to %v for in-flight requests", *drainTimeout)
+		srv.Drain()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			logger.Printf("drain: %v (closing remaining connections)", err)
+			hs.Close()
+		}
+	}()
+
+	logger.Printf("listening on %s (jobs=%d budget=%d)", *addr, *jobs, *budget)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Fatal(err)
+	}
+	<-done
+	st := suite.SweepStats()
+	logger.Printf("exiting: %d simulations run, %d memo hits, %d coalesced, %d cache hits",
+		st.Runs, st.MemoHits, st.Deduped, st.CacheHits)
+}

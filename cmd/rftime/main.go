@@ -17,6 +17,14 @@ import (
 	"regsim"
 )
 
+// fatalUsage reports a bad flag combination and exits with the
+// conventional usage status.
+func fatalUsage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rftime: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
 func main() {
 	width := flag.Int("width", 4, "issue width used to derive ports (ignored when -read/-write set)")
 	fp := flag.Bool("fp", false, "floating-point file (half the ports)")
@@ -25,8 +33,21 @@ func main() {
 	regList := flag.String("regs", "32,48,64,80,96,128,160,256", "comma-separated register counts")
 	flag.Parse()
 
+	// Validate the port flags before touching the model: a malformed flag is
+	// a usage error (exit 2), not a simulation result.
+	if *read < 0 || *write < 0 {
+		fatalUsage("invalid ports -read %d -write %d: port counts cannot be negative", *read, *write)
+	}
+	explicitPorts := *read > 0 || *write > 0
+	if explicitPorts && (*read == 0 || *write == 0) {
+		fatalUsage("explicit ports need both -read and -write (got -read %d -write %d)", *read, *write)
+	}
+	if !explicitPorts && *width != 4 && *width != 8 {
+		fatalUsage("invalid -width %d: the provisioning model covers issue widths 4 and 8 (use -read/-write for other port counts)", *width)
+	}
+
 	ports := regsim.PortsForWidth(*width, *fp)
-	if *read > 0 || *write > 0 {
+	if explicitPorts {
 		ports = regsim.TimingPorts{Read: *read, Write: *write}
 	}
 	params := regsim.DefaultTimingParams()

@@ -32,15 +32,18 @@ import "fmt"
 type Kind uint8
 
 const (
-	// Perfect is the 100%-hit-rate cache used as the memory-system upper
-	// bound in Figure 7.
-	Perfect Kind = iota
+	// LockupFree services any number of outstanding misses using the
+	// inverted-MSHR organisation. It is the paper's baseline and
+	// deliberately the zero value: a zero-valued configuration (or an
+	// omitted "cache" field on the serving wire) means the baseline
+	// machine, not the idealised one.
+	LockupFree Kind = iota
 	// Lockup is a blocking cache: while a miss is being serviced the cache
 	// cannot be probed, so at most one miss is outstanding.
 	Lockup
-	// LockupFree services any number of outstanding misses using the
-	// inverted-MSHR organisation.
-	LockupFree
+	// Perfect is the 100%-hit-rate cache used as the memory-system upper
+	// bound in Figure 7.
+	Perfect
 )
 
 func (k Kind) String() string {
@@ -53,6 +56,26 @@ func (k Kind) String() string {
 		return "lockup-free"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// MarshalText encodes the kind as its name, so JSON carrying a Kind (the
+// serving wire format, cmd/paper -json map keys) stays readable and stable
+// if the enum values are ever reordered.
+func (k Kind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// UnmarshalText parses a cache-organisation name.
+func (k *Kind) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "perfect":
+		*k = Perfect
+	case "lockup":
+		*k = Lockup
+	case "lockup-free":
+		*k = LockupFree
+	default:
+		return fmt.Errorf("cache: unknown organisation %q (want perfect, lockup, or lockup-free)", text)
+	}
+	return nil
 }
 
 // Config describes a data cache.

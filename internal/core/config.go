@@ -98,6 +98,13 @@ type Config struct {
 	// long run is expensive; it is meant for short pipeline studies.
 	Tracer func(Event)
 
+	// Interrupt, when non-nil, is polled every interruptEvery cycles; a
+	// non-nil return aborts the run with that error (wrapped, so
+	// errors.Is still matches). It is how callers propagate context
+	// cancellation and deadlines into a multi-million-cycle simulation —
+	// typically `func() error { return ctx.Err() }`.
+	Interrupt func() error
+
 	// --- Telemetry (see internal/telemetry). Each hook is fully skipped
 	// when nil; an uninstrumented run pays only the nil checks. ---
 

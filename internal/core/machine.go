@@ -173,6 +173,11 @@ const watchdogCycles = 1 << 20
 // but Config.ProgressEvery is zero.
 const defaultProgressEvery = 1 << 20
 
+// interruptEvery is how often Run polls Config.Interrupt, as a cycle mask.
+// 8K cycles is microseconds of host time, so cancellation is prompt while
+// the uncancelled path pays only a mask test per simulated cycle.
+const interruptEvery = 1<<13 - 1
+
 // Run simulates until the program halts or maxCommit instructions have
 // committed, and returns the run statistics.
 func (m *Machine) Run(maxCommit int64) (*Result, error) {
@@ -200,6 +205,11 @@ func (m *Machine) Run(maxCommit int64) (*Result, error) {
 		if m.cfg.Progress != nil && m.now >= m.nextProgressAt {
 			m.nextProgressAt = m.now + m.progressEvery
 			m.emitProgress(maxCommit, false)
+		}
+		if m.cfg.Interrupt != nil && m.now&interruptEvery == 0 {
+			if err := m.cfg.Interrupt(); err != nil {
+				return nil, fmt.Errorf("core: run interrupted at cycle %d (committed=%d): %w", m.now, m.res.Committed, err)
+			}
 		}
 	}
 	if m.cfg.Progress != nil {

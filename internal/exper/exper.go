@@ -52,16 +52,20 @@ const MeasureRegs = 2048
 // for an issue width (32 entries for 4-way, 64 for 8-way; §3.1).
 func CostEffectiveQueue(width int) int { return width * 8 }
 
-// Spec identifies one simulation run.
+// Spec identifies one simulation run. It is also the serving layer's wire
+// format (`POST /v1/simulate` bodies decode straight into a Spec), so every
+// field must stay exported and JSON-round-trippable — Model and Cache encode
+// as their names via TextMarshaler — and additions need json tags (see
+// TestSpecJSONRoundTrip).
 type Spec struct {
-	Bench  string
-	Width  int
-	Queue  int
-	Regs   int
-	Model  rename.Model
-	Cache  cache.Kind
-	Track  bool
-	Budget int64
+	Bench  string       `json:"bench"`
+	Width  int          `json:"width"`
+	Queue  int          `json:"queue"`
+	Regs   int          `json:"regs"`
+	Model  rename.Model `json:"model"`
+	Cache  cache.Kind   `json:"cache"`
+	Track  bool         `json:"track,omitempty"`
+	Budget int64        `json:"budget,omitempty"`
 }
 
 // Suite runs simulations on the sweep subsystem: every spec is simulated at
@@ -131,7 +135,29 @@ func (s *Suite) engine() *sweep.Engine[Spec, *core.Result] {
 // Run simulates one spec. Identical specs — across calls, goroutines, and
 // (with a Cache) processes — are simulated exactly once.
 func (s *Suite) Run(spec Spec) (*core.Result, error) {
-	return s.engine().Do(context.Background(), s.normalize(spec))
+	return s.RunContext(context.Background(), spec)
+}
+
+// RunContext is Run under a caller-supplied context: cancellation or a
+// deadline aborts the simulation mid-run (the machine polls the context
+// every few thousand cycles). Identical concurrent specs still coalesce onto
+// one execution; a caller whose context expires while piggybacking gets its
+// own context error, and an execution killed by one caller's deadline is
+// retried transparently for callers that are still live.
+func (s *Suite) RunContext(ctx context.Context, spec Spec) (*core.Result, error) {
+	return s.engine().Do(ctx, s.normalize(spec))
+}
+
+// RunAll simulates a batch of specs and returns results in spec order.
+// Duplicate specs coalesce, at most Jobs simulations run concurrently, and
+// the first failure (or the context's cancellation/deadline) cancels the
+// rest of the batch. It is the serving layer's `/v1/sweep` entry point.
+func (s *Suite) RunAll(ctx context.Context, specs []Spec) ([]*core.Result, error) {
+	norm := make([]Spec, len(specs))
+	for i, spec := range specs {
+		norm[i] = s.normalize(spec)
+	}
+	return s.engine().DoAll(ctx, norm)
 }
 
 // prefetch simulates a figure's whole spec matrix across the worker pool;
@@ -139,10 +165,7 @@ func (s *Suite) Run(spec Spec) (*core.Result, error) {
 // order. Duplicate specs are coalesced, and the first failure cancels the
 // outstanding work.
 func (s *Suite) prefetch(specs []Spec) error {
-	for i := range specs {
-		specs[i] = s.normalize(specs[i])
-	}
-	_, err := s.engine().DoAll(context.Background(), specs)
+	_, err := s.RunAll(context.Background(), specs)
 	return err
 }
 
@@ -204,6 +227,11 @@ func (s *Suite) simulate(ctx context.Context, spec Spec) (*core.Result, error) {
 	cfg.Model = spec.Model
 	cfg.DCache = cfg.DCache.WithKind(spec.Cache)
 	cfg.TrackLiveRegisters = spec.Track
+	// Propagate the caller's cancellation/deadline into the machine loop,
+	// so a served request's deadline can stop a simulation mid-run.
+	if ctx.Done() != nil {
+		cfg.Interrupt = ctx.Err
+	}
 	if s.Heartbeat != nil {
 		label := fmt.Sprintf("%s w=%d q=%d regs=%d", spec.Bench, spec.Width, spec.Queue, spec.Regs)
 		if w := sweep.WorkerID(ctx); w > 0 {

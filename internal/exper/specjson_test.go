@@ -1,0 +1,84 @@
+package exper
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"regsim/internal/cache"
+	"regsim/internal/rename"
+)
+
+// TestSpecJSONRoundTrip: a Spec is the serving layer's wire format (the body
+// of POST /v1/simulate and the elements of /v1/sweep), so it must
+// encode→decode→compare losslessly, with the Model and Cache enums carried
+// as their names rather than bare integers.
+func TestSpecJSONRoundTrip(t *testing.T) {
+	specs := []Spec{
+		{}, // zero value: precise model, lockup-free cache (the baseline)
+		{
+			Bench: "tomcatv", Width: 8, Queue: 64, Regs: 128,
+			Model: rename.Imprecise, Cache: cache.Lockup,
+			Track: true, Budget: 123_456,
+		},
+		{
+			Bench: "compress", Width: 4, Queue: 32, Regs: 80,
+			Model: rename.Precise, Cache: cache.LockupFree,
+		},
+	}
+	for _, spec := range specs {
+		data, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("marshal %+v: %v", spec, err)
+		}
+		var back Spec
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if back != spec {
+			t.Errorf("Spec does not round-trip through JSON:\n got %+v\nwant %+v\nwire %s", back, spec, data)
+		}
+	}
+}
+
+// TestSpecJSONEnumNames: the wire format carries the enums by name; integer
+// enum values on the wire would silently re-map if the enums were reordered.
+func TestSpecJSONEnumNames(t *testing.T) {
+	data, err := json.Marshal(Spec{Bench: "ora", Model: rename.Imprecise, Cache: cache.LockupFree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if got := m["model"]; got != "imprecise" {
+		t.Errorf("model encodes as %v, want %q", got, "imprecise")
+	}
+	if got := m["cache"]; got != "lockup-free" {
+		t.Errorf("cache encodes as %v, want %q", got, "lockup-free")
+	}
+	var back Spec
+	if err := json.Unmarshal([]byte(`{"model":"sloppy"}`), &back); err == nil {
+		t.Error("unknown model name decoded without error")
+	}
+	if err := json.Unmarshal([]byte(`{"cache":"write-through"}`), &back); err == nil {
+		t.Error("unknown cache name decoded without error")
+	}
+}
+
+// TestSpecAllFieldsExported guards the wire contract structurally: an
+// unexported field would be silently dropped from every request, and — since
+// the Spec is also the sweep engine's memo key — could alias distinct
+// configurations in served results.
+func TestSpecAllFieldsExported(t *testing.T) {
+	typ := reflect.TypeOf(Spec{})
+	for i := 0; i < typ.NumField(); i++ {
+		if f := typ.Field(i); !f.IsExported() {
+			t.Errorf("Spec.%s is unexported; it would be lost on the /v1/simulate wire", f.Name)
+		}
+		if f := typ.Field(i); f.Tag.Get("json") == "" {
+			t.Errorf("Spec.%s has no json tag; the serving wire format wants explicit lower-case names", f.Name)
+		}
+	}
+}

@@ -75,6 +75,24 @@ func (m Model) String() string {
 	return "imprecise"
 }
 
+// MarshalText encodes the model as its name, so JSON carrying a Model (the
+// serving wire format, cmd/paper -json map keys) stays readable and stable
+// if the enum values are ever reordered.
+func (m Model) MarshalText() ([]byte, error) { return []byte(m.String()), nil }
+
+// UnmarshalText parses a model name.
+func (m *Model) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "precise":
+		*m = Precise
+	case "imprecise":
+		*m = Imprecise
+	default:
+		return fmt.Errorf("rename: unknown exception model %q (want precise or imprecise)", text)
+	}
+	return nil
+}
+
 // Category classifies a live physical register for Figure 3.
 type Category uint8
 

@@ -1,0 +1,84 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errOverloaded is returned by acquire when the bounded wait queue is full;
+// the handler maps it to 429 with a Retry-After hint.
+var errOverloaded = errors.New("server: admission queue full")
+
+// admission bounds how many simulation-executing requests run at once, with
+// a bounded wait queue in front: up to maxInFlight requests hold slots, up
+// to maxQueue more wait for one, and everything beyond that is rejected
+// immediately so overload produces fast 429s instead of a latency collapse.
+type admission struct {
+	maxInFlight int
+	maxQueue    int
+	slots       chan struct{}
+
+	// occupants counts requests holding or waiting for a slot; the gate
+	// that makes the wait queue bounded.
+	occupants atomic.Int64
+
+	inFlight atomic.Int64
+	admitted atomic.Int64
+	rejected atomic.Int64
+	expired  atomic.Int64 // context expired while waiting for a slot
+}
+
+func newAdmission(maxInFlight, maxQueue int) *admission {
+	return &admission{
+		maxInFlight: maxInFlight,
+		maxQueue:    maxQueue,
+		slots:       make(chan struct{}, maxInFlight),
+	}
+}
+
+// acquire claims a simulation slot, waiting (bounded by the queue size and
+// the context) when all slots are busy. On success it returns a release
+// function that must be called exactly once; on failure it returns
+// errOverloaded (queue full) or the context's error (deadline/cancel while
+// queued).
+func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+	if a.occupants.Add(1) > int64(a.maxInFlight+a.maxQueue) {
+		a.occupants.Add(-1)
+		a.rejected.Add(1)
+		return nil, errOverloaded
+	}
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Add(1)
+		a.inFlight.Add(1)
+		return func() {
+			<-a.slots
+			a.inFlight.Add(-1)
+			a.occupants.Add(-1)
+		}, nil
+	case <-ctx.Done():
+		a.occupants.Add(-1)
+		a.expired.Add(1)
+		return nil, ctx.Err()
+	}
+}
+
+// stats snapshots the controller's counters.
+func (a *admission) stats() AdmissionStats {
+	occ := a.occupants.Load()
+	inFlight := a.inFlight.Load()
+	waiting := occ - inFlight
+	if waiting < 0 {
+		waiting = 0
+	}
+	return AdmissionStats{
+		MaxInFlight: a.maxInFlight,
+		MaxQueue:    a.maxQueue,
+		InFlight:    inFlight,
+		Waiting:     waiting,
+		Admitted:    a.admitted.Load(),
+		Rejected:    a.rejected.Load(),
+		Expired:     a.expired.Load(),
+	}
+}

@@ -1,0 +1,76 @@
+package server
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"regsim/internal/exper"
+)
+
+// benchServer serves a suite with the given budget from a real listener so
+// the numbers include the full HTTP round trip.
+func benchServer(b *testing.B, budget int64) *Client {
+	b.Helper()
+	suite := exper.NewSuite(budget)
+	srv, err := New(Config{Suite: suite})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(ts.Close)
+	return NewClient(ts.URL)
+}
+
+// BenchmarkWarmSimulate is the warm-cache request latency: the spec is in
+// the memo, so ns/op is validation + memo lookup + JSON + a loopback round
+// trip — the latency a dashboard refresh or repeated sweep sees.
+func BenchmarkWarmSimulate(b *testing.B) {
+	client := benchServer(b, 20_000)
+	ctx := context.Background()
+	spec := exper.Spec{Bench: "compress"}
+	if _, err := client.Simulate(ctx, spec); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Simulate(ctx, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWarmSimulateParallel is warm-request throughput under concurrent
+// clients (single node, loopback).
+func BenchmarkWarmSimulateParallel(b *testing.B) {
+	client := benchServer(b, 20_000)
+	ctx := context.Background()
+	spec := exper.Spec{Bench: "compress"}
+	if _, err := client.Simulate(ctx, spec); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := client.Simulate(ctx, spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkColdSimulate is end-to-end cold throughput at a 20k-commit
+// budget: every request names a distinct register-file size, so each one
+// actually simulates.
+func BenchmarkColdSimulate(b *testing.B) {
+	client := benchServer(b, 20_000)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Walk distinct spec shapes so the memo never answers.
+		spec := exper.Spec{Bench: "compress", Regs: 48 + i, Queue: 17 + i%16}
+		if _, err := client.Simulate(ctx, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

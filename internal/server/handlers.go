@@ -1,0 +1,411 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"regsim/internal/exper"
+	"regsim/internal/rftiming"
+	"regsim/internal/workload"
+)
+
+// Request body bounds: a simulate body is one small spec, a sweep body is at
+// most MaxSweepSpecs of them. Both fit comfortably in these.
+const (
+	maxSimulateBody = 64 << 10
+	maxSweepBody    = 4 << 20
+)
+
+// finishSpec fills a request spec's omitted (zero) fields with the paper's
+// baseline machine: 4-wide, the width's cost-effective queue, 80 registers
+// per file, the suite's default commit budget. The enum zero values already
+// mean the baseline (precise exceptions, lockup-free cache), so a spec
+// naming only a bench simulates the paper's default configuration.
+func (s *Server) finishSpec(spec exper.Spec) exper.Spec {
+	if spec.Width == 0 {
+		spec.Width = 4
+	}
+	if spec.Queue == 0 {
+		spec.Queue = exper.CostEffectiveQueue(spec.Width)
+	}
+	if spec.Regs == 0 {
+		spec.Regs = 80
+	}
+	if spec.Budget == 0 {
+		spec.Budget = s.cfg.Suite.Budget
+	}
+	return spec
+}
+
+// decodeJSON strictly decodes one JSON body into v, mapping the failure
+// modes to structured errors: syntax errors and truncation → invalid_json,
+// wrong types and unknown fields → invalid_argument (naming the field when
+// the decoder knows it), an oversized body → body_too_large.
+func decodeJSON(w http.ResponseWriter, r *http.Request, limit int64, v any) *APIError {
+	body := http.MaxBytesReader(w, r.Body, limit)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	err := dec.Decode(v)
+	if err == nil {
+		// Trailing garbage after the JSON value is a malformed request too.
+		if dec.More() {
+			return &APIError{Status: http.StatusBadRequest, Code: CodeInvalidJSON,
+				Message: "request body has trailing data after the JSON value"}
+		}
+		return nil
+	}
+	var maxErr *http.MaxBytesError
+	var typeErr *json.UnmarshalTypeError
+	switch {
+	case errors.As(err, &maxErr):
+		return &APIError{Status: http.StatusRequestEntityTooLarge, Code: CodeBodyTooLarge,
+			Message: fmt.Sprintf("request body exceeds %d bytes", maxErr.Limit)}
+	case errors.As(err, &typeErr):
+		return &APIError{Status: http.StatusBadRequest, Code: CodeInvalidArgument,
+			Field:   typeErr.Field,
+			Message: fmt.Sprintf("field %q wants %s, got %s", typeErr.Field, typeErr.Type, typeErr.Value)}
+	case errors.Is(err, io.EOF):
+		return &APIError{Status: http.StatusBadRequest, Code: CodeInvalidJSON,
+			Message: "empty request body"}
+	case strings.HasPrefix(err.Error(), "json: unknown field"):
+		return &APIError{Status: http.StatusBadRequest, Code: CodeInvalidArgument,
+			Message: err.Error()}
+	default:
+		// Covers syntax errors, unexpected EOF, and enum-name failures
+		// (which carry their own useful message).
+		return &APIError{Status: http.StatusBadRequest, Code: CodeInvalidJSON,
+			Message: err.Error()}
+	}
+}
+
+// requestContext applies the per-request deadline: the ?timeout= override
+// (clamped to MaxTimeout) or the server default.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc, *APIError) {
+	d := s.cfg.DefaultTimeout
+	if raw := r.URL.Query().Get("timeout"); raw != "" {
+		parsed, err := time.ParseDuration(raw)
+		if err != nil || parsed <= 0 {
+			return nil, nil, &APIError{Status: http.StatusBadRequest, Code: CodeInvalidArgument,
+				Field:   "timeout",
+				Message: fmt.Sprintf("timeout %q is not a positive Go duration (e.g. 500ms, 30s)", raw)}
+		}
+		d = parsed
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, nil
+}
+
+// refuseIfDraining answers simulation endpoints during drain.
+func (s *Server) refuseIfDraining(w http.ResponseWriter) bool {
+	if !s.draining.Load() {
+		return false
+	}
+	writeError(w, &APIError{
+		Status: http.StatusServiceUnavailable, Code: CodeDraining,
+		Message:           "server is draining; retry against another instance",
+		RetryAfterSeconds: s.retryAfterSeconds(),
+	})
+	return true
+}
+
+func (s *Server) retryAfterSeconds() int {
+	return int(math.Ceil(s.cfg.RetryAfter.Seconds()))
+}
+
+// admit claims an admission slot, translating the failure modes.
+func (s *Server) admit(ctx context.Context) (func(), *APIError) {
+	release, err := s.adm.acquire(ctx)
+	if err == nil {
+		return release, nil
+	}
+	if errors.Is(err, errOverloaded) {
+		return nil, &APIError{
+			Status: http.StatusTooManyRequests, Code: CodeOverloaded,
+			Message: fmt.Sprintf("admission queue full (%d executing, %d waiting)",
+				s.adm.maxInFlight, s.adm.maxQueue),
+			RetryAfterSeconds: s.retryAfterSeconds(),
+		}
+	}
+	return nil, simError(err)
+}
+
+// simError maps a simulation (or queued-admission) failure to its wire form.
+func simError(err error) *APIError {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return &APIError{Status: http.StatusGatewayTimeout, Code: CodeDeadlineExceeded,
+			Message: "request deadline exceeded before the simulation finished; raise ?timeout= or shrink the request"}
+	case errors.Is(err, context.Canceled):
+		// 499: client closed request (nginx convention); the body is for
+		// the access log, the client is gone.
+		return &APIError{Status: 499, Code: CodeCanceled, Message: "request canceled by the client"}
+	default:
+		return &APIError{Status: http.StatusInternalServerError, Code: CodeInternal,
+			Message: fmt.Sprintf("simulation failed: %v", err)}
+	}
+}
+
+// handleSimulate runs one spec: POST /v1/simulate.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	if s.refuseIfDraining(w) {
+		return
+	}
+	start := time.Now()
+	var spec exper.Spec
+	if apiErr := decodeJSON(w, r, maxSimulateBody, &spec); apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	spec = s.finishSpec(spec)
+	if apiErr := validateSpec(spec, s.cfg.MaxBudget); apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	ctx, cancel, apiErr := s.requestContext(r)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	defer cancel()
+	release, apiErr := s.admit(ctx)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	defer release()
+	res, err := s.cfg.Suite.RunContext(ctx, spec)
+	if err != nil {
+		writeError(w, simError(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, SimulateResponse{
+		Spec:      spec,
+		Result:    res,
+		ElapsedMS: elapsedMS(start),
+	})
+}
+
+// handleSweep runs a spec matrix: POST /v1/sweep. The whole batch shares
+// one admission slot (the suite's Jobs field bounds its internal
+// parallelism) and one deadline; identical specs within the batch, across
+// concurrent requests, and across restarts (persistent cache) simulate at
+// most once.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if s.refuseIfDraining(w) {
+		return
+	}
+	start := time.Now()
+	var req SweepRequest
+	if apiErr := decodeJSON(w, r, maxSweepBody, &req); apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	if len(req.Specs) == 0 {
+		writeError(w, &APIError{Status: http.StatusBadRequest, Code: CodeInvalidArgument,
+			Field: "specs", Message: "specs must name at least one simulation"})
+		return
+	}
+	if len(req.Specs) > s.cfg.MaxSweepSpecs {
+		writeError(w, &APIError{Status: http.StatusBadRequest, Code: CodeInvalidArgument,
+			Field:   "specs",
+			Message: fmt.Sprintf("sweep of %d specs exceeds the per-request limit %d; split the matrix", len(req.Specs), s.cfg.MaxSweepSpecs)})
+		return
+	}
+	specs := make([]exper.Spec, len(req.Specs))
+	for i := range req.Specs {
+		// Partial specs mean the baseline machine, exactly like
+		// /v1/simulate.
+		spec := s.finishSpec(req.Specs[i])
+		if apiErr := validateSpec(spec, s.cfg.MaxBudget); apiErr != nil {
+			apiErr.Field = fmt.Sprintf("specs[%d].%s", i, apiErr.Field)
+			writeError(w, apiErr)
+			return
+		}
+		specs[i] = spec
+	}
+	ctx, cancel, apiErr := s.requestContext(r)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	defer cancel()
+	release, apiErr := s.admit(ctx)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	defer release()
+	results, err := s.cfg.Suite.RunAll(ctx, specs)
+	if err != nil {
+		writeError(w, simError(err))
+		return
+	}
+	resp := SweepResponse{
+		Count:     len(results),
+		Results:   make([]SimulateResponse, len(results)),
+		ElapsedMS: elapsedMS(start),
+	}
+	for i, res := range results {
+		resp.Results[i] = SimulateResponse{Spec: specs[i], Result: res}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleWorkloads lists the benchmark registry: GET /v1/workloads.
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	names := workload.Names()
+	resp := WorkloadsResponse{Workloads: make([]WorkloadInfo, 0, len(names))}
+	for _, name := range names {
+		info, err := workload.Get(name)
+		if err != nil {
+			writeError(w, simError(err))
+			return
+		}
+		resp.Workloads = append(resp.Workloads, WorkloadInfo{
+			Name: info.Name, FP: info.FP, Description: info.Description,
+			PaperLoadFrac: info.PaperLoadFrac, PaperCbrFrac: info.PaperCbrFrac,
+			PaperMissRate: info.PaperMissRate, PaperMispRate: info.PaperMispRate,
+			PaperCommitIPC: info.PaperCommitI4,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleTiming evaluates the register-file cycle-time model: GET /v1/timing.
+// Query parameters mirror cmd/rftime: either width=4|8 (+fp=true for the
+// floating-point file's halved ports) or explicit read=&write= ports, plus
+// regs=, a comma-separated list of register counts (default: the paper's
+// Figure 10 axis).
+func (s *Server) handleTiming(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	fail := func(field, format string, args ...any) {
+		writeError(w, &APIError{Status: http.StatusBadRequest, Code: CodeInvalidArgument,
+			Field: field, Message: fmt.Sprintf(format, args...)})
+	}
+	intParam := func(field string, def int) (int, bool) {
+		raw := q.Get(field)
+		if raw == "" {
+			return def, true
+		}
+		n, err := strconv.Atoi(raw)
+		if err != nil {
+			fail(field, "%s %q is not an integer", field, raw)
+			return 0, false
+		}
+		return n, true
+	}
+	read, ok := intParam("read", 0)
+	if !ok {
+		return
+	}
+	write, ok := intParam("write", 0)
+	if !ok {
+		return
+	}
+	if read < 0 || write < 0 {
+		fail("read", "port counts cannot be negative (read=%d write=%d)", read, write)
+		return
+	}
+	if (read > 0) != (write > 0) {
+		fail("read", "explicit ports need both read= and write= (got read=%d write=%d)", read, write)
+		return
+	}
+	var ports rftiming.Ports
+	if read > 0 {
+		if read > maxTimingPorts || write > maxTimingPorts {
+			fail("read", "port counts out of range [1, %d] (read=%d write=%d)", maxTimingPorts, read, write)
+			return
+		}
+		ports = rftiming.Ports{Read: read, Write: write}
+	} else {
+		width, ok := intParam("width", 4)
+		if !ok {
+			return
+		}
+		if width != 4 && width != 8 {
+			fail("width", "issue width %d unsupported (the paper provisions ports for 4 and 8)", width)
+			return
+		}
+		fp := false
+		if raw := q.Get("fp"); raw != "" {
+			parsed, err := strconv.ParseBool(raw)
+			if err != nil {
+				fail("fp", "fp %q is not a boolean", raw)
+				return
+			}
+			fp = parsed
+		}
+		ports = rftiming.PortsFor(width, fp)
+	}
+	regs := exper.RegSizes
+	if raw := q.Get("regs"); raw != "" {
+		regs = nil
+		for _, field := range strings.Split(raw, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(field))
+			if err != nil || n < 1 || n > maxRegsLimit {
+				fail("regs", "bad register count %q (want integers in [1, %d])", field, maxRegsLimit)
+				return
+			}
+			regs = append(regs, n)
+		}
+		if len(regs) > maxTimingRows {
+			fail("regs", "%d register counts exceed the per-request limit %d", len(regs), maxTimingRows)
+			return
+		}
+	}
+	params := rftiming.Default05um()
+	resp := TimingResponse{ReadPorts: ports.Read, WritePorts: ports.Write}
+	for _, n := range regs {
+		resp.Rows = append(resp.Rows, breakdownRow(params, n, ports))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// Timing-endpoint bounds: the model is closed-form, so these exist only to
+// keep responses sane.
+const (
+	maxTimingPorts = 256
+	maxTimingRows  = 256
+)
+
+// handleHealthz: GET /healthz. 200 while serving, 503 while draining (load
+// balancers use it to pull the instance before shutdown).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+}
+
+// handleMetrics: GET /metrics. Live counters: the sweep engine and
+// persistent cache (shared with every CLI using the same cache directory),
+// the admission controller, and per-endpoint request statistics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	resp := MetricsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Draining:      s.draining.Load(),
+		Sweep:         s.cfg.Suite.SweepStats(),
+		Admission:     s.adm.stats(),
+		Endpoints:     make(map[string]EndpointMetrics, len(s.metrics)),
+	}
+	for pattern, m := range s.metrics {
+		resp.Endpoints[pattern] = m.snapshot()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func elapsedMS(start time.Time) float64 {
+	return math.Round(float64(time.Since(start).Microseconds())/10) / 100
+}

@@ -1,0 +1,286 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"regsim/internal/cache"
+	"regsim/internal/exper"
+	"regsim/internal/rename"
+)
+
+var update = flag.Bool("update", false, "rewrite golden response files")
+
+// checkGolden compares a response body against testdata/<name>.golden.json
+// (run with -update to regenerate after an intentional change).
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/server -update` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from its golden response.\n got: %s\nwant: %s\n(run with -update if the change is intentional)",
+			name, got, want)
+	}
+}
+
+func get(t *testing.T, c *Client, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(clientBase(c) + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func post(t *testing.T, c *Client, path, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(clientBase(c)+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// TestWorkloadsGolden: the registry listing is a pure function of the
+// workload package; pin the full response.
+func TestWorkloadsGolden(t *testing.T) {
+	_, client := newTestServer(t, nil)
+	status, body := get(t, client, "/v1/workloads")
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	checkGolden(t, "workloads", body)
+}
+
+// TestTimingGolden: the cycle-time model is closed-form; pin the default
+// response (the paper's Figure 10 axis, 4-way integer-file ports) and an
+// explicit-ports variant.
+func TestTimingGolden(t *testing.T) {
+	_, client := newTestServer(t, nil)
+	status, body := get(t, client, "/v1/timing")
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	checkGolden(t, "timing_default", body)
+
+	status, body = get(t, client, "/v1/timing?read=4&write=2&regs=64,128")
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	checkGolden(t, "timing_ports", body)
+}
+
+// TestSimulateSuccess: the success path returns the fully-defaulted spec
+// and a real result, deterministically.
+func TestSimulateSuccess(t *testing.T) {
+	_, client := newTestServer(t, nil)
+	ctx := context.Background()
+	resp, err := client.Simulate(ctx, exper.Spec{Bench: "compress"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := exper.Spec{
+		Bench: "compress", Width: 4, Queue: 32, Regs: 80,
+		Model: rename.Precise, Cache: cache.LockupFree, Budget: testBudget,
+	}
+	if resp.Spec != want {
+		t.Errorf("defaulted spec = %+v, want %+v", resp.Spec, want)
+	}
+	// Commit is per-cycle, so the budget can be overshot by at most width-1.
+	if resp.Result == nil || resp.Result.Committed < testBudget || resp.Result.Committed >= testBudget+4 || resp.Result.Cycles <= 0 {
+		t.Fatalf("implausible result: %+v", resp.Result)
+	}
+	if ipc := resp.Result.CommitIPC(); ipc <= 0 || ipc > 8 {
+		t.Errorf("implausible IPC %f", ipc)
+	}
+
+	// Determinism: the same request gives byte-identical result fields.
+	again, err := client.Simulate(ctx, exper.Spec{Bench: "compress"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Result.Checksum != resp.Result.Checksum || again.Result.Cycles != resp.Result.Cycles {
+		t.Errorf("identical requests diverged:\n%+v\n%+v", again.Result, resp.Result)
+	}
+}
+
+// TestSimulateExplicitSpec: explicitly-set fields are honoured, including
+// the enums by name on the raw wire.
+func TestSimulateExplicitSpec(t *testing.T) {
+	_, client := newTestServer(t, nil)
+	status, body := post(t, client, "/v1/simulate",
+		`{"bench":"ora","width":8,"regs":96,"model":"imprecise","cache":"perfect","budget":1000}`)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var resp SimulateResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	want := exper.Spec{
+		Bench: "ora", Width: 8, Queue: 64, Regs: 96,
+		Model: rename.Imprecise, Cache: cache.Perfect, Budget: 1000,
+	}
+	if resp.Spec != want {
+		t.Errorf("spec = %+v, want %+v", resp.Spec, want)
+	}
+	if resp.Result.LoadMisses != 0 {
+		t.Errorf("perfect cache produced %d load misses", resp.Result.LoadMisses)
+	}
+}
+
+// TestSweepOrdering: results come back in request order even though
+// execution is concurrent and deduplicated.
+func TestSweepOrdering(t *testing.T) {
+	_, client := newTestServer(t, nil)
+	specs := []exper.Spec{
+		{Bench: "ora", Regs: 96},
+		{Bench: "compress"},
+		{Bench: "ora", Regs: 96}, // duplicate
+		{Bench: "compress", Width: 8},
+	}
+	resp, err := client.Sweep(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count != len(specs) {
+		t.Fatalf("count %d, want %d", resp.Count, len(specs))
+	}
+	for i, want := range []string{"ora", "compress", "ora", "compress"} {
+		if resp.Results[i].Spec.Bench != want {
+			t.Errorf("result %d is %q, want %q", i, resp.Results[i].Spec.Bench, want)
+		}
+	}
+	if a, b := resp.Results[0], resp.Results[2]; a.Result.Checksum != b.Result.Checksum || a.Result.Cycles != b.Result.Cycles {
+		t.Error("duplicate specs returned different results")
+	}
+	if resp.Results[3].Spec.Queue != 64 {
+		t.Errorf("8-wide spec defaulted queue to %d, want 64", resp.Results[3].Spec.Queue)
+	}
+}
+
+// TestErrorPaths is the table-driven error contract: every rejection is a
+// structured JSON body with the right status, code, and (for validation
+// failures) field.
+func TestErrorPaths(t *testing.T) {
+	_, client := newTestServer(t, func(cfg *Config) {
+		cfg.MaxSweepSpecs = 4
+		cfg.MaxBudget = 100_000
+	})
+	tests := []struct {
+		name      string
+		method    string
+		path      string
+		body      string
+		status    int
+		code      string
+		fieldPart string // substring the error's field must contain, "" = don't care
+	}{
+		{"bad json", "POST", "/v1/simulate", `{"bench":`, http.StatusBadRequest, CodeInvalidJSON, ""},
+		{"empty body", "POST", "/v1/simulate", ``, http.StatusBadRequest, CodeInvalidJSON, ""},
+		{"trailing garbage", "POST", "/v1/simulate", `{"bench":"ora"} extra`, http.StatusBadRequest, CodeInvalidJSON, ""},
+		{"unknown field", "POST", "/v1/simulate", `{"bench":"ora","wdth":8}`, http.StatusBadRequest, CodeInvalidArgument, ""},
+		{"wrong type", "POST", "/v1/simulate", `{"bench":"ora","width":"four"}`, http.StatusBadRequest, CodeInvalidArgument, "width"},
+		{"bad enum", "POST", "/v1/simulate", `{"bench":"ora","model":"sloppy"}`, http.StatusBadRequest, CodeInvalidJSON, ""},
+		{"missing bench", "POST", "/v1/simulate", `{"width":4}`, http.StatusBadRequest, CodeInvalidArgument, "bench"},
+		{"unknown workload", "POST", "/v1/simulate", `{"bench":"linpack"}`, http.StatusBadRequest, CodeUnknownWorkload, "bench"},
+		{"width out of range", "POST", "/v1/simulate", `{"bench":"ora","width":16}`, http.StatusBadRequest, CodeInvalidArgument, "width"},
+		{"queue out of range", "POST", "/v1/simulate", `{"bench":"ora","queue":100000}`, http.StatusBadRequest, CodeInvalidArgument, "queue"},
+		{"regs too small", "POST", "/v1/simulate", `{"bench":"ora","regs":8}`, http.StatusBadRequest, CodeInvalidArgument, "regs"},
+		{"regs too large", "POST", "/v1/simulate", `{"bench":"ora","regs":100000}`, http.StatusBadRequest, CodeInvalidArgument, "regs"},
+		{"budget over limit", "POST", "/v1/simulate", `{"bench":"ora","budget":200000}`, http.StatusBadRequest, CodeInvalidArgument, "budget"},
+		{"negative budget", "POST", "/v1/simulate", `{"bench":"ora","budget":-5}`, http.StatusBadRequest, CodeInvalidArgument, "budget"},
+		{"bad timeout", "POST", "/v1/simulate?timeout=fast", `{"bench":"ora"}`, http.StatusBadRequest, CodeInvalidArgument, "timeout"},
+		{"empty sweep", "POST", "/v1/sweep", `{"specs":[]}`, http.StatusBadRequest, CodeInvalidArgument, "specs"},
+		{"oversized sweep", "POST", "/v1/sweep", `{"specs":[{"bench":"ora"},{"bench":"ora"},{"bench":"ora"},{"bench":"ora"},{"bench":"ora"}]}`, http.StatusBadRequest, CodeInvalidArgument, "specs"},
+		{"bad spec in sweep", "POST", "/v1/sweep", `{"specs":[{"bench":"ora"},{"bench":"ora","width":5}]}`, http.StatusBadRequest, CodeInvalidArgument, "specs[1].width"},
+		{"timing bad width", "GET", "/v1/timing?width=6", "", http.StatusBadRequest, CodeInvalidArgument, "width"},
+		{"timing negative ports", "GET", "/v1/timing?read=-1&write=2", "", http.StatusBadRequest, CodeInvalidArgument, "read"},
+		{"timing lone read", "GET", "/v1/timing?read=4", "", http.StatusBadRequest, CodeInvalidArgument, "read"},
+		{"timing bad regs", "GET", "/v1/timing?regs=64,zero", "", http.StatusBadRequest, CodeInvalidArgument, "regs"},
+		{"unknown route", "GET", "/v2/simulate", "", http.StatusNotFound, CodeNotFound, ""},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var status int
+			var body []byte
+			if tc.method == "GET" {
+				status, body = get(t, client, tc.path)
+			} else {
+				status, body = post(t, client, tc.path, tc.body)
+			}
+			if status != tc.status {
+				t.Fatalf("status %d, want %d (body %s)", status, tc.status, body)
+			}
+			var eb errorBody
+			if err := json.Unmarshal(body, &eb); err != nil || eb.Error == nil {
+				t.Fatalf("error body is not the structured envelope: %s", body)
+			}
+			if eb.Error.Code != tc.code {
+				t.Errorf("code %q, want %q (message %q)", eb.Error.Code, tc.code, eb.Error.Message)
+			}
+			if tc.fieldPart != "" && !strings.Contains(eb.Error.Field, tc.fieldPart) {
+				t.Errorf("field %q does not name %q (message %q)", eb.Error.Field, tc.fieldPart, eb.Error.Message)
+			}
+			if eb.Error.Message == "" {
+				t.Error("error has no message")
+			}
+		})
+	}
+}
+
+// TestBodyTooLarge: an oversized request body is refused with 413 before
+// any simulation work.
+func TestBodyTooLarge(t *testing.T) {
+	_, client := newTestServer(t, nil)
+	big := fmt.Sprintf(`{"bench":"ora","width":4 %s}`, strings.Repeat(" ", maxSimulateBody))
+	status, body := post(t, client, "/v1/simulate", big)
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413 (body %s)", status, truncate(body, 120))
+	}
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Error == nil || eb.Error.Code != CodeBodyTooLarge {
+		t.Errorf("want structured %s error, got %s", CodeBodyTooLarge, body)
+	}
+}
+
+// TestMethodNotAllowed: the mux's method routing refuses a GET on a
+// POST-only route.
+func TestMethodNotAllowed(t *testing.T) {
+	_, client := newTestServer(t, nil)
+	status, _ := get(t, client, "/v1/simulate")
+	if status != http.StatusMethodNotAllowed {
+		t.Fatalf("status %d, want 405", status)
+	}
+}

@@ -1,0 +1,115 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"sync"
+	"time"
+
+	"regsim/internal/telemetry"
+)
+
+// endpointMetrics is one route's serving statistics: request count,
+// responses per status, and a millisecond latency histogram (reusing the
+// simulator's telemetry histogram, so /metrics reports the same P50/P90/P99
+// shape as the pipeline latencies).
+type endpointMetrics struct {
+	mu       sync.Mutex
+	requests int64
+	byStatus map[string]int64
+	latency  telemetry.Histogram
+}
+
+func (m *endpointMetrics) record(status int, elapsed time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests++
+	if m.byStatus == nil {
+		m.byStatus = make(map[string]int64)
+	}
+	m.byStatus[strconv.Itoa(status)]++
+	m.latency.Record(elapsed.Milliseconds())
+}
+
+func (m *endpointMetrics) snapshot() EndpointMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	by := make(map[string]int64, len(m.byStatus))
+	for k, v := range m.byStatus {
+		by[k] = v
+	}
+	stats := m.latency.Stats()
+	stats.Buckets = nil // the summary is enough for /metrics; buckets are per-run detail
+	return EndpointMetrics{Requests: m.requests, ByStatus: by, LatencyMS: stats}
+}
+
+// statusRecorder captures the response status and size for logs and metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// wrap is the middleware stack applied to every route: panic-to-500
+// recovery, per-endpoint metrics, and a structured access-log line.
+func (s *Server) wrap(pattern string, m *endpointMetrics, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			if p := recover(); p != nil {
+				s.cfg.ErrorLog.Printf("server: panic in %s: %v\n%s", pattern, p, debug.Stack())
+				// Best effort: if the handler already wrote a body the
+				// header is gone, but the log above always fires.
+				if rec.bytes == 0 {
+					writeError(rec, &APIError{
+						Status: http.StatusInternalServerError, Code: CodeInternal,
+						Message: "internal error (panic recovered; see server log)",
+					})
+				}
+			}
+			elapsed := time.Since(start)
+			m.record(rec.status, elapsed)
+			if s.cfg.AccessLog != nil {
+				s.cfg.AccessLog.Printf("method=%s path=%s status=%d bytes=%d elapsed=%s remote=%s",
+					r.Method, r.URL.RequestURI(), rec.status, rec.bytes, elapsed.Round(time.Microsecond), r.RemoteAddr)
+			}
+		}()
+		h(rec, r)
+	})
+}
+
+// writeJSON writes a 2xx JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) // the connection is gone if this fails; nothing to do
+}
+
+// writeError writes a structured error body, mirroring any Retry-After hint
+// into the header so plain HTTP clients back off correctly too.
+func writeError(w http.ResponseWriter, e *APIError) {
+	w.Header().Set("Content-Type", "application/json")
+	if e.RetryAfterSeconds > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfterSeconds))
+	}
+	w.WriteHeader(e.Status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(errorBody{Error: e})
+}

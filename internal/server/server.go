@@ -1,0 +1,185 @@
+// Package server is the simulation-as-a-service layer: a JSON-over-HTTP
+// front end over the experiment suite (internal/exper) and its sweep
+// subsystem. It turns the library into a shareable service — Figure 3/10
+// style design-space sweeps on demand — while reusing the existing
+// machinery end to end: identical in-flight requests coalesce through the
+// sweep engine's singleflight, completed configurations are answered from
+// the shared persistent result cache, and request latencies land in the
+// telemetry package's histograms.
+//
+// The layer is production-shaped rather than a toy mux:
+//
+//   - bounded admission: at most MaxInFlight simulation requests execute,
+//     at most MaxQueue more wait, everything beyond is refused fast with a
+//     structured 429 and a Retry-After hint;
+//   - per-request deadlines: a default (and a clamp) on the server, an
+//     optional ?timeout= override per request, and the deadline propagates
+//     through the engine into the machine loop, aborting simulations
+//     mid-run;
+//   - request validation with structured JSON errors naming the offending
+//     field, panic-to-500 recovery, and structured access logs;
+//   - graceful drain: Drain() flips /healthz to 503 and refuses new
+//     simulation work while in-flight requests finish.
+//
+// Endpoints: POST /v1/simulate, POST /v1/sweep, GET /v1/workloads,
+// GET /v1/timing, GET /healthz, GET /metrics.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"regsim/internal/exper"
+)
+
+// Config configures a Server. The zero value of every field except Suite is
+// usable; New fills defaults.
+type Config struct {
+	// Suite executes the simulations. Required. Its Jobs field bounds how
+	// many simulations one sweep request fans out to; the server's
+	// MaxInFlight bounds how many requests simulate at once.
+	Suite *exper.Suite
+
+	// MaxInFlight is the admission bound on concurrently executing
+	// simulation requests (default GOMAXPROCS).
+	MaxInFlight int
+	// MaxQueue is the bounded wait queue in front of the slots (default
+	// 4×MaxInFlight). A request beyond slots+queue is refused with 429.
+	MaxQueue int
+	// RetryAfter is the backoff hint attached to 429/503 refusals
+	// (default 1s, rounded up to whole seconds on the wire).
+	RetryAfter time.Duration
+
+	// DefaultTimeout is the per-request deadline when the client sends no
+	// ?timeout= (default 30s). MaxTimeout clamps client requests
+	// (default 2m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+
+	// MaxSweepSpecs bounds the spec matrix of one sweep request
+	// (default 512).
+	MaxSweepSpecs int
+	// MaxBudget bounds the per-spec commit budget a request may ask for
+	// (default 10,000,000).
+	MaxBudget int64
+
+	// AccessLog, when non-nil, receives one structured line per request.
+	AccessLog *log.Logger
+	// ErrorLog, when non-nil, receives handler panics with stacks
+	// (default: log.Default so panics are never silent).
+	ErrorLog *log.Logger
+}
+
+// Server is the HTTP serving layer. Construct with New, expose with
+// Handler, stop with Drain.
+type Server struct {
+	cfg      Config
+	mux      *http.ServeMux
+	adm      *admission
+	start    time.Time
+	draining atomic.Bool
+	metrics  map[string]*endpointMetrics
+	methods  map[string][]string // path → registered methods, for 405s
+}
+
+// New validates the configuration, fills defaults, and builds the routing
+// table.
+func New(cfg Config) (*Server, error) {
+	if cfg.Suite == nil {
+		return nil, errors.New("server: Config.Suite is required")
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 4 * cfg.MaxInFlight
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 30 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 2 * time.Minute
+	}
+	if cfg.DefaultTimeout > cfg.MaxTimeout {
+		return nil, fmt.Errorf("server: DefaultTimeout %v exceeds MaxTimeout %v", cfg.DefaultTimeout, cfg.MaxTimeout)
+	}
+	if cfg.MaxSweepSpecs <= 0 {
+		cfg.MaxSweepSpecs = 512
+	}
+	if cfg.MaxBudget <= 0 {
+		cfg.MaxBudget = 10_000_000
+	}
+	if cfg.ErrorLog == nil {
+		cfg.ErrorLog = log.Default()
+	}
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		adm:     newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
+		start:   time.Now(),
+		metrics: make(map[string]*endpointMetrics),
+		methods: make(map[string][]string),
+	}
+	s.route("POST /v1/simulate", s.handleSimulate)
+	s.route("POST /v1/sweep", s.handleSweep)
+	s.route("GET /v1/workloads", s.handleWorkloads)
+	s.route("GET /v1/timing", s.handleTiming)
+	s.route("GET /healthz", s.handleHealthz)
+	s.route("GET /metrics", s.handleMetrics)
+	// Catch-all so unrouted paths get the same structured JSON errors as
+	// everything else (ServeMux's own 404/405 are plain text — and its
+	// automatic 405 never fires once "/" is registered, because the
+	// catch-all matches first; hence the explicit methods table).
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if allowed, ok := s.methods[r.URL.Path]; ok {
+			w.Header().Set("Allow", strings.Join(allowed, ", "))
+			writeError(w, &APIError{
+				Status: http.StatusMethodNotAllowed, Code: CodeInvalidArgument,
+				Message: fmt.Sprintf("%s not allowed on %s (allow %s)", r.Method, r.URL.Path, strings.Join(allowed, ", ")),
+			})
+			return
+		}
+		writeError(w, &APIError{
+			Status: http.StatusNotFound, Code: CodeNotFound,
+			Message: fmt.Sprintf("no route for %s %s", r.Method, r.URL.Path),
+		})
+	})
+	return s, nil
+}
+
+// route registers a handler under the middleware stack (recovery, metrics,
+// access log), creates its metrics slot, and records the method for the
+// catch-all's 405 answers. Patterns are always "METHOD /path".
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	m := &endpointMetrics{}
+	s.metrics[pattern] = m
+	s.mux.Handle(pattern, s.wrap(pattern, m, h))
+	method, path, _ := strings.Cut(pattern, " ")
+	s.methods[path] = append(s.methods[path], method)
+}
+
+// Handler returns the root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain puts the server into drain mode: /healthz reports 503 (so load
+// balancers stop sending traffic), new simulation requests are refused with
+// a structured 503, and in-flight requests run to completion. Read-only
+// endpoints keep answering so operators can watch the drain in /metrics.
+// Drain is idempotent and safe to call from signal handlers.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Suite exposes the underlying experiment suite (tests and the daemon's
+// shutdown path use it to report final sweep statistics).
+func (s *Server) Suite() *exper.Suite { return s.cfg.Suite }

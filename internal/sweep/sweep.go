@@ -79,9 +79,10 @@ func (e *Engine[K, V]) Do(ctx context.Context, k K) (V, error) {
 			}
 			if c.err != nil {
 				// The execution this caller piggybacked on belonged
-				// to a batch that was cancelled; this caller's
-				// context is still live, so try again.
-				if errors.Is(c.err, context.Canceled) && ctx.Err() == nil {
+				// to a batch that was cancelled or hit its own
+				// deadline; this caller's context is still live, so
+				// try again.
+				if (errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded)) && ctx.Err() == nil {
 					continue
 				}
 				return zero, c.err

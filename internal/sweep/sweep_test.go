@@ -251,6 +251,50 @@ func TestCancelledBatchDoesNotPoisonOtherCallers(t *testing.T) {
 	}
 }
 
+func TestExpiredDeadlineDoesNotPoisonOtherCallers(t *testing.T) {
+	// Same as above, but the first caller's deadline fires instead of an
+	// explicit cancel — the shape a served request produces when its
+	// ?timeout= expires mid-simulation. The piggybacker with a live context
+	// must retry, not inherit the stranger's deadline error.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var calls atomic.Int64
+	e := New(2, func(ctx context.Context, k int) (int, error) {
+		if calls.Add(1) == 1 {
+			close(started)
+			<-release
+			return 0, ctx.Err() // first execution observes its expired deadline
+		}
+		return k, nil
+	})
+	ctx1, cancel1 := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel1()
+	done1 := make(chan error, 1)
+	go func() {
+		_, err := e.Do(ctx1, 9)
+		done1 <- err
+	}()
+	<-started
+	<-ctx1.Done() // let the deadline actually fire before the run resolves
+
+	done2 := make(chan error, 1)
+	go func() {
+		v, err := e.Do(context.Background(), 9)
+		if err == nil && v != 9 {
+			err = fmt.Errorf("got %d, want 9", v)
+		}
+		done2 <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+	close(release)
+	if err := <-done1; !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("expired caller got %v, want context.DeadlineExceeded", err)
+	}
+	if err := <-done2; err != nil {
+		t.Errorf("live caller got %v, want retried success", err)
+	}
+}
+
 func TestWorkerID(t *testing.T) {
 	if WorkerID(context.Background()) != 0 {
 		t.Error("background context should have worker ID 0")

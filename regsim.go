@@ -34,6 +34,7 @@ import (
 	"regsim/internal/prog"
 	"regsim/internal/rename"
 	"regsim/internal/rftiming"
+	"regsim/internal/server"
 	"regsim/internal/sweep/rescache"
 	"regsim/internal/telemetry"
 	"regsim/internal/trace"
@@ -172,6 +173,34 @@ func OpenResultCache(dir string) (*ResultCache, error) { return rescache.Open(di
 // scheduler executions, memo/dedup counters, and persistent-cache
 // hit/miss/error counts — returned by Suite.SweepStats.
 type SweepStats = telemetry.SweepStats
+
+// Client is the typed client for a regsimd serving instance (cmd/regsimd):
+// simulate single specs, run sweep matrices, list workloads, evaluate the
+// cycle-time model, and read live metrics over JSON/HTTP. Server refusals
+// come back as *APIError values carrying the structured code and backoff
+// hint.
+type Client = server.Client
+
+// NewClient returns a client for a serving instance, e.g.
+// NewClient("http://localhost:8265").
+func NewClient(baseURL string) *Client { return server.NewClient(baseURL) }
+
+// APIError is the structured error a serving instance returns for every
+// non-2xx response; branch on its Code and IsRetryable rather than the
+// message text.
+type APIError = server.APIError
+
+// Server is the embeddable HTTP serving layer behind cmd/regsimd —
+// bounded admission, request coalescing through the sweep engine,
+// per-request deadlines, and live metrics. Mount Handler() anywhere an
+// http.Handler goes.
+type Server = server.Server
+
+// ServerConfig configures NewServer; only Suite is required.
+type ServerConfig = server.Config
+
+// NewServer builds a serving layer over an experiment suite.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
 
 // ParseAsm assembles textual assembly (the isa.Disasm syntax plus labels and
 // .entry/.word/.float directives; see internal/asm) into a runnable program.
