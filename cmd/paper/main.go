@@ -25,6 +25,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
 	"regsim/internal/exper"
@@ -68,6 +69,11 @@ func main() {
 	if *budget < 1 {
 		fatalUsage("invalid -n %d: each simulation must commit at least one instruction", *budget)
 	}
+	// An unknown experiment name is a usage error too — caught before any
+	// sweeping starts, so a typo cannot burn a long run first.
+	if !knownExperiment(flag.Arg(0)) {
+		fatalUsage("unknown experiment %q (want %s)", flag.Arg(0), strings.Join(experimentNames, "|"))
+	}
 
 	s := exper.NewSuite(*budget)
 	s.Jobs = *jobs
@@ -108,6 +114,21 @@ func main() {
 func fatalUsage(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "paper: "+format+"\n", args...)
 	os.Exit(2)
+}
+
+// experimentNames is the dispatch vocabulary of run, in usage-line order.
+var experimentNames = []string{
+	"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig10",
+	"findings", "regreq", "ports", "ablations", "all",
+}
+
+func knownExperiment(name string) bool {
+	for _, n := range experimentNames {
+		if n == name {
+			return true
+		}
+	}
+	return false
 }
 
 type printer interface{ Print(io.Writer) }

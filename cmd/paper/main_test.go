@@ -1,0 +1,43 @@
+package main_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"regsim/internal/cmdtest"
+)
+
+// TestExitCodes pins the process contract: malformed flags and arguments
+// (including an unknown experiment name, caught before any sweeping starts)
+// are usage errors (exit 2); success is 0.
+func TestExitCodes(t *testing.T) {
+	bin := cmdtest.Build(t, "paper")
+	// A regular file where -cache-dir wants a directory.
+	notADir := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(notADir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no experiment", nil, 2},
+		{"extra arguments", []string{"table1", "fig3"}, 2},
+		{"unknown experiment", []string{"fig99"}, 2},
+		{"unknown flag", []string{"-no-such-flag", "table1"}, 2},
+		{"bad jobs", []string{"-jobs", "0", "table1"}, 2},
+		{"bad budget", []string{"-n", "0", "table1"}, 2},
+		{"bad cache dir", []string{"-cache-dir", notADir, "table1"}, 2},
+		{"success", []string{"-n", "500", "-no-cache", "table1"}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out := cmdtest.Run(t, bin, tc.args...)
+			if code != tc.want {
+				t.Fatalf("exit %d, want %d\n%s", code, tc.want, out)
+			}
+		})
+	}
+}

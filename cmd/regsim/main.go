@@ -9,6 +9,10 @@
 // tomcatv; random:<seed> for a generated structured program; or
 // asm:<path> to assemble and run a .s file (see internal/asm for syntax).
 //
+// -verify re-simulates the configuration against the functional reference
+// interpreter (differential oracle, runtime invariant checker on) and fails
+// the run on any divergence; see VERIFY.md for the oracle contract.
+//
 // Observability flags: -account prints the top-down cycle accounting,
 // -metrics-out writes the full telemetry snapshot (cycle accounts, latency
 // percentiles, port histograms) as JSON, -chrome-trace writes a Perfetto /
@@ -59,6 +63,7 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator to this file")
 	cacheDir := flag.String("cache-dir", "", "persistent result-cache directory shared with cmd/paper (empty disables caching)")
 	noCache := flag.Bool("no-cache", false, "bypass the persistent result cache")
+	verifyRun := flag.Bool("verify", false, "after the run, check the configuration against the functional reference interpreter (differential oracle + runtime invariant checker); roughly doubles runtime")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintf(os.Stderr, "usage: regsim [flags] <benchmark>\nbenchmarks: %s, random:<seed>, asm:<path>\n",
@@ -82,6 +87,27 @@ func main() {
 	}
 	if *traceStart < 0 || *traceEnd < 0 || *traceLimit < 0 {
 		fatalUsage("invalid -trace-start/-trace-end/-trace-limit: capture bounds cannot be negative")
+	}
+	mdl, err := parseModel(*model)
+	if err != nil {
+		fatalUsage("%v", err)
+	}
+	kind, err := parseCache(*ckind)
+	if err != nil {
+		fatalUsage("%v", err)
+	}
+	// Malformed benchmark arguments are usage errors too; failures while
+	// loading a well-formed one (an unreadable asm: file) are runtime errors.
+	bench := flag.Arg(0)
+	if seedStr, ok := strings.CutPrefix(bench, "random:"); ok {
+		if _, perr := strconv.ParseInt(seedStr, 10, 64); perr != nil {
+			fatalUsage("invalid benchmark %q: bad random seed %q", bench, seedStr)
+		}
+	} else if !strings.HasPrefix(bench, "asm:") {
+		if _, werr := regsim.WorkloadByName(bench); werr != nil {
+			fatalUsage("unknown benchmark %q (have %s, random:<seed>, asm:<path>)",
+				bench, strings.Join(regsim.Workloads(), " "))
+		}
 	}
 	var store *rescache.Store
 	if *cacheDir != "" && !*noCache {
@@ -109,14 +135,15 @@ func main() {
 
 	opts := runOpts{
 		width: *width, queue: *queue, regs: *regs,
-		model: *model, ckind: *ckind, budget: *budget,
+		model: *model, ckind: *ckind, mdl: mdl, kind: kind, budget: *budget,
 		track: *track, traceN: *traceN, account: *account,
 		metricsOut: *metricsOut, chromeTrace: *chromeTrace, store: store,
+		verify: *verifyRun,
 		chromeOpts: trace.ChromeOptions{
 			StartCycle: *traceStart, EndCycle: *traceEnd, MaxInstructions: *traceLimit,
 		},
 	}
-	if err := run(flag.Arg(0), opts); err != nil {
+	if err := run(bench, opts); err != nil {
 		fmt.Fprintf(os.Stderr, "regsim: %v\n", err)
 		os.Exit(1)
 	}
@@ -127,9 +154,33 @@ func fatalUsage(format string, args ...any) {
 	os.Exit(2)
 }
 
+func parseModel(s string) (regsim.ExceptionModel, error) {
+	switch s {
+	case "precise":
+		return regsim.Precise, nil
+	case "imprecise":
+		return regsim.Imprecise, nil
+	}
+	return 0, fmt.Errorf("invalid -model %q: want precise or imprecise", s)
+}
+
+func parseCache(s string) (regsim.CacheKind, error) {
+	switch s {
+	case "perfect":
+		return regsim.PerfectCache, nil
+	case "lockup":
+		return regsim.LockupCache, nil
+	case "lockup-free":
+		return regsim.LockupFreeCache, nil
+	}
+	return 0, fmt.Errorf("invalid -cache %q: want perfect, lockup, or lockup-free", s)
+}
+
 type runOpts struct {
 	width, queue, regs int
 	model, ckind       string
+	mdl                regsim.ExceptionModel
+	kind               regsim.CacheKind
 	budget             int64
 	track              bool
 	traceN             int
@@ -138,6 +189,7 @@ type runOpts struct {
 	chromeTrace        string
 	chromeOpts         trace.ChromeOptions
 	store              *rescache.Store
+	verify             bool
 }
 
 func run(bench string, o runOpts) error {
@@ -169,26 +221,8 @@ func run(bench string, o runOpts) error {
 	cfg.QueueSize = o.queue
 	cfg.RegsPerFile = o.regs
 	cfg.TrackLiveRegisters = o.track
-	switch o.model {
-	case "precise":
-		cfg.Model = regsim.Precise
-	case "imprecise":
-		cfg.Model = regsim.Imprecise
-	default:
-		return fmt.Errorf("unknown exception model %q", o.model)
-	}
-	var kind regsim.CacheKind
-	switch o.ckind {
-	case "perfect":
-		kind = regsim.PerfectCache
-	case "lockup":
-		kind = regsim.LockupCache
-	case "lockup-free":
-		kind = regsim.LockupFreeCache
-	default:
-		return fmt.Errorf("unknown cache organisation %q", o.ckind)
-	}
-	cfg.DCache = cfg.DCache.WithKind(kind)
+	cfg.Model = o.mdl
+	cfg.DCache = cfg.DCache.WithKind(o.kind)
 
 	var rec *trace.Recorder
 	var hooks []func(regsim.Event)
@@ -241,7 +275,7 @@ func run(bench string, o runOpts) error {
 		s.Cache = o.store
 		res, err = s.Run(exper.Spec{
 			Bench: bench, Width: o.width, Queue: o.queue, Regs: o.regs,
-			Model: cfg.Model, Cache: kind, Track: o.track,
+			Model: cfg.Model, Cache: o.kind, Track: o.track,
 		})
 		if err == nil {
 			if st := s.SweepStats(); st.CacheHits > 0 {
@@ -285,6 +319,20 @@ func run(bench string, o runOpts) error {
 		fmt.Printf("  issue→complete      %v\n", &tel.IssueToComplete)
 		fmt.Printf("  complete→commit     %v\n", &tel.CompleteToCommit)
 		fmt.Printf("  load-miss           %v\n", &tel.LoadMissLatency)
+	}
+
+	if o.verify {
+		// Re-simulate on a clean config (no observers) with the runtime
+		// invariant checker on, comparing against the reference interpreter.
+		vcfg := cfg
+		vcfg.Tracer = nil
+		vcfg.CounterSampler = nil
+		vcfg.Telemetry = nil
+		vcfg.CheckInvariants = true
+		if err := regsim.Verify(vcfg, p, o.budget); err != nil {
+			return fmt.Errorf("verification failed: %w", err)
+		}
+		fmt.Println("verify: OK — committed stream, registers, memory, and rename state match the reference interpreter")
 	}
 
 	if o.metricsOut != "" {

@@ -1,0 +1,54 @@
+package main_test
+
+import (
+	"strings"
+	"testing"
+
+	"regsim/internal/cmdtest"
+)
+
+// TestExitCodes pins the process contract: malformed flags and arguments are
+// usage errors (exit 2), failures while doing well-formed work are runtime
+// errors (exit 1), success is 0.
+func TestExitCodes(t *testing.T) {
+	bin := cmdtest.Build(t, "regsim")
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no benchmark", nil, 2},
+		{"extra arguments", []string{"compress", "doduc"}, 2},
+		{"unknown benchmark", []string{"not-a-benchmark"}, 2},
+		{"unknown flag", []string{"-no-such-flag", "compress"}, 2},
+		{"bad width", []string{"-width", "5", "compress"}, 2},
+		{"bad model", []string{"-model", "fuzzy", "compress"}, 2},
+		{"bad cache", []string{"-cache", "write-through", "compress"}, 2},
+		{"bad budget", []string{"-n", "0", "compress"}, 2},
+		{"negative regs", []string{"-regs", "-1", "compress"}, 2},
+		{"bad random seed", []string{"random:notanumber"}, 2},
+		{"missing asm file", []string{"asm:/nonexistent/prog.s"}, 1},
+		{"success", []string{"-n", "2000", "compress"}, 0},
+		{"success with verify", []string{"-n", "2000", "-verify", "compress"}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out := cmdtest.Run(t, bin, tc.args...)
+			if code != tc.want {
+				t.Fatalf("exit %d, want %d\n%s", code, tc.want, out)
+			}
+		})
+	}
+}
+
+// TestVerifyFlagOutput: -verify must report the oracle verdict.
+func TestVerifyFlagOutput(t *testing.T) {
+	bin := cmdtest.Build(t, "regsim")
+	code, out := cmdtest.Run(t, bin, "-n", "2000", "-verify", "random:5")
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "verify: OK") {
+		t.Fatalf("no verification verdict in output:\n%s", out)
+	}
+}

@@ -40,6 +40,11 @@ import (
 // defaultCacheDir mirrors cmd/paper: the shared persistent result cache
 // under the OS user cache directory, empty (caching off) when the platform
 // reports none.
+func fatalUsage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "regsimd: "+format+"\n", args...)
+	os.Exit(2)
+}
+
 func defaultCacheDir() string {
 	base, err := os.UserCacheDir()
 	if err != nil {
@@ -68,6 +73,14 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+	// Malformed flag values are usage errors (exit 2); only failures while
+	// actually serving (a port in use, a drain timeout) are runtime errors.
+	if *budget <= 0 {
+		fatalUsage("invalid -n %d: the commit budget must be positive", *budget)
+	}
+	if *jobs <= 0 {
+		fatalUsage("invalid -jobs %d: want at least one worker", *jobs)
+	}
 
 	logger := log.New(os.Stderr, "regsimd ", log.LstdFlags)
 
@@ -76,7 +89,7 @@ func main() {
 	if *cacheDir != "" && !*noCache {
 		store, err := rescache.Open(*cacheDir)
 		if err != nil {
-			logger.Fatalf("invalid -cache-dir %q: %v", *cacheDir, err)
+			fatalUsage("invalid -cache-dir %q: %v", *cacheDir, err)
 		}
 		suite.Cache = store
 		logger.Printf("result cache at %s", *cacheDir)
@@ -99,7 +112,9 @@ func main() {
 	}
 	srv, err := server.New(cfg)
 	if err != nil {
-		logger.Fatal(err)
+		// Every server.Config field comes straight from a flag, so a
+		// rejected configuration is a usage error.
+		fatalUsage("%v", err)
 	}
 
 	hs := &http.Server{
@@ -128,6 +143,8 @@ func main() {
 	}()
 
 	logger.Printf("listening on %s (jobs=%d budget=%d)", *addr, *jobs, *budget)
+	// A listen failure (bad address, port in use) is a runtime error: the
+	// flag was well-formed, the environment refused it.
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Fatal(err)
 	}

@@ -1,0 +1,43 @@
+package main_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"regsim/internal/cmdtest"
+)
+
+// TestExitCodes pins the process contract: malformed flags are usage errors
+// (exit 2) caught before the daemon binds anything; a well-formed flag the
+// environment refuses (an unusable listen address) is a runtime error
+// (exit 1). The success path is covered by the server package's tests — a
+// daemon that serves forever has no exit code to assert here.
+func TestExitCodes(t *testing.T) {
+	bin := cmdtest.Build(t, "regsimd")
+	notADir := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(notADir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"positional arguments", []string{"extra"}, 2},
+		{"unknown flag", []string{"-no-such-flag"}, 2},
+		{"bad budget", []string{"-n", "0"}, 2},
+		{"bad jobs", []string{"-jobs", "-1"}, 2},
+		{"bad cache dir", []string{"-cache-dir", notADir}, 2},
+		{"timeouts inverted", []string{"-no-cache", "-default-timeout", "5m", "-max-timeout", "1m"}, 2},
+		{"unusable listen address", []string{"-no-cache", "-addr", "256.256.256.256:0"}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out := cmdtest.Run(t, bin, tc.args...)
+			if code != tc.want {
+				t.Fatalf("exit %d, want %d\n%s", code, tc.want, out)
+			}
+		})
+	}
+}

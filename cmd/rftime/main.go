@@ -32,6 +32,9 @@ func main() {
 	write := flag.Int("write", 0, "explicit write ports")
 	regList := flag.String("regs", "32,48,64,80,96,128,160,256", "comma-separated register counts")
 	flag.Parse()
+	if flag.NArg() != 0 {
+		fatalUsage("unexpected arguments %q (rftime is flag-driven)", flag.Args())
+	}
 
 	// Validate the port flags before touching the model: a malformed flag is
 	// a usage error (exit 2), not a simulation result.
@@ -58,8 +61,7 @@ func main() {
 	for _, field := range strings.Split(*regList, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(field))
 		if err != nil || n < 1 {
-			fmt.Fprintf(os.Stderr, "rftime: bad register count %q\n", field)
-			os.Exit(2)
+			fatalUsage("invalid -regs entry %q: want a positive integer", field)
 		}
 		d := params.Delays(n, ports)
 		g := params.Geometry(n, ports)

@@ -1,0 +1,58 @@
+// Package cmdtest builds and runs the repository's command binaries so their
+// process-level contracts (exit codes, stderr shape) can be tested like any
+// other behaviour: usage errors exit 2, runtime failures exit 1, success
+// exits 0.
+package cmdtest
+
+import (
+	"bytes"
+	"errors"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// moduleRoot locates the repository root relative to this source file, so
+// the helper works regardless of the test's working directory.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cmdtest: cannot locate module root")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}
+
+// Build compiles cmd/<name> into the test's temp dir and returns the binary
+// path. Call it once per test function and share the path across subtests.
+func Build(t *testing.T, name string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Dir = moduleRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("cmdtest: build cmd/%s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+// Run executes the binary and returns its exit code plus combined output.
+// Failures to even start the process fail the test.
+func Run(t *testing.T, bin string, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	err := cmd.Run()
+	if err == nil {
+		return 0, out.String()
+	}
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		return ee.ExitCode(), out.String()
+	}
+	t.Fatalf("cmdtest: run %s: %v", bin, err)
+	return -1, ""
+}

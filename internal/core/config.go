@@ -48,6 +48,15 @@ type Config struct {
 	// histograms used by Figures 3–5 and 8. It costs a little time and
 	// memory; performance sweeps can leave it off.
 	TrackLiveRegisters bool
+	// CheckInvariants enables the runtime invariant checker: every cycle
+	// the machine verifies free-list conservation, dispatch-queue and MSHR
+	// occupancy bounds, and in-order commit, and periodically (plus after
+	// every misprediction rollback) runs the rename unit's full accounting
+	// audit. The first violation aborts Run with an *InvariantError. It
+	// does not perturb simulation results; verification harnesses
+	// (internal/verify, fuzzing) turn it on, performance sweeps leave it
+	// off.
+	CheckInvariants bool
 
 	// --- Ablation knobs beyond the paper's fixed assumptions. ---
 	// The zero value of each reproduces the paper's machine exactly.

@@ -2,188 +2,15 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
 	"testing"
 
-	"regsim/internal/bpred"
-	"regsim/internal/cache"
-	"regsim/internal/prog"
-	"regsim/internal/ref"
-	"regsim/internal/rename"
 	"regsim/internal/workload"
 )
 
-// refRun executes p to completion on the reference interpreter.
-func refRun(t *testing.T, p *prog.Program) *ref.Interp {
-	t.Helper()
-	it := ref.New(p)
-	if _, err := it.Run(50_000_000); err != nil {
-		t.Fatalf("ref %s: %v", p.Name, err)
-	}
-	if !it.Halted {
-		t.Fatalf("ref %s did not halt", p.Name)
-	}
-	return it
-}
-
-// assertEquivalent runs p on the pipeline and checks the committed stream
-// (checksum and count) and final memory against the reference interpreter.
-func assertEquivalent(t *testing.T, p *prog.Program, cfg Config, it *ref.Interp) {
-	t.Helper()
-	m, err := New(cfg, p)
-	if err != nil {
-		t.Fatalf("%s: %v", p.Name, err)
-	}
-	res, err := m.Run(1 << 40)
-	if err != nil {
-		t.Fatalf("%s %+v: %v", p.Name, cfg, err)
-	}
-	if !res.Halted {
-		t.Fatalf("%s %+v: no halt after %d commits", p.Name, cfg, res.Committed)
-	}
-	if res.Committed != int64(it.Retired) {
-		t.Fatalf("%s %+v: committed %d, ref retired %d", p.Name, cfg, res.Committed, it.Retired)
-	}
-	if res.Checksum != it.Sum.Value() {
-		t.Fatalf("%s %+v: commit checksum %#x != ref %#x", p.Name, cfg, res.Checksum, it.Sum.Value())
-	}
-	if !m.mem.Equal(it.Mem) {
-		t.Fatalf("%s %+v: final memory differs from reference", p.Name, cfg)
-	}
-	if err := m.Rename().CheckInvariants(); err != nil {
-		t.Fatalf("%s %+v: rename invariants: %v", p.Name, cfg, err)
-	}
-}
-
-// TestRandomProgramEquivalence is the architectural-correctness oracle: for
-// random structured programs, every machine configuration must commit
-// exactly the reference interpreter's instruction stream and produce its
-// final memory. This exercises speculation, wrong-path execution, recovery,
-// renaming, both freeing models, and all three cache organisations at once.
-func TestRandomProgramEquivalence(t *testing.T) {
-	seeds := 40
-	if testing.Short() {
-		seeds = 8
-	}
-	rng := rand.New(rand.NewSource(999))
-	widths := []int{4, 8}
-	queues := []int{8, 17, 32, 64}
-	regsList := []int{32, 33, 48, 80, 2048}
-	models := []rename.Model{rename.Precise, rename.Imprecise}
-	kinds := []cache.Kind{cache.Perfect, cache.Lockup, cache.LockupFree}
-
-	for seed := 0; seed < seeds; seed++ {
-		p := workload.RandomProgram(int64(seed))
-		it := refRun(t, p)
-		// Every program gets a random draw of configurations plus the
-		// extreme corners.
-		cfgs := []Config{
-			{Width: 4, QueueSize: 8, RegsPerFile: 32, Model: rename.Precise, DCache: cache.DefaultData().WithKind(cache.Lockup)},
-			{Width: 8, QueueSize: 64, RegsPerFile: 2048, Model: rename.Imprecise, DCache: cache.DefaultData()},
-		}
-		for i := 0; i < 4; i++ {
-			cfgs = append(cfgs, Config{
-				Width:       widths[rng.Intn(len(widths))],
-				QueueSize:   queues[rng.Intn(len(queues))],
-				RegsPerFile: regsList[rng.Intn(len(regsList))],
-				Model:       models[rng.Intn(len(models))],
-				DCache:      cache.DefaultData().WithKind(kinds[rng.Intn(len(kinds))]),
-			})
-		}
-		for _, cfg := range cfgs {
-			cfg.ICacheMissPenalty = 16
-			cfg.FrontEndDelay = 1
-			cfg.TrackLiveRegisters = seed%3 == 0
-			// The ablation knobs change timing only, never architecture:
-			// they join the oracle's randomised space.
-			switch rng.Intn(6) {
-			case 0:
-				cfg.InOrderBranches = true
-			case 1:
-				cfg.DCache.MSHREntries = 1 + rng.Intn(4)
-			case 2:
-				cfg.WriteBufferEntries = 1 + rng.Intn(4)
-				cfg.WriteBufferDrain = 1 + rng.Intn(8)
-			case 3:
-				cfg.SplitQueues = true
-				if cfg.QueueSize < 4 {
-					cfg.QueueSize = 4
-				}
-			case 4:
-				cfg.InsertPerCycle = 1 + rng.Intn(2*cfg.Width)
-				cfg.CommitPerCycle = 1 + rng.Intn(3*cfg.Width)
-			case 5:
-				cfg.Predictor = bpred.Kind(rng.Intn(3))
-				cfg.FrontEndDelay = rng.Intn(4)
-			}
-			assertEquivalent(t, p, cfg, it)
-		}
-	}
-}
-
-// TestWorkloadPrefixEquivalence checks every benchmark stand-in: the first N
-// committed instructions must match the reference interpreter's first N.
-func TestWorkloadPrefixEquivalence(t *testing.T) {
-	budget := int64(20_000)
-	for _, name := range workload.Names() {
-		p, err := workload.Build(name)
-		if err != nil {
-			t.Fatal(err)
-		}
-		for _, cfg := range []Config{
-			func() Config { c := DefaultConfig(); return c }(),
-			func() Config {
-				c := DefaultConfig()
-				c.Width = 8
-				c.QueueSize = 64
-				c.Model = rename.Imprecise
-				c.DCache = c.DCache.WithKind(cache.Lockup)
-				return c
-			}(),
-		} {
-			m, err := New(cfg, p)
-			if err != nil {
-				t.Fatal(err)
-			}
-			res, err := m.Run(budget)
-			if err != nil {
-				t.Fatalf("%s: %v", name, err)
-			}
-			it := ref.New(p)
-			if _, err := it.Run(uint64(res.Committed)); err != nil {
-				t.Fatalf("%s ref: %v", name, err)
-			}
-			if res.Checksum != it.Sum.Value() {
-				t.Fatalf("%s: prefix checksum mismatch after %d commits", name, res.Committed)
-			}
-		}
-	}
-}
-
-// TestExceptionModelsArchitecturallyIdentical: the freeing discipline may
-// change timing only, never results.
-func TestExceptionModelsArchitecturallyIdentical(t *testing.T) {
-	p := workload.RandomProgram(4242)
-	it := refRun(t, p)
-	for _, regs := range []int{32, 40, 64} {
-		var sums [2]uint64
-		for i, model := range []rename.Model{rename.Precise, rename.Imprecise} {
-			cfg := DefaultConfig()
-			cfg.RegsPerFile = regs
-			cfg.Model = model
-			m, _ := New(cfg, p)
-			res, err := m.Run(1 << 40)
-			if err != nil {
-				t.Fatal(err)
-			}
-			sums[i] = res.Checksum
-		}
-		if sums[0] != sums[1] || sums[0] != it.Sum.Value() {
-			t.Fatalf("regs=%d: checksums differ across models: %#x %#x ref %#x",
-				regs, sums[0], sums[1], it.Sum.Value())
-		}
-	}
-}
+// The architectural-equivalence oracle (random programs, workload prefixes,
+// exception-model identity) lives in internal/verify, built on the single
+// comparison implementation verify.Differential. Only the core-internal
+// determinism check stays here.
 
 // TestDeterminism: identical configurations must produce identical cycle
 // counts and statistics.

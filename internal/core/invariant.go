@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+
+	"regsim/internal/cache"
+	"regsim/internal/isa"
+)
+
+// InvariantError is the structured report of a runtime invariant violation,
+// produced when Config.CheckInvariants is set. It identifies the check that
+// failed and the cycle at which corruption was first observed, so a broken
+// optimisation is pinned to a pipeline state instead of surfacing megacycles
+// later as a wrong checksum or a deadlock.
+type InvariantError struct {
+	// Check names the violated invariant (e.g. "free-list conservation",
+	// "in-order commit", "rename audit").
+	Check string
+	// Cycle is the simulated cycle at which the violation was detected.
+	Cycle int64
+	// Committed is the number of instructions committed at that point.
+	Committed int64
+	// Detail describes the violation.
+	Detail string
+}
+
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("core: invariant %q violated at cycle %d (committed %d): %s",
+		e.Check, e.Cycle, e.Committed, e.Detail)
+}
+
+// invariantAuditEvery is how often (as a cycle mask) the checker runs the
+// rename unit's full O(regs) accounting audit in addition to the cheap O(1)
+// per-cycle checks. The audit also runs after every misprediction recovery,
+// because rollback is where rename state is most at risk.
+const invariantAuditEvery = 1<<8 - 1
+
+// failInvariant records the first violation; Run surfaces it as the run's
+// error. Later violations are dropped — the first corruption is the cause,
+// everything after it is fallout.
+func (m *Machine) failInvariant(check, format string, args ...any) {
+	if m.invErr != nil {
+		return
+	}
+	m.invErr = &InvariantError{
+		Check:     check,
+		Cycle:     m.now,
+		Committed: m.res.Committed,
+		Detail:    fmt.Sprintf(format, args...),
+	}
+}
+
+// checkCommitOrder runs inside commit when the checker is enabled: retirement
+// must be in strict program order.
+func (m *Machine) checkCommitOrder(seq int64) {
+	if seq <= m.lastCommitSeq {
+		m.failInvariant("in-order commit", "committed seq %d after seq %d", seq, m.lastCommitSeq)
+	}
+	m.lastCommitSeq = seq
+}
+
+// checkInvariants runs at the end of every cycle when Config.CheckInvariants
+// is set. The per-cycle checks are O(1):
+//
+//   - free-list conservation: free + live == total physical registers in each
+//     file (after EndCycle no frees are pending, so every register is either
+//     allocatable or accounted live — a leak or a double-free shows up here
+//     the cycle it happens);
+//   - every renameable virtual register stays mapped (live >= 31 per file);
+//   - dispatch-queue occupancy within the configured capacity (per class
+//     queue in split mode);
+//   - outstanding data-cache fills within the MSHR bound (and at most one
+//     for a lockup cache).
+//
+// Every invariantAuditEvery cycles — and, via checkRecovery, after every
+// misprediction rollback — the rename unit's full accounting audit runs too
+// (map-table/chain agreement, category sums, double-free/double-allocate
+// detection).
+func (m *Machine) checkInvariants() {
+	if m.invErr != nil {
+		return
+	}
+	total := m.cfg.RegsPerFile
+	for f := isa.IntFile; f <= isa.FPFile; f++ {
+		free, live := m.ren.FreeCount(f), m.ren.Live(f)
+		if free+live != total {
+			m.failInvariant("free-list conservation",
+				"%s file: free %d + live %d != %d physical registers", f, free, live, total)
+			return
+		}
+		if live < isa.NumArchRegs-1 {
+			m.failInvariant("free-list conservation",
+				"%s file: only %d live mappings; all %d renameable virtual registers must stay mapped",
+				f, live, isa.NumArchRegs-1)
+			return
+		}
+	}
+	qTotal := 0
+	for g, n := range m.qCounts {
+		if n < 0 {
+			m.failInvariant("dispatch-queue occupancy", "class group %d count %d < 0", g, n)
+			return
+		}
+		if m.cfg.SplitQueues && n > m.queueCapacity(g) {
+			m.failInvariant("dispatch-queue occupancy",
+				"class group %d holds %d entries, capacity %d", g, n, m.queueCapacity(g))
+			return
+		}
+		qTotal += n
+	}
+	if qTotal > m.cfg.QueueSize {
+		m.failInvariant("dispatch-queue occupancy",
+			"%d entries in a %d-entry dispatch queue", qTotal, m.cfg.QueueSize)
+		return
+	}
+	switch out := m.dc.OutstandingFills(); {
+	case m.cfg.DCache.Kind == cache.Lockup && out > 1:
+		m.failInvariant("MSHR occupancy", "lockup cache has %d outstanding fills", out)
+		return
+	case m.cfg.DCache.Kind == cache.LockupFree && m.cfg.DCache.MSHREntries > 0 && out > m.cfg.DCache.MSHREntries:
+		m.failInvariant("MSHR occupancy", "%d outstanding fills with %d MSHRs", out, m.cfg.DCache.MSHREntries)
+		return
+	}
+	if m.now&invariantAuditEvery == 0 {
+		m.auditRename()
+	}
+}
+
+// auditRename runs the rename unit's full accounting audit.
+func (m *Machine) auditRename() {
+	if err := m.ren.CheckInvariants(); err != nil {
+		m.failInvariant("rename audit", "%v", err)
+	}
+}

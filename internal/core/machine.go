@@ -71,6 +71,12 @@ type Machine struct {
 	sum ref.Checksum
 	res Result
 
+	// Runtime invariant checker state (Config.CheckInvariants): the first
+	// violation and the last committed sequence number (for the in-order
+	// commit check).
+	invErr        error
+	lastCommitSeq int64
+
 	// Per-cycle dispatch stall flags.
 	stallReg   bool
 	stallQueue bool
@@ -121,19 +127,20 @@ func New(cfg Config, p *prog.Program) (*Machine, error) {
 		return nil, err
 	}
 	m := &Machine{
-		cfg:       cfg,
-		limits:    limits,
-		text:      p.Text,
-		ren:       ren,
-		bp:        bpred.NewKind(cfg.Predictor),
-		dc:        cache.NewData(cfg.DCache),
-		ic:        cache.NewICache(cfg.ICacheMissPenalty),
-		mem:       mem.New(),
-		win:       newWindow(2 * cfg.QueueSize),
-		unHead:    noSeq,
-		unTail:    noSeq,
-		specPC:    p.Entry,
-		specValid: true,
+		cfg:           cfg,
+		limits:        limits,
+		text:          p.Text,
+		ren:           ren,
+		bp:            bpred.NewKind(cfg.Predictor),
+		dc:            cache.NewData(cfg.DCache),
+		ic:            cache.NewICache(cfg.ICacheMissPenalty),
+		mem:           mem.New(),
+		win:           newWindow(2 * cfg.QueueSize),
+		unHead:        noSeq,
+		unTail:        noSeq,
+		specPC:        p.Entry,
+		specValid:     true,
+		lastCommitSeq: noSeq,
 	}
 	for _, dw := range p.Data {
 		m.mem.Write64(dw.Addr, dw.Value)
@@ -193,6 +200,9 @@ func (m *Machine) Run(maxCommit int64) (*Result, error) {
 	lastCommitted := m.res.Committed
 	for !m.done && m.res.Committed < maxCommit {
 		m.step()
+		if m.invErr != nil {
+			return nil, m.invErr
+		}
 		if m.res.Committed != lastCommitted {
 			lastCommitted = m.res.Committed
 			lastProgress = m.now
@@ -253,6 +263,21 @@ func (m *Machine) Rename() *rename.Unit { return m.ren }
 
 // Cycles returns the current cycle number.
 func (m *Machine) Cycles() int64 { return m.now }
+
+// Memory exposes the architectural memory image, for oracle comparison
+// against the reference interpreter after a run.
+func (m *Machine) Memory() *mem.Memory { return m.mem }
+
+// ArchRegs returns one register file's architectural contents. It is
+// meaningful once the program has halted (every instruction committed):
+// misprediction recovery restores the speculative file exactly, so with
+// nothing in flight the speculative file is the architectural file.
+func (m *Machine) ArchRegs(f isa.RegFile) [isa.NumArchRegs]uint64 {
+	if f == isa.IntFile {
+		return m.specInt
+	}
+	return m.specFP
+}
 
 // --- speculative register file helpers ---
 

@@ -45,6 +45,9 @@ func (m *Machine) step() {
 	}
 	m.statsStage()
 	m.ren.EndCycle()
+	if m.cfg.CheckInvariants {
+		m.checkInvariants()
+	}
 }
 
 // drainWriteBuffer retires one buffered store to memory every
@@ -130,6 +133,11 @@ func (m *Machine) recover(boundary int64) {
 	m.specValid = true
 	m.fetchResumeAt = m.now + 1 + int64(m.cfg.FrontEndDelay)
 	m.redirectUntil = m.fetchResumeAt
+	if m.cfg.CheckInvariants {
+		// Rollback is where rename state is most at risk: audit that the
+		// map tables and mapping chains were restored exactly.
+		m.auditRename()
+	}
 }
 
 // squash undoes one instruction (newest-first within a recovery).
@@ -218,6 +226,9 @@ func (m *Machine) commitStage() {
 }
 
 func (m *Machine) commit(u *uop) {
+	if m.cfg.CheckInvariants {
+		m.checkCommitOrder(u.seq)
+	}
 	m.res.Committed++
 	m.commitsCycle++
 	m.emit(EvCommit, u)

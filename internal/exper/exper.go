@@ -68,6 +68,21 @@ type Spec struct {
 	Budget int64        `json:"budget,omitempty"`
 }
 
+// Config converts the spec to the machine configuration it denotes: the
+// paper's baseline machine with the spec's axes applied. It is the single
+// Spec→Config translation, shared by the suite's simulations and by the
+// verification subsystem's metamorphic properties.
+func (spec Spec) Config() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Width = spec.Width
+	cfg.QueueSize = spec.Queue
+	cfg.RegsPerFile = spec.Regs
+	cfg.Model = spec.Model
+	cfg.DCache = cfg.DCache.WithKind(spec.Cache)
+	cfg.TrackLiveRegisters = spec.Track
+	return cfg
+}
+
 // Suite runs simulations on the sweep subsystem: every spec is simulated at
 // most once (the engine's memo replaces the old in-suite map), figure
 // generators batch-prefetch their spec matrices across Jobs workers, and an
@@ -220,13 +235,7 @@ func (s *Suite) simulate(ctx context.Context, spec Spec) (*core.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := core.DefaultConfig()
-	cfg.Width = spec.Width
-	cfg.QueueSize = spec.Queue
-	cfg.RegsPerFile = spec.Regs
-	cfg.Model = spec.Model
-	cfg.DCache = cfg.DCache.WithKind(spec.Cache)
-	cfg.TrackLiveRegisters = spec.Track
+	cfg := spec.Config()
 	// Propagate the caller's cancellation/deadline into the machine loop,
 	// so a served request's deadline can stop a simulation mid-run.
 	if ctx.Done() != nil {

@@ -7,6 +7,33 @@ import (
 	"regsim/internal/isa"
 )
 
+// opSource feeds the stimulus driver its decisions: a seeded rng for the
+// soak test, raw fuzz bytes for the native fuzz target. intn must return a
+// value in [0, n).
+type opSource interface {
+	intn(n int) int
+}
+
+type rngSource struct{ rng *rand.Rand }
+
+func (s rngSource) intn(n int) int { return s.rng.Intn(n) }
+
+// byteSource reads decisions out of a fuzz input; exhausted input reads as
+// zero, so every byte string decodes to some legal operation sequence.
+type byteSource struct {
+	data []byte
+	pos  int
+}
+
+func (s *byteSource) intn(n int) int {
+	if s.pos >= len(s.data) {
+		return 0
+	}
+	b := s.data[s.pos]
+	s.pos++
+	return int(b) % n
+}
+
 // fuzzInst is one in-flight instruction in the stimulus driver.
 type fuzzInst struct {
 	seq        int64
@@ -25,7 +52,7 @@ type fuzzInst struct {
 // completing *now*, so the frontier has not passed it).
 type fuzzMachine struct {
 	t   *testing.T
-	rng *rand.Rand
+	src opSource
 	u   *Unit
 
 	seq      int64
@@ -45,23 +72,23 @@ func (m *fuzzMachine) dispatch() {
 	in := &fuzzInst{seq: m.seq}
 	m.seq++
 	file := isa.IntFile
-	if m.rng.Intn(3) == 0 {
+	if m.src.intn(3) == 0 {
 		file = isa.FPFile
 	}
 	// Sources: up to two random architectural registers (including zero).
-	for n := m.rng.Intn(3); n > 0; n-- {
-		r := isa.Reg{File: file, Idx: uint8(m.rng.Intn(isa.NumArchRegs))}
+	for n := m.src.intn(3); n > 0; n-- {
+		r := isa.Reg{File: file, Idx: uint8(m.src.intn(isa.NumArchRegs))}
 		p := m.u.Lookup(r)
 		m.u.AddReader(r.File, p)
 		in.srcs = append(in.srcs, p)
 		in.srcFiles = append(in.srcFiles, r.File)
 	}
-	switch m.rng.Intn(10) {
+	switch m.src.intn(10) {
 	case 0, 1:
 		in.isBranch = true // branches have no destination
 	default:
 		in.hasDst = true
-		in.dst = isa.Reg{File: file, Idx: uint8(m.rng.Intn(isa.NumArchRegs - 1))}
+		in.dst = isa.Reg{File: file, Idx: uint8(m.src.intn(isa.NumArchRegs - 1))}
 		if !m.u.HasFree(in.dst.File) {
 			// Roll the sources back (the real dispatch checks HasFree
 			// before renaming anything; this driver checks after, so it
@@ -89,7 +116,7 @@ func (m *fuzzMachine) completeOne() {
 	if len(candidates) == 0 {
 		return
 	}
-	in := candidates[m.rng.Intn(len(candidates))]
+	in := candidates[m.src.intn(len(candidates))]
 	m.complete(in)
 }
 
@@ -138,7 +165,7 @@ func (m *fuzzMachine) mispredict() {
 }
 
 func (m *fuzzMachine) step() {
-	switch m.rng.Intn(10) {
+	switch m.src.intn(10) {
 	case 0, 1, 2, 3:
 		m.dispatch()
 	case 4, 5, 6:
@@ -153,6 +180,23 @@ func (m *fuzzMachine) step() {
 	if err := m.u.CheckInvariants(); err != nil {
 		m.t.Fatalf("seed step %d: %v", m.seq, err)
 	}
+}
+
+// drain completes and commits everything in flight; all transient registers
+// must eventually return to the free list.
+func (m *fuzzMachine) drain() error {
+	for _, in := range m.inflight {
+		if !in.completed {
+			m.complete(in)
+		}
+	}
+	m.u.SetFrontier(NoFrontier)
+	for len(m.inflight) > 0 {
+		m.commitOne()
+		m.u.SetFrontier(m.frontier())
+		m.u.EndCycle()
+	}
+	return m.u.CheckInvariants()
 }
 
 // TestFuzzRenameUnit drives random but structurally legal operation
@@ -174,26 +218,13 @@ func TestFuzzRenameUnit(t *testing.T) {
 				}
 				m := &fuzzMachine{
 					t:   t,
-					rng: rand.New(rand.NewSource(int64(seed)*1000 + int64(regs))),
+					src: rngSource{rand.New(rand.NewSource(int64(seed)*1000 + int64(regs)))},
 					u:   u,
 				}
 				for i := 0; i < steps; i++ {
 					m.step()
 				}
-				// Drain: complete and commit everything; all transient
-				// registers must eventually return.
-				for _, in := range m.inflight {
-					if !in.completed {
-						m.complete(in)
-					}
-				}
-				m.u.SetFrontier(NoFrontier)
-				for len(m.inflight) > 0 {
-					m.commitOne()
-					m.u.SetFrontier(m.frontier())
-					m.u.EndCycle()
-				}
-				if err := u.CheckInvariants(); err != nil {
+				if err := m.drain(); err != nil {
 					t.Fatalf("seed %d %s regs %d after drain: %v", seed, model, regs, err)
 				}
 				if u.Live(isa.IntFile) < 31 {
@@ -202,4 +233,33 @@ func TestFuzzRenameUnit(t *testing.T) {
 			}
 		}
 	}
+}
+
+// FuzzRenameOps is the native fuzz form of the same driver: the input bytes
+// pick the freeing model, the register-file size, and every operation, so
+// coverage guidance explores dispatch/complete/commit/squash interleavings
+// the seeded soak never reaches.
+func FuzzRenameOps(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{1, 2, 9, 9, 9, 0, 0, 0, 7, 7, 4, 4, 9, 0, 0, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		src := &byteSource{data: data}
+		model := []Model{Precise, Imprecise}[src.intn(2)]
+		regs := []int{32, 34, 48}[src.intn(3)]
+		u, err := NewUnit(regs, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := &fuzzMachine{t: t, src: src, u: u}
+		for src.pos < len(src.data) {
+			m.step()
+		}
+		if err := m.drain(); err != nil {
+			t.Fatalf("%s regs %d after drain: %v", model, regs, err)
+		}
+		if u.Live(isa.IntFile) < 31 {
+			t.Fatal("fewer than 31 live mappings after drain")
+		}
+	})
 }

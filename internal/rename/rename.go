@@ -545,6 +545,29 @@ func (u *Unit) CheckInvariants() error {
 			if p == PhysZero || !fs.regs[p].live {
 				return fmt.Errorf("file %d: map table v%d -> dead phys %d", f, v, p)
 			}
+			// The map table must agree with the newest outstanding mapping:
+			// this is what misprediction rollback (OnSquash, newest-first)
+			// must restore exactly.
+			ch := fs.chains[v]
+			if len(ch) == 0 {
+				return fmt.Errorf("file %d: v%d has no mapping chain", f, v)
+			}
+			if tail := ch[len(ch)-1].phys; tail != p {
+				return fmt.Errorf("file %d: map table v%d -> phys %d but newest mapping is phys %d", f, v, p, tail)
+			}
+			lastSeq := int64(math.MinInt64)
+			for _, e := range ch {
+				if e.seq < lastSeq {
+					return fmt.Errorf("file %d: v%d mapping chain out of order at seq %d", f, v, e.seq)
+				}
+				lastSeq = e.seq
+				if !fs.regs[e.phys].live || fs.regs[e.phys].pendFree {
+					return fmt.Errorf("file %d: v%d chain holds freed phys %d", f, v, e.phys)
+				}
+				if got := fs.regs[e.phys].virt; got != uint8(v) {
+					return fmt.Errorf("file %d: chain of v%d holds phys %d backing v%d", f, v, e.phys, got)
+				}
+			}
 		}
 	}
 	return nil

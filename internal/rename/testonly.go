@@ -1,0 +1,24 @@
+package rename
+
+import "regsim/internal/isa"
+
+// LeakFreeRegisterForTest simulates a register-leak bug by silently dropping
+// one register from a file's free list: the register is then neither live,
+// free, nor pending — exactly the corruption a missed EndCycle free would
+// cause. It returns the leaked register, or PhysZero if the free list is
+// empty (nothing leaked).
+//
+// It exists only so the verification subsystem can prove its detectors work:
+// the leak must be caught by the core's per-cycle free-list conservation
+// check (Config.CheckInvariants) and by the differential harness's end-of-run
+// rename audit. It must never be called outside tests.
+func (u *Unit) LeakFreeRegisterForTest(f isa.RegFile) Phys {
+	fs := u.fs(f)
+	n := len(fs.freeList)
+	if n == 0 {
+		return PhysZero
+	}
+	p := fs.freeList[n-1]
+	fs.freeList = fs.freeList[:n-1]
+	return p
+}

@@ -1,0 +1,228 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"regsim/internal/exper"
+)
+
+// stubServer serves canned responses so the client's decode and error paths
+// can be exercised without a live simulator behind them.
+func stubServer(t *testing.T, handler http.HandlerFunc) *Client {
+	t.Helper()
+	ts := httptest.NewServer(handler)
+	t.Cleanup(ts.Close)
+	return NewClient(ts.URL)
+}
+
+func writeBody(w http.ResponseWriter, status int, body string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write([]byte(body))
+}
+
+// TestClientDecodesAPIErrors: every structured non-2xx reply must surface as
+// a *APIError carrying the status, code, and backoff hint.
+func TestClientDecodesAPIErrors(t *testing.T) {
+	cases := []struct {
+		name       string
+		status     int
+		header     http.Header
+		body       string
+		wantCode   string
+		wantRetry  int
+		wantIsRetr bool
+	}{
+		{
+			name:       "overloaded 429 with body hint",
+			status:     http.StatusTooManyRequests,
+			body:       `{"error":{"code":"overloaded","message":"queue full","retryAfterSeconds":3}}`,
+			wantCode:   CodeOverloaded,
+			wantRetry:  3,
+			wantIsRetr: true,
+		},
+		{
+			name:       "overloaded 429 with header-only hint",
+			status:     http.StatusTooManyRequests,
+			header:     http.Header{"Retry-After": []string{"7"}},
+			body:       `{"error":{"code":"overloaded","message":"queue full"}}`,
+			wantCode:   CodeOverloaded,
+			wantRetry:  7,
+			wantIsRetr: true,
+		},
+		{
+			name:     "deadline 504",
+			status:   http.StatusGatewayTimeout,
+			body:     `{"error":{"code":"deadline_exceeded","message":"too slow"}}`,
+			wantCode: CodeDeadlineExceeded,
+		},
+		{
+			name:     "internal 500",
+			status:   http.StatusInternalServerError,
+			body:     `{"error":{"code":"internal","message":"simulator exploded"}}`,
+			wantCode: CodeInternal,
+		},
+		{
+			name:       "draining 503",
+			status:     http.StatusServiceUnavailable,
+			body:       `{"error":{"code":"draining","message":"going away","retryAfterSeconds":1}}`,
+			wantCode:   CodeDraining,
+			wantRetry:  1,
+			wantIsRetr: true,
+		},
+		{
+			name:     "validation 400 with field",
+			status:   http.StatusBadRequest,
+			body:     `{"error":{"code":"invalid_argument","message":"bad width","field":"width"}}`,
+			wantCode: CodeInvalidArgument,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := stubServer(t, func(w http.ResponseWriter, r *http.Request) {
+				for k, vs := range tc.header {
+					for _, v := range vs {
+						w.Header().Add(k, v)
+					}
+				}
+				writeBody(w, tc.status, tc.body)
+			})
+			_, err := c.Simulate(context.Background(), exper.Spec{Bench: "compress"})
+			var apiErr *APIError
+			if !errors.As(err, &apiErr) {
+				t.Fatalf("want *APIError, got %T: %v", err, err)
+			}
+			if apiErr.Status != tc.status {
+				t.Errorf("Status = %d, want %d", apiErr.Status, tc.status)
+			}
+			if apiErr.Code != tc.wantCode {
+				t.Errorf("Code = %q, want %q", apiErr.Code, tc.wantCode)
+			}
+			if apiErr.RetryAfterSeconds != tc.wantRetry {
+				t.Errorf("RetryAfterSeconds = %d, want %d", apiErr.RetryAfterSeconds, tc.wantRetry)
+			}
+			if apiErr.IsRetryable() != tc.wantIsRetr {
+				t.Errorf("IsRetryable() = %v, want %v", apiErr.IsRetryable(), tc.wantIsRetr)
+			}
+		})
+	}
+}
+
+// TestClientNonEnvelopeErrorBody: a non-2xx reply whose body is not the
+// structured envelope (a proxy's HTML error page, a truncated body) must
+// still come back as an error naming the HTTP status — never a nil error or
+// a panic.
+func TestClientNonEnvelopeErrorBody(t *testing.T) {
+	for _, body := range []string{
+		"<html>bad gateway</html>",
+		`{"not":"the envelope"}`,
+		`{"error":`,
+		"",
+	} {
+		c := stubServer(t, func(w http.ResponseWriter, r *http.Request) {
+			writeBody(w, http.StatusBadGateway, body)
+		})
+		_, err := c.Simulate(context.Background(), exper.Spec{Bench: "compress"})
+		if err == nil {
+			t.Fatalf("body %q: nil error for a 502", body)
+		}
+		var apiErr *APIError
+		if errors.As(err, &apiErr) {
+			t.Fatalf("body %q: decoded %v out of a non-envelope body", body, apiErr)
+		}
+		if !strings.Contains(err.Error(), "502") {
+			t.Fatalf("body %q: error does not name the HTTP status: %v", body, err)
+		}
+	}
+}
+
+// TestClientMalformedSuccessBody: a 200 whose body is not the response type
+// must surface as a decode error, not silently yield a zero value.
+func TestClientMalformedSuccessBody(t *testing.T) {
+	c := stubServer(t, func(w http.ResponseWriter, r *http.Request) {
+		writeBody(w, http.StatusOK, `{"spec":{"bench":42}}`)
+	})
+	_, err := c.Simulate(context.Background(), exper.Spec{Bench: "compress"})
+	if err == nil {
+		t.Fatal("nil error for an undecodable 200 body")
+	}
+	if !strings.Contains(err.Error(), "decode") {
+		t.Fatalf("want a decode error, got: %v", err)
+	}
+}
+
+// TestClientContextCancellation: cancelling the context mid-request must
+// unwind promptly with context.Canceled in the chain.
+func TestClientContextCancellation(t *testing.T) {
+	inHandler := make(chan struct{})
+	release := make(chan struct{})
+	c := stubServer(t, func(w http.ResponseWriter, r *http.Request) {
+		close(inHandler)
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+		writeBody(w, http.StatusOK, `{}`)
+	})
+	defer close(release)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Simulate(ctx, exper.Spec{Bench: "compress"})
+		done <- err
+	}()
+	<-inHandler
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled in the chain, got: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client did not unwind after cancellation")
+	}
+}
+
+// TestClientTimeoutHint: a configured Client.Timeout must reach the server
+// as the ?timeout= query hint on simulation endpoints.
+func TestClientTimeoutHint(t *testing.T) {
+	var got string
+	c := stubServer(t, func(w http.ResponseWriter, r *http.Request) {
+		got = r.URL.Query().Get("timeout")
+		writeBody(w, http.StatusOK, `{"count":0,"results":[],"elapsedMS":0}`)
+	})
+	c.Timeout = 1500 * time.Millisecond
+	if _, err := c.Sweep(context.Background(), []exper.Spec{{Bench: "compress"}}); err != nil {
+		t.Fatal(err)
+	}
+	if got != "1.5s" {
+		t.Fatalf("?timeout= hint = %q, want 1.5s", got)
+	}
+}
+
+// TestAPIErrorRoundTrip: the envelope the server writes is exactly what the
+// client decodes — the two halves share one vocabulary.
+func TestAPIErrorRoundTrip(t *testing.T) {
+	in := &APIError{Status: 429, Code: CodeOverloaded, Message: "m", Field: "f", RetryAfterSeconds: 2}
+	data, err := json.Marshal(errorBody{Error: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out errorBody
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	// Status travels on the response line, not in the body.
+	in.Status = 0
+	if *out.Error != *in {
+		t.Fatalf("round trip changed the error: %+v != %+v", out.Error, in)
+	}
+}

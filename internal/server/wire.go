@@ -23,7 +23,7 @@ const (
 	CodeCanceled         = "canceled"          // the client went away mid-simulation
 	CodeOverloaded       = "overloaded"        // admission queue full; retry later
 	CodeDraining         = "draining"          // server is shutting down; retry elsewhere
-	CodeBodyTooLarge     = "body_too_large" // request body over the size limit
+	CodeBodyTooLarge     = "body_too_large"    // request body over the size limit
 	CodeNotFound         = "not_found"
 	CodeInternal         = "internal" // simulator failure or handler panic
 )

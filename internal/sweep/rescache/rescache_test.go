@@ -203,6 +203,94 @@ func TestConcurrentPutGet(t *testing.T) {
 	wg.Wait()
 }
 
+// TestConcurrentWritersSameKeyAtomic is the stronger atomicity check: many
+// writers race distinct large payloads onto the same key while readers poll.
+// Because writes are temp-file-plus-rename, a reader must only ever observe
+// exactly one writer's complete payload — a Hist whose every word matches its
+// Cycles stamp — never an interleaving of two, and never a corruption tick.
+func TestConcurrentWritersSameKeyAtomic(t *testing.T) {
+	t.Parallel()
+	s := testStore(t)
+	const (
+		writers = 8
+		rounds  = 25
+		words   = 4096 // ~32 KB payloads: large enough to span many pages
+	)
+	key := Fingerprint("contended-slot")
+
+	intact := func(p payload) bool {
+		if len(p.Hist) != words {
+			return false
+		}
+		for _, w := range p.Hist {
+			if w != p.Cycles {
+				return false
+			}
+		}
+		return true
+	}
+
+	var writersWG, readersWG sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < writers; g++ {
+		writersWG.Add(1)
+		go func(g int) {
+			defer writersWG.Done()
+			in := payload{Name: "writer", Cycles: int64(g)}
+			in.Hist = make([]int64, words)
+			for i := range in.Hist {
+				in.Hist[i] = in.Cycles
+			}
+			for i := 0; i < rounds; i++ {
+				if err := s.Put(key, in); err != nil {
+					t.Errorf("writer %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		readersWG.Add(1)
+		go func() {
+			defer readersWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var out payload
+				if s.Get(key, &out) && !intact(out) {
+					t.Errorf("torn read: writer %d payload with %d/%d intact words",
+						out.Cycles, countEq(out.Hist, out.Cycles), words)
+					return
+				}
+			}
+		}()
+	}
+	writersWG.Wait()
+	close(stop)
+	readersWG.Wait()
+
+	if st := s.Stats(); st.Errors != 0 {
+		t.Errorf("corruption ticks during concurrent same-key writes: %+v", st)
+	}
+	var final payload
+	if !s.Get(key, &final) || !intact(final) {
+		t.Errorf("final entry missing or torn: %+v", final.Cycles)
+	}
+}
+
+func countEq(h []int64, v int64) int {
+	n := 0
+	for _, w := range h {
+		if w == v {
+			n++
+		}
+	}
+	return n
+}
+
 func TestFingerprintStableAndDistinct(t *testing.T) {
 	type spec struct {
 		Bench  string

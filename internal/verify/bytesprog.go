@@ -1,0 +1,151 @@
+package verify
+
+import (
+	"fmt"
+
+	"regsim/internal/prog"
+)
+
+// byteSrc doles out fuzz bytes; exhausted input reads as zero, so every byte
+// string — including the empty one — decodes to some program.
+type byteSrc struct {
+	data []byte
+	pos  int
+}
+
+func (s *byteSrc) next() byte {
+	if s.pos >= len(s.data) {
+		return 0
+	}
+	b := s.data[s.pos]
+	s.pos++
+	return b
+}
+
+func (s *byteSrc) intn(n int) int { return int(s.next()) % n }
+
+// ProgramFromBytes decodes arbitrary bytes into a structured program with
+// the same termination guarantees as workload.RandomProgram: counted loops
+// (dedicated counter register the body never touches), data-dependent
+// forward skips that only jump forward, leaf calls, and loads/stores masked
+// into a bounded scratch region, ending with a register fold into memory and
+// a halt. Every input decodes to a valid program, so the fuzzer explores the
+// program space instead of fighting the validator; identical bytes decode to
+// identical programs.
+func ProgramFromBytes(data []byte) *prog.Program {
+	s := &byteSrc{data: data}
+	b := prog.NewBuilder("fuzz-bytes")
+
+	// Register conventions (as in workload.RandomProgram): r1..r12/f1..f12
+	// data, r13 address scratch, r14 compare scratch, r15 loop counter,
+	// r20 link register.
+	intReg := func() uint8 { return uint8(1 + s.intn(12)) }
+	fpReg := func() uint8 { return uint8(1 + s.intn(12)) }
+	const (
+		rAddr, rCmp, rLoop, rLink = 13, 14, 15, 20
+		scratch                   = prog.DataBase
+		scratchMask               = 0xff8 // 4 KB region
+	)
+
+	// Data image and register seeds, all byte-derived.
+	for w := 0; w < 16; w++ {
+		b.InitWord(scratch+uint64(8*w), uint64(s.next())<<32|uint64(s.next())<<8|uint64(w))
+	}
+	for r := uint8(1); r <= 12; r++ {
+		b.MovI(r, int32(s.next())<<8|int32(s.next()))
+		b.ItoF(r, r)
+	}
+	b.Jmp("main")
+
+	nLeaf := 1 + s.intn(3)
+	for l := 0; l < nLeaf; l++ {
+		b.Label(fmt.Sprintf("leaf%d", l))
+		for k := s.intn(4); k >= 0; k-- {
+			b.Add(intReg(), intReg(), intReg())
+		}
+		b.Jr(rLink)
+	}
+
+	b.Label("main")
+	nLoops := 1 + s.intn(5)
+	for l := 0; l < nLoops; l++ {
+		trips := 1 + s.intn(12)
+		loop := fmt.Sprintf("loop%d", l)
+		b.MovI(rLoop, int32(trips))
+		b.Label(loop)
+		bodyLen := 2 + s.intn(20)
+		skipN := 0
+		var openSkip string
+		for i := 0; i < bodyLen; i++ {
+			if openSkip != "" && s.intn(3) == 0 {
+				b.Label(openSkip)
+				openSkip = ""
+			}
+			switch s.intn(12) {
+			case 0, 1, 2:
+				ops := []func(uint8, uint8, uint8){b.Add, b.Sub, b.And, b.Or, b.Xor, b.CmpL, b.CmpE}
+				ops[s.intn(len(ops))](intReg(), intReg(), intReg())
+			case 3:
+				b.MulI(intReg(), intReg(), int32(s.next())-128)
+			case 4:
+				b.ShrI(intReg(), intReg(), int32(s.intn(63)+1))
+			case 5, 6:
+				ops := []func(uint8, uint8, uint8){b.FAdd, b.FSub, b.FMul}
+				ops[s.intn(len(ops))](fpReg(), fpReg(), fpReg())
+			case 7:
+				if s.intn(2) == 0 {
+					b.FDivS(fpReg(), fpReg(), fpReg())
+				} else {
+					b.FDivD(fpReg(), fpReg(), fpReg())
+				}
+			case 8:
+				b.AndI(rAddr, intReg(), scratchMask)
+				b.AddI(rAddr, rAddr, scratch)
+				if s.intn(2) == 0 {
+					b.Ld(intReg(), rAddr, int32(8*s.intn(4)))
+				} else {
+					b.FLd(fpReg(), rAddr, int32(8*s.intn(4)))
+				}
+			case 9:
+				b.AndI(rAddr, intReg(), scratchMask)
+				b.AddI(rAddr, rAddr, scratch)
+				if s.intn(2) == 0 {
+					b.St(intReg(), rAddr, int32(8*s.intn(4)))
+				} else {
+					b.FSt(fpReg(), rAddr, int32(8*s.intn(4)))
+				}
+			case 10:
+				if openSkip == "" {
+					openSkip = fmt.Sprintf("skip%d_%d", l, skipN)
+					skipN++
+					b.AndI(rCmp, intReg(), int32(1<<uint(1+s.intn(4))-1))
+					switch s.intn(4) {
+					case 0:
+						b.Beq(rCmp, openSkip)
+					case 1:
+						b.Bne(rCmp, openSkip)
+					case 2:
+						b.Blt(rCmp, openSkip)
+					default:
+						b.Bge(rCmp, openSkip)
+					}
+				}
+			case 11:
+				b.Call(rLink, fmt.Sprintf("leaf%d", s.intn(nLeaf)))
+			}
+		}
+		if openSkip != "" {
+			b.Label(openSkip)
+		}
+		b.SubI(rLoop, rLoop, 1)
+		b.Bne(rLoop, loop)
+	}
+	// Fold the register state into memory so the oracle compares it.
+	b.MovI(rAddr, scratch)
+	for r := uint8(1); r <= 12; r++ {
+		b.St(r, rAddr, int32(8*int(r)))
+		b.FSt(r, rAddr, int32(8*(16+int(r))))
+	}
+	b.Halt()
+	return b.MustBuild()
+}

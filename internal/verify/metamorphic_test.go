@@ -1,0 +1,51 @@
+package verify_test
+
+import (
+	"testing"
+
+	"regsim/internal/exper"
+	"regsim/internal/verify"
+)
+
+// metamorphicBudget is the per-run commit budget for the property sweeps:
+// long enough that the paper's monotone trends dominate, short enough that
+// the full suite stays in test-suite time.
+const metamorphicBudget = 20_000
+
+// metamorphicTolerance is the relative slack before an adjacent inversion
+// counts as a violation. The laws hold in expectation; at finite budget a
+// stronger machine can speculate further down wrong paths and perturb
+// predictor/cache state by a hair. Measured across seeds, clean builds show
+// inversions well under 1%; real monotonicity bugs (an axis wired backwards,
+// a capacity clamp) show tens of percent.
+const metamorphicTolerance = 0.01
+
+// TestMetamorphicPaperLaws checks the paper's monotone design-space laws
+// over seeded random base configurations and all synthetic workloads. Each
+// property must cover at least 20 adjacent config pairs with zero
+// violations; a failure reports the minimal violating pair.
+func TestMetamorphicPaperLaws(t *testing.T) {
+	if testing.Short() {
+		t.Skip("metamorphic sweeps are not short-mode material")
+	}
+	// One shared suite: specs shared between chains and properties
+	// simulate exactly once.
+	suite := exper.NewSuite(metamorphicBudget)
+	bases := verify.Bases(20260806, 21)
+	for _, prop := range verify.PaperLaws() {
+		prop := prop
+		t.Run(prop.Name, func(t *testing.T) {
+			violations, pairs, err := verify.CheckProperty(suite, prop, bases, metamorphicTolerance)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pairs < 20 {
+				t.Fatalf("only %d config pairs checked; the property suite promises >= 20", pairs)
+			}
+			for _, v := range violations {
+				t.Errorf("law %q (%s) violated by minimal pair:\n  %s", prop.Name, prop.Law, v)
+			}
+			t.Logf("%s: %d pairs, %d violations", prop.Name, pairs, len(violations))
+		})
+	}
+}

@@ -1,0 +1,99 @@
+package verify_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"regsim/internal/core"
+	"regsim/internal/isa"
+	"regsim/internal/rename"
+	"regsim/internal/verify"
+	"regsim/internal/workload"
+)
+
+// leakMidRun returns a config whose Tracer injects a rename bug — one
+// register silently dropped from the integer free list — after the given
+// number of commits, plus an Options wiring the machine pointer up, plus a
+// pointer to the cycle at which the leak landed (0 until it happens).
+func leakMidRun(cfg core.Config, afterCommits int) (core.Config, verify.Options, *int64) {
+	var m *core.Machine
+	leakedAt := new(int64)
+	commits := 0
+	cfg.Tracer = func(ev core.Event) {
+		if ev.Kind != core.EvCommit || *leakedAt != 0 {
+			return
+		}
+		commits++
+		if commits >= afterCommits {
+			// Keep trying until the free list is non-empty (it almost
+			// always is once the machine is in steady state).
+			if m.Rename().LeakFreeRegisterForTest(isa.IntFile) != rename.PhysZero {
+				*leakedAt = m.Cycles()
+			}
+		}
+	}
+	return cfg, verify.Options{OnMachine: func(mm *core.Machine) { m = mm }}, leakedAt
+}
+
+// TestMutationCaughtByDifferential: with the runtime invariant checker OFF,
+// an injected register leak must still be caught by the differential
+// harness's end-of-run rename audit — the one comparison implementation
+// covers structural corruption, not just architectural divergence.
+func TestMutationCaughtByDifferential(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.RegsPerFile = 48
+	cfg.CheckInvariants = false
+	cfg, opts, leakedAt := leakMidRun(cfg, 500)
+
+	err := verify.Differential(cfg, workload.RandomProgram(7), opts)
+	if *leakedAt == 0 {
+		t.Fatal("mutation never fired: program too short for the trigger")
+	}
+	var mm *verify.MismatchError
+	if !errors.As(err, &mm) {
+		t.Fatalf("differential harness missed the injected leak: err = %v", err)
+	}
+	if mm.Field != "rename" {
+		t.Fatalf("leak reported as %q, want the rename audit: %v", mm.Field, mm)
+	}
+}
+
+// TestMutationCaughtByFreeListInvariant: with the runtime invariant checker
+// ON, the same leak must be caught by the per-cycle free-list conservation
+// check — promptly, in the very cycle the corruption happens, not at the end
+// of the run.
+func TestMutationCaughtByFreeListInvariant(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.RegsPerFile = 48
+	cfg.CheckInvariants = true
+	cfg, opts, leakedAt := leakMidRun(cfg, 500)
+
+	err := verify.Differential(cfg, workload.RandomProgram(7), opts)
+	if *leakedAt == 0 {
+		t.Fatal("mutation never fired: program too short for the trigger")
+	}
+	var inv *core.InvariantError
+	if !errors.As(err, &inv) {
+		t.Fatalf("invariant checker missed the injected leak: err = %v", err)
+	}
+	if !strings.Contains(inv.Check, "free-list") {
+		t.Fatalf("leak reported as %q, want the free-list invariant: %v", inv.Check, inv)
+	}
+	if inv.Cycle != *leakedAt {
+		t.Fatalf("leak at cycle %d detected at cycle %d; conservation is a per-cycle check", *leakedAt, inv.Cycle)
+	}
+}
+
+// TestCleanRunsHaveNoViolations pins the other side of the mutation tests:
+// the same configuration without the mutation passes both detectors.
+func TestCleanRunsHaveNoViolations(t *testing.T) {
+	for _, check := range []bool{false, true} {
+		cfg := core.DefaultConfig()
+		cfg.RegsPerFile = 48
+		cfg.CheckInvariants = check
+		if err := verify.Differential(cfg, workload.RandomProgram(7)); err != nil {
+			t.Errorf("CheckInvariants=%v: %v", check, err)
+		}
+	}
+}

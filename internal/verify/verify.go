@@ -1,0 +1,174 @@
+// Package verify is the simulator's verification subsystem: the correctness
+// substrate every performance PR regression-tests against.
+//
+// It has three legs:
+//
+//   - Differential: the oracle harness. Any machine configuration × program
+//     runs on both the cycle-level pipeline and the sequential reference
+//     interpreter (internal/ref); the committed instruction count, the commit
+//     checksum, the final architectural register files, the final memory
+//     image, and the rename unit's end-of-run accounting must all agree.
+//     Tests, fuzzing, and cmd/regsim's -verify flag all use this one
+//     comparison implementation.
+//
+//   - The metamorphic property suite (metamorphic.go): the paper's headline
+//     results are monotone laws (IPC non-decreasing in register count and
+//     queue size, perfect ≥ lockup-free ≥ lockup caches, imprecise ≥ precise
+//     at equal resources), checked as table-driven properties over seeded
+//     random configurations and all synthetic workloads.
+//
+//   - The runtime invariant checker (core.Config.CheckInvariants plus
+//     rename.CheckInvariants): structural pipeline state is audited while
+//     the machine runs, so corruption is caught at the cycle it happens
+//     rather than megacycles later as a wrong checksum.
+//
+// See VERIFY.md for the oracle contract and the invariant list.
+package verify
+
+import (
+	"fmt"
+
+	"regsim/internal/core"
+	"regsim/internal/isa"
+	"regsim/internal/prog"
+	"regsim/internal/ref"
+)
+
+// maxRefSteps bounds the reference interpreter when chasing a halting
+// pipeline run; a structured program that commits this much without halting
+// is malformed, not slow.
+const maxRefSteps = 50_000_000
+
+// Options tunes a differential run.
+type Options struct {
+	// Budget bounds the pipeline run in committed instructions (0 = run
+	// until the program halts). A budget-limited run is compared as a
+	// prefix: the reference interpreter retires exactly as many
+	// instructions as the pipeline committed and the checksums must match;
+	// final register/memory state is only compared after a halt.
+	Budget int64
+	// OnMachine, when non-nil, observes the constructed pipeline machine
+	// before it runs. Mutation tests use it to sabotage internal state and
+	// prove the harness notices; ordinary callers leave it nil.
+	OnMachine func(*core.Machine)
+}
+
+// MismatchError reports a divergence between the pipeline and the reference
+// interpreter — by construction a simulator bug (or an injected mutation),
+// never a property of the program.
+type MismatchError struct {
+	// Program is the name of the diverging program.
+	Program string
+	// Cfg is the machine configuration that diverged.
+	Cfg core.Config
+	// Field names what diverged: "halt", "commits", "checksum", "intreg",
+	// "fpreg", "memory", or "rename".
+	Field string
+	// Detail describes the divergence.
+	Detail string
+}
+
+func (e *MismatchError) Error() string {
+	return fmt.Sprintf("verify: %s diverges from reference on %s (width=%d queue=%d regs=%d model=%s cache=%s): %s",
+		e.Program, e.Field, e.Cfg.Width, e.Cfg.QueueSize, e.Cfg.RegsPerFile, e.Cfg.Model, e.Cfg.DCache.Kind, e.Detail)
+}
+
+// Differential runs cfg × p on the pipeline and on the reference interpreter
+// and returns a *MismatchError on any architectural divergence, the
+// pipeline's own error if the run fails (including *core.InvariantError when
+// cfg.CheckInvariants is set), or nil when every check agrees.
+//
+// At most one Options value may be supplied; the zero value runs the program
+// to its halt.
+func Differential(cfg core.Config, p *prog.Program, opts ...Options) error {
+	var o Options
+	if len(opts) > 1 {
+		return fmt.Errorf("verify: at most one Options value")
+	}
+	if len(opts) == 1 {
+		o = opts[0]
+	}
+	mismatch := func(field, format string, args ...any) error {
+		return &MismatchError{Program: p.Name, Cfg: cfg, Field: field, Detail: fmt.Sprintf(format, args...)}
+	}
+
+	m, err := core.New(cfg, p)
+	if err != nil {
+		return err
+	}
+	if o.OnMachine != nil {
+		o.OnMachine(m)
+	}
+	budget := o.Budget
+	if budget <= 0 {
+		budget = 1 << 40
+	}
+	res, err := m.Run(budget)
+	if err != nil {
+		return err
+	}
+
+	it := ref.New(p)
+	if res.Halted {
+		if _, err := it.Run(maxRefSteps); err != nil {
+			return fmt.Errorf("verify: reference run of %s: %w", p.Name, err)
+		}
+		if !it.Halted {
+			return mismatch("halt", "pipeline halted after %d commits; reference still running after %d steps", res.Committed, maxRefSteps)
+		}
+	} else {
+		// Budget-limited run: compare the committed prefix.
+		if _, err := it.Run(uint64(res.Committed)); err != nil {
+			return fmt.Errorf("verify: reference run of %s: %w", p.Name, err)
+		}
+		if it.Retired != uint64(res.Committed) {
+			return mismatch("halt", "pipeline committed %d without halting; reference halted after %d", res.Committed, it.Retired)
+		}
+	}
+	if res.Committed != int64(it.Retired) {
+		return mismatch("commits", "pipeline committed %d, reference retired %d", res.Committed, it.Retired)
+	}
+	if res.Checksum != it.Sum.Value() {
+		return mismatch("checksum", "commit checksum %#x != reference %#x after %d instructions", res.Checksum, it.Sum.Value(), res.Committed)
+	}
+	if res.Halted {
+		// With nothing in flight the machine's speculative state is its
+		// architectural state; compare it and the memory image exactly.
+		if got, want := m.ArchRegs(isa.IntFile), it.IntReg; got != want {
+			return mismatch("intreg", "%s", diffRegs(got, want))
+		}
+		if got, want := m.ArchRegs(isa.FPFile), it.FPReg; got != want {
+			return mismatch("fpreg", "%s", diffRegs(got, want))
+		}
+		if !m.Memory().Equal(it.Mem) {
+			return mismatch("memory", "final memory image differs from reference")
+		}
+	}
+	// The end-of-run rename audit is part of the oracle contract: a run may
+	// commit the right instruction stream and still have corrupted (e.g.
+	// leaked) register accounting, which would surface as deadlock or wrong
+	// results only under other configurations.
+	if err := m.Rename().CheckInvariants(); err != nil {
+		return mismatch("rename", "end-of-run rename audit: %v", err)
+	}
+	return nil
+}
+
+// diffRegs renders the first few differing architectural registers.
+func diffRegs(got, want [isa.NumArchRegs]uint64) string {
+	s := ""
+	n := 0
+	for i := range got {
+		if got[i] != want[i] {
+			if n == 3 {
+				return s + ", ..."
+			}
+			if n > 0 {
+				s += ", "
+			}
+			s += fmt.Sprintf("r%d=%#x want %#x", i, got[i], want[i])
+			n++
+		}
+	}
+	return s
+}

@@ -1,0 +1,133 @@
+package verify_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"regsim/internal/bpred"
+	"regsim/internal/cache"
+	"regsim/internal/core"
+	"regsim/internal/rename"
+	"regsim/internal/verify"
+	"regsim/internal/workload"
+)
+
+// TestDifferentialRandomPairs is the architectural-correctness oracle: for
+// seeded random structured programs, every machine configuration must commit
+// exactly the reference interpreter's instruction stream and produce its
+// final register and memory state. 40 seeds × 6 configurations = 240 pairs
+// across all three cache organisations and both exception models, with the
+// runtime invariant checker on throughout.
+func TestDifferentialRandomPairs(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 8
+	}
+	rng := rand.New(rand.NewSource(999))
+	widths := []int{4, 8}
+	queues := []int{8, 17, 32, 64}
+	regsList := []int{32, 33, 48, 80, 2048}
+	models := []rename.Model{rename.Precise, rename.Imprecise}
+	kinds := []cache.Kind{cache.Perfect, cache.Lockup, cache.LockupFree}
+
+	pairs := 0
+	for seed := 0; seed < seeds; seed++ {
+		p := workload.RandomProgram(int64(seed))
+		// Every program gets a random draw of configurations plus the
+		// extreme corners.
+		cfgs := []core.Config{
+			{Width: 4, QueueSize: 8, RegsPerFile: 32, Model: rename.Precise, DCache: cache.DefaultData().WithKind(cache.Lockup)},
+			{Width: 8, QueueSize: 64, RegsPerFile: 2048, Model: rename.Imprecise, DCache: cache.DefaultData()},
+		}
+		for i := 0; i < 4; i++ {
+			cfgs = append(cfgs, core.Config{
+				Width:       widths[rng.Intn(len(widths))],
+				QueueSize:   queues[rng.Intn(len(queues))],
+				RegsPerFile: regsList[rng.Intn(len(regsList))],
+				Model:       models[rng.Intn(len(models))],
+				DCache:      cache.DefaultData().WithKind(kinds[rng.Intn(len(kinds))]),
+			})
+		}
+		for _, cfg := range cfgs {
+			cfg.ICacheMissPenalty = 16
+			cfg.FrontEndDelay = 1
+			cfg.TrackLiveRegisters = seed%3 == 0
+			cfg.CheckInvariants = true
+			// The ablation knobs change timing only, never architecture:
+			// they join the oracle's randomised space.
+			switch rng.Intn(6) {
+			case 0:
+				cfg.InOrderBranches = true
+			case 1:
+				cfg.DCache.MSHREntries = 1 + rng.Intn(4)
+			case 2:
+				cfg.WriteBufferEntries = 1 + rng.Intn(4)
+				cfg.WriteBufferDrain = 1 + rng.Intn(8)
+			case 3:
+				cfg.SplitQueues = true
+				if cfg.QueueSize < 4 {
+					cfg.QueueSize = 4
+				}
+			case 4:
+				cfg.InsertPerCycle = 1 + rng.Intn(2*cfg.Width)
+				cfg.CommitPerCycle = 1 + rng.Intn(3*cfg.Width)
+			case 5:
+				cfg.Predictor = bpred.Kind(rng.Intn(3))
+				cfg.FrontEndDelay = rng.Intn(4)
+			}
+			if err := verify.Differential(cfg, p); err != nil {
+				t.Fatal(err)
+			}
+			pairs++
+		}
+	}
+	if !testing.Short() && pairs < 200 {
+		t.Fatalf("only %d (config, program) pairs exercised; the oracle promises >= 200", pairs)
+	}
+}
+
+// TestWorkloadPrefixDifferential checks every benchmark stand-in as a
+// budget-limited prefix: the first N committed instructions must match the
+// reference interpreter's first N.
+func TestWorkloadPrefixDifferential(t *testing.T) {
+	for _, name := range workload.Names() {
+		p, err := workload.Build(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range []core.Config{
+			core.DefaultConfig(),
+			func() core.Config {
+				c := core.DefaultConfig()
+				c.Width = 8
+				c.QueueSize = 64
+				c.Model = rename.Imprecise
+				c.DCache = c.DCache.WithKind(cache.Lockup)
+				return c
+			}(),
+		} {
+			cfg.CheckInvariants = true
+			if err := verify.Differential(cfg, p, verify.Options{Budget: 20_000}); err != nil {
+				t.Errorf("%s: %v", name, err)
+			}
+		}
+	}
+}
+
+// TestExceptionModelsArchitecturallyIdentical: the freeing discipline may
+// change timing only, never results — both models must match the reference
+// on the same program at every register-file size.
+func TestExceptionModelsArchitecturallyIdentical(t *testing.T) {
+	p := workload.RandomProgram(4242)
+	for _, regs := range []int{32, 40, 64} {
+		for _, model := range []rename.Model{rename.Precise, rename.Imprecise} {
+			cfg := core.DefaultConfig()
+			cfg.RegsPerFile = regs
+			cfg.Model = model
+			cfg.CheckInvariants = true
+			if err := verify.Differential(cfg, p); err != nil {
+				t.Errorf("regs=%d model=%s: %v", regs, model, err)
+			}
+		}
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"regsim/internal/sweep/rescache"
 	"regsim/internal/telemetry"
 	"regsim/internal/trace"
+	"regsim/internal/verify"
 	"regsim/internal/workload"
 )
 
@@ -273,3 +274,24 @@ type ChromeTraceOptions = trace.ChromeOptions
 // NewChromeTracer returns a Chrome-trace capture; install its Hook as
 // Config.Tracer and its CounterHook as Config.CounterSampler.
 func NewChromeTracer(opts ChromeTraceOptions) *ChromeTracer { return trace.NewChromeTracer(opts) }
+
+// Verify runs the differential oracle: it simulates p under cfg and checks
+// the committed instruction stream (count and checksum), the final
+// architectural register files, the final memory image, and the rename
+// unit's structural invariants against the functional reference interpreter.
+// A budget of 0 means run to halt. The returned error is a
+// *VerifyMismatchError for oracle divergence or a *MachineInvariantError
+// when cfg.CheckInvariants caught corruption mid-run. See VERIFY.md for the
+// oracle contract.
+func Verify(cfg Config, p *Program, budget int64) error {
+	return verify.Differential(cfg, p, verify.Options{Budget: budget})
+}
+
+// VerifyMismatchError reports which architectural field diverged from the
+// reference interpreter.
+type VerifyMismatchError = verify.MismatchError
+
+// MachineInvariantError reports a microarchitectural invariant violation
+// (free-list conservation, in-order commit, occupancy bounds, rename-state
+// audit) caught by the runtime checker enabled with Config.CheckInvariants.
+type MachineInvariantError = core.InvariantError
