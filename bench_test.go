@@ -15,12 +15,13 @@ package regsim
 import (
 	"testing"
 
+	"regsim/internal/benchrun"
 	"regsim/internal/exper"
 )
 
 // benchBudget keeps each harness iteration around a second on a laptop
 // while still exercising every configuration of the experiment.
-const benchBudget = 3_000
+const benchBudget = benchrun.SuiteBudget
 
 func reportIPC(b *testing.B, committed, cycles int64) {
 	if cycles > 0 {
@@ -28,24 +29,22 @@ func reportIPC(b *testing.B, committed, cycles int64) {
 	}
 }
 
-// BenchmarkTable1 regenerates the dynamic-statistics table (18 runs).
-func BenchmarkTable1(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		s := exper.NewSuite(benchBudget)
-		if _, err := s.Table1(); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+// BenchmarkTable1 regenerates the dynamic-statistics table (18 runs). The
+// body lives in internal/benchrun so cmd/bench records the same measurement.
+func BenchmarkTable1(b *testing.B) { benchrun.Table1(benchBudget)(b) }
 
 // BenchmarkFig3 regenerates the dispatch-queue sweep (108 measurement runs
 // with live-register classification).
-func BenchmarkFig3(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		s := exper.NewSuite(benchBudget)
-		if _, err := s.Fig3(); err != nil {
-			b.Fatal(err)
-		}
+func BenchmarkFig3(b *testing.B) { benchrun.Fig3(benchBudget)(b) }
+
+// BenchmarkCycleLoop measures the bare scheduler inner loop at each width ×
+// dispatch-queue-size point (large register file, so queue occupancy — not
+// register starvation — dominates). This is the microbenchmark that tracks
+// the event-driven wakeup/select core: ns and allocations per simulated
+// cycle by queue depth.
+func BenchmarkCycleLoop(b *testing.B) {
+	for _, c := range benchrun.CycleLoopCases() {
+		b.Run(c.Name, c.Fn)
 	}
 }
 
@@ -70,14 +69,7 @@ func BenchmarkFig5(b *testing.B) {
 }
 
 // BenchmarkFig6 regenerates the register-file size sweep (288 runs).
-func BenchmarkFig6(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		s := exper.NewSuite(benchBudget)
-		if _, err := s.Fig6(); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkFig6(b *testing.B) { benchrun.Fig6(benchBudget)(b) }
 
 // BenchmarkFig7 regenerates the cache-organisation comparison (864 runs,
 // sharing the lockup-free third with Figure 6 via memoisation).

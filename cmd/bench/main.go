@@ -1,0 +1,141 @@
+// Command bench runs the repository's benchmark trajectory — the experiment
+// benchmarks (Table1, Fig3, Fig6) plus the CycleLoop scheduler
+// microbenchmark grid — through testing.Benchmark and records the results as
+// a JSON report (by convention BENCH_core.json at the repository root), so
+// successive PRs accumulate comparable numbers.
+//
+// The measurement code itself lives in internal/benchrun and is shared with
+// the root bench_test.go entry points: `go test -bench=.` and `bench` time
+// exactly the same functions.
+//
+// Usage:
+//
+//	bench [-quick] [-benchtime 3x] [-run CycleLoop] [-o BENCH_core.json]
+//
+// -quick runs every case for a single iteration — the CI smoke mode, which
+// proves the suite still runs without spending minutes on stable numbers.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"regsim/internal/benchrun"
+)
+
+// caseResult is one benchmark case in the report. Extra carries the
+// benchmark's custom metrics (ns/cycle, simcycles/s, instr/s for the
+// CycleLoop grid).
+type caseResult struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"nsPerOp"`
+	AllocsPerOp int64              `json:"allocsPerOp"`
+	BytesPerOp  int64              `json:"bytesPerOp"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// report is the BENCH_core.json schema.
+type report struct {
+	GoVersion       string       `json:"goVersion"`
+	GOOS            string       `json:"goos"`
+	GOARCH          string       `json:"goarch"`
+	Date            string       `json:"date"`
+	Benchtime       string       `json:"benchtime,omitempty"`
+	SuiteBudget     int64        `json:"suiteBudget"`
+	CycleLoopBudget int64        `json:"cycleLoopBudget"`
+	Results         []caseResult `json:"results"`
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "run each case for a single iteration (CI smoke mode)")
+	benchtime := flag.String("benchtime", "", "time or iteration count per case, as for -test.benchtime (e.g. 2s or 3x)")
+	run := flag.String("run", "", "only run cases whose name contains this substring")
+	out := flag.String("o", "BENCH_core.json", "output path for the JSON report")
+	testing.Init()
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: bench [-quick] [-benchtime 3x] [-run substring] [-o BENCH_core.json]")
+		os.Exit(2)
+	}
+	bt := *benchtime
+	if bt == "" && *quick {
+		bt = "1x"
+	}
+	if bt != "" {
+		// testing.Init registered the -test.* flags; routing our value
+		// through them configures testing.Benchmark below.
+		if err := flag.Set("test.benchtime", bt); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: invalid -benchtime %q: %v\n", bt, err)
+			os.Exit(2)
+		}
+	}
+	if err := flag.Set("test.benchmem", "true"); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	// Open the report up front: an uncreatable path is a usage error, and a
+	// multi-minute run must not fail at the very end on a typo'd directory.
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: invalid -o %q: %v\n", *out, err)
+		os.Exit(2)
+	}
+
+	rep := report{
+		GoVersion:       runtime.Version(),
+		GOOS:            runtime.GOOS,
+		GOARCH:          runtime.GOARCH,
+		Date:            time.Now().UTC().Format(time.RFC3339),
+		Benchtime:       bt,
+		SuiteBudget:     benchrun.SuiteBudget,
+		CycleLoopBudget: benchrun.CycleLoopBudget,
+	}
+	matched := false
+	for _, c := range benchrun.Suite() {
+		if *run != "" && !strings.Contains(c.Name, *run) {
+			continue
+		}
+		matched = true
+		r := testing.Benchmark(c.Fn)
+		if r.N == 0 {
+			// The case's b.Fatal aborted the measurement.
+			fmt.Fprintf(os.Stderr, "bench: %s failed\n", c.Name)
+			os.Exit(1)
+		}
+		fmt.Printf("%-20s %8d iters %14.0f ns/op %10d B/op %8d allocs/op\n",
+			c.Name, r.N, float64(r.T.Nanoseconds())/float64(r.N),
+			r.AllocedBytesPerOp(), r.AllocsPerOp())
+		rep.Results = append(rep.Results, caseResult{
+			Name:        c.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Extra:       r.Extra,
+		})
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "bench: no case matches -run %q\n", *run)
+		os.Exit(2)
+	}
+
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d cases)\n", *out, len(rep.Results))
+}

@@ -1,0 +1,78 @@
+package main_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"regsim/internal/cmdtest"
+)
+
+// TestExitCodes pins the process contract: malformed flags and arguments are
+// usage errors (exit 2), success is 0.
+func TestExitCodes(t *testing.T) {
+	bin := cmdtest.Build(t, "bench")
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"positional argument", []string{"extra"}, 2},
+		{"unknown flag", []string{"-no-such-flag"}, 2},
+		{"bad benchtime", []string{"-benchtime", "fast"}, 2},
+		{"uncreatable output", []string{"-quick", "-o", "/nonexistent-dir/bench.json"}, 2},
+		{"unmatched run filter", []string{"-quick", "-run", "NoSuchCase", "-o", os.DevNull}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out := cmdtest.Run(t, bin, tc.args...)
+			if code != tc.want {
+				t.Fatalf("exit %d, want %d\n%s", code, tc.want, out)
+			}
+		})
+	}
+}
+
+// TestQuickReport runs the CI smoke mode end-to-end on the CycleLoop grid
+// and checks the report schema: every case present, with iteration counts
+// and per-op figures filled in.
+func TestQuickReport(t *testing.T) {
+	bin := cmdtest.Build(t, "bench")
+	path := filepath.Join(t.TempDir(), "bench.json")
+	code, out := cmdtest.Run(t, bin, "-quick", "-run", "CycleLoop", "-o", path)
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no report written: %v", err)
+	}
+	var rep struct {
+		GoVersion string `json:"goVersion"`
+		Results   []struct {
+			Name       string             `json:"name"`
+			Iterations int                `json:"iterations"`
+			NsPerOp    float64            `json:"nsPerOp"`
+			Extra      map[string]float64 `json:"extra"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, data)
+	}
+	if rep.GoVersion == "" {
+		t.Error("report missing goVersion")
+	}
+	// 2 widths × 4 queue sizes.
+	if len(rep.Results) != 8 {
+		t.Fatalf("got %d CycleLoop cases, want 8\n%s", len(rep.Results), data)
+	}
+	for _, r := range rep.Results {
+		if r.Iterations < 1 || r.NsPerOp <= 0 {
+			t.Errorf("%s: implausible measurement: %d iters, %v ns/op", r.Name, r.Iterations, r.NsPerOp)
+		}
+		if _, ok := r.Extra["simcycles/s"]; !ok {
+			t.Errorf("%s: missing simcycles/s metric", r.Name)
+		}
+	}
+}

@@ -16,8 +16,9 @@
 // Observability flags: -account prints the top-down cycle accounting,
 // -metrics-out writes the full telemetry snapshot (cycle accounts, latency
 // percentiles, port histograms) as JSON, -chrome-trace writes a Perfetto /
-// chrome://tracing loadable pipeline trace, and -cpuprofile profiles the
-// simulator itself.
+// chrome://tracing loadable pipeline trace, and -cpuprofile / -memprofile
+// profile the simulator itself (CPU samples during the run; a heap snapshot
+// at exit).
 //
 // -cache-dir attaches the persistent result cache shared with cmd/paper: a
 // plain benchmark run whose spec (and budget) was simulated before — by
@@ -31,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
@@ -61,6 +63,7 @@ func main() {
 	traceEnd := flag.Int64("trace-end", 0, "cycle bound of -chrome-trace capture (0 = unbounded)")
 	traceLimit := flag.Int("trace-limit", 0, "instruction cap of -chrome-trace capture (0 = default 100000)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file when the run finishes")
 	cacheDir := flag.String("cache-dir", "", "persistent result-cache directory shared with cmd/paper (empty disables caching)")
 	noCache := flag.Bool("no-cache", false, "bypass the persistent result cache")
 	verifyRun := flag.Bool("verify", false, "after the run, check the configuration against the functional reference interpreter (differential oracle + runtime invariant checker); roughly doubles runtime")
@@ -109,6 +112,17 @@ func main() {
 				bench, strings.Join(regsim.Workloads(), " "))
 		}
 	}
+	// An uncreatable profile path is a usage error: the flag is wrong, and
+	// opening it up front means a multi-minute run cannot fail at the very
+	// end on a typo'd directory.
+	var memf *os.File
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatalUsage("invalid -memprofile %q: %v", *memprofile, err)
+		}
+		memf = f
+	}
 	var store *rescache.Store
 	if *cacheDir != "" && !*noCache {
 		var err error
@@ -146,6 +160,19 @@ func main() {
 	if err := run(bench, opts); err != nil {
 		fmt.Fprintf(os.Stderr, "regsim: %v\n", err)
 		os.Exit(1)
+	}
+	if memf != nil {
+		// Collect garbage first so the snapshot shows live simulator state,
+		// not transient allocation churn.
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(memf); err != nil {
+			fmt.Fprintf(os.Stderr, "regsim: writing -memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := memf.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "regsim: writing -memprofile: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 

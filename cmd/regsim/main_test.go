@@ -1,6 +1,8 @@
 package main_test
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -27,6 +29,7 @@ func TestExitCodes(t *testing.T) {
 		{"bad budget", []string{"-n", "0", "compress"}, 2},
 		{"negative regs", []string{"-regs", "-1", "compress"}, 2},
 		{"bad random seed", []string{"random:notanumber"}, 2},
+		{"uncreatable memprofile", []string{"-memprofile", "/nonexistent-dir/heap.pprof", "-n", "2000", "compress"}, 2},
 		{"missing asm file", []string{"asm:/nonexistent/prog.s"}, 1},
 		{"success", []string{"-n", "2000", "compress"}, 0},
 		{"success with verify", []string{"-n", "2000", "-verify", "compress"}, 0},
@@ -38,6 +41,24 @@ func TestExitCodes(t *testing.T) {
 				t.Fatalf("exit %d, want %d\n%s", code, tc.want, out)
 			}
 		})
+	}
+}
+
+// TestMemProfile: -memprofile must leave a non-empty pprof heap profile
+// behind on success.
+func TestMemProfile(t *testing.T) {
+	bin := cmdtest.Build(t, "regsim")
+	path := filepath.Join(t.TempDir(), "heap.pprof")
+	code, out := cmdtest.Run(t, bin, "-n", "2000", "-memprofile", path, "compress")
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, out)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("no heap profile written: %v", err)
+	}
+	if fi.Size() == 0 {
+		t.Fatal("heap profile is empty")
 	}
 }
 

@@ -181,8 +181,12 @@ type line struct {
 
 // DCache is a data cache instance. It is not safe for concurrent use.
 type DCache struct {
-	cfg      Config
-	sets     [][]line
+	cfg Config
+	// lines holds the tag store set-major: set s occupies
+	// lines[s*assoc : (s+1)*assoc]. One flat pointer-free allocation
+	// instead of a slice per set.
+	lines    []line
+	assoc    int
 	setMask  uint64
 	lineShft uint
 
@@ -205,18 +209,14 @@ func NewData(cfg Config) *DCache {
 		panic(err)
 	}
 	nsets := cfg.SizeBytes / (cfg.LineBytes * cfg.Assoc)
-	sets := make([][]line, nsets)
-	backing := make([]line, nsets*cfg.Assoc)
-	for i := range sets {
-		sets[i], backing = backing[:cfg.Assoc], backing[cfg.Assoc:]
-	}
 	shift := uint(0)
 	for 1<<shift < cfg.LineBytes {
 		shift++
 	}
 	return &DCache{
 		cfg:         cfg,
-		sets:        sets,
+		lines:       make([]line, nsets*cfg.Assoc),
+		assoc:       cfg.Assoc,
 		setMask:     uint64(nsets - 1),
 		lineShft:    shift,
 		outstanding: make(map[uint64]*Fill),
@@ -231,7 +231,10 @@ func (c *DCache) Stats() Stats { return c.stats }
 
 func (c *DCache) lineAddr(addr uint64) uint64 { return addr >> c.lineShft }
 
-func (c *DCache) set(la uint64) []line { return c.sets[la&c.setMask] }
+func (c *DCache) set(la uint64) []line {
+	i := int(la&c.setMask) * c.assoc
+	return c.lines[i : i+c.assoc]
+}
 
 // probe returns the line holding la, or nil.
 func (c *DCache) probe(la uint64) *line {

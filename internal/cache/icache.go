@@ -6,11 +6,24 @@ package cache
 // misses never delays data-cache misses, so the instruction cache is an
 // independent unit with its own path to memory.
 type ICache struct {
-	sets        [][]line
+	// lines holds the tag store set-major, assoc entries per set (one flat
+	// pointer-free allocation instead of a slice per set).
+	lines       []line
+	assoc       int
 	setMask     uint64
 	lineShft    uint
 	missPenalty int64
 	useClock    int64
+
+	// lastLA remembers the line touched by the most recent access (valid
+	// when lastOK). Sequential fetch hits the same line several times in a
+	// row, and a repeat access to the globally most-recently-used line can
+	// skip both the probe and the LRU touch: the line already orders after
+	// every other line in its set, so dropping the redundant touch leaves
+	// the relative last-use order — the only thing LRU victim selection
+	// reads — identical, and therefore the miss sequence identical.
+	lastLA uint64
+	lastOK bool
 
 	Accesses int64
 	Misses   int64
@@ -25,17 +38,13 @@ func NewICache(missPenalty int) *ICache {
 		lineBytes = 32
 	)
 	nsets := sizeBytes / (lineBytes * assoc)
-	sets := make([][]line, nsets)
-	backing := make([]line, nsets*assoc)
-	for i := range sets {
-		sets[i], backing = backing[:assoc], backing[assoc:]
-	}
 	shift := uint(0)
 	for 1<<shift < lineBytes {
 		shift++
 	}
 	return &ICache{
-		sets:        sets,
+		lines:       make([]line, nsets*assoc),
+		assoc:       assoc,
 		setMask:     uint64(nsets - 1),
 		lineShft:    shift,
 		missPenalty: int64(missPenalty),
@@ -49,11 +58,16 @@ func NewICache(missPenalty int) *ICache {
 func (c *ICache) Fetch(addr uint64, now int64) (hit bool, readyAt int64) {
 	c.Accesses++
 	la := addr >> c.lineShft
-	s := c.sets[la&c.setMask]
+	if c.lastOK && la == c.lastLA {
+		return true, 0
+	}
+	si := int(la&c.setMask) * c.assoc
+	s := c.lines[si : si+c.assoc]
 	for i := range s {
 		if s[i].valid && s[i].tag == la {
 			c.useClock++
 			s[i].lastUse = c.useClock
+			c.lastLA, c.lastOK = la, true
 			return true, 0
 		}
 	}
@@ -72,5 +86,6 @@ func (c *ICache) Fetch(addr uint64, now int64) (hit bool, readyAt int64) {
 	victim.tag = la
 	c.useClock++
 	victim.lastUse = c.useClock
+	c.lastLA, c.lastOK = la, true
 	return false, now + c.missPenalty
 }

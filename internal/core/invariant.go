@@ -123,6 +123,7 @@ func (m *Machine) checkInvariants() {
 	}
 	if m.now&invariantAuditEvery == 0 {
 		m.auditRename()
+		m.auditScheduler()
 	}
 }
 
@@ -130,5 +131,66 @@ func (m *Machine) checkInvariants() {
 func (m *Machine) auditRename() {
 	if err := m.ren.CheckInvariants(); err != nil {
 		m.failInvariant("rename audit", "%v", err)
+	}
+}
+
+// auditScheduler recomputes the event-driven scheduler's derived state from
+// scratch — per-group queue occupancy, each queued uop's outstanding-operand
+// count, and the ready set — and compares it against the incrementally
+// maintained copies. A lost or spurious wakeup, a leaked ready bit, or a
+// miscounted queue entry is caught here the cycle the audit runs instead of
+// surfacing as a deadlock or a drifted statistic megacycles later.
+func (m *Machine) auditScheduler() {
+	var q [3]int
+	ready := 0
+	for seq := m.win.headSeq; seq < m.win.nextSeq; seq++ {
+		u := m.win.at(seq)
+		if u.seq != seq || u.state != sQueued {
+			if m.win.isReady(seq) {
+				m.failInvariant("scheduler audit",
+					"seq %d is in the ready set but not queued (state %d)", seq, u.state)
+				return
+			}
+			continue
+		}
+		q[queueGroup(u.class)]++
+		outstanding := 0
+		for i := 0; i < int(u.nsrc); i++ {
+			if !m.ren.Ready(u.srcFile[i], u.srcPhys[i]) {
+				outstanding++
+			}
+		}
+		if u.forwarded && u.depStore >= m.win.headSeq {
+			if dep := m.win.at(u.depStore); dep.seq == u.depStore && dep.state != sCompleted && dep.state != sDead {
+				outstanding++
+			}
+		}
+		if int(u.waitCount) != outstanding {
+			m.failInvariant("scheduler audit",
+				"seq %d waitCount %d but %d source writers outstanding", seq, u.waitCount, outstanding)
+			return
+		}
+		if got := m.win.isReady(seq); got != (outstanding == 0) {
+			m.failInvariant("scheduler audit",
+				"seq %d ready-set membership %v with %d outstanding operands", seq, got, outstanding)
+			return
+		}
+		if outstanding == 0 {
+			ready++
+		}
+	}
+	if q != m.qCounts {
+		m.failInvariant("scheduler audit",
+			"queue counts %v but window holds %v queued uops by group", m.qCounts, q)
+		return
+	}
+	if sum := q[0] + q[1] + q[2]; sum != m.qTotal {
+		m.failInvariant("scheduler audit",
+			"cached total occupancy %d but window holds %d queued uops", m.qTotal, sum)
+		return
+	}
+	if ready != m.win.readyCount {
+		m.failInvariant("scheduler audit",
+			"readyCount %d but %d queued uops are ready", m.win.readyCount, ready)
 	}
 }

@@ -22,6 +22,10 @@ type Machine struct {
 	cfg    Config
 	limits dispatch.Limits
 	text   []isa.Inst
+	// dec holds the per-PC predecoded form of text (class, destination,
+	// sources), computed once at construction so the fetch/dispatch loop
+	// does not re-derive them from the instruction word every cycle.
+	dec []predec
 
 	ren *rename.Unit
 	bp  *bpred.Predictor
@@ -31,15 +35,20 @@ type Machine struct {
 
 	win *window
 
-	// Dispatch queue: intrusive list of un-issued uops in program order.
-	// Occupancy is tracked per class group so the split-queue ablation can
-	// enforce per-queue capacities (unified mode checks the sum).
-	unHead, unTail int64
-	qCounts        [3]int
+	// Dispatch queue occupancy, tracked per class group so the split-queue
+	// ablation can enforce per-queue capacities (unified mode checks the
+	// sum). The queued uops themselves live in the window; the ones whose
+	// operands are all available are in the window's ready set, maintained
+	// by the rename unit's wakeup broadcast (see wake).
+	// qTotal caches the sum of qCounts for the unified-queue capacity test,
+	// which runs once per insertion attempt.
+	qCounts [3]int
+	qTotal  int
 
-	// Speculative architectural state (functional execution at dispatch).
-	specInt   [isa.NumArchRegs]uint64
-	specFP    [isa.NumArchRegs]uint64
+	// Speculative architectural state (functional execution at dispatch),
+	// indexed by register file. The zero-register entries are never written,
+	// so reads need no hardwired-zero special case.
+	spec      [2][isa.NumArchRegs]uint64
 	specPC    uint64
 	specValid bool
 
@@ -48,8 +57,19 @@ type Machine struct {
 	storeQHead int
 
 	// Conditional-branch queue for the completion frontier, program order.
-	brQ     []int64
-	brQHead int
+	// brIssueIdx is the InOrderBranches issue cursor: every entry before it
+	// is known to have left the dispatch queue (issued, completed, or
+	// squashed), so the oldest-unissued-branch test resumes there instead
+	// of rescanning from brQHead. It only ever moves forward, because a uop
+	// never returns to the queued state.
+	brQ        []int64
+	brQHead    int
+	brIssueIdx int
+	// skipFrontier: the branch queue and completion frontier exist to arm
+	// the rename unit's redefine kills (and the InOrderBranches ablation).
+	// When kills are disabled and branches issue freely, both are dead
+	// machinery and the per-cycle frontier advance is skipped.
+	skipFrontier bool
 
 	// Completion buckets: a circular calendar of issue completions.
 	buckets [][]int64
@@ -100,6 +120,18 @@ type Machine struct {
 	cycleWrites [2]int
 }
 
+// predec is one predecoded instruction: the fields the dispatch stage needs
+// every time the PC passes over it, extracted from the instruction word once.
+// hasDst is already masked for the hardwired zero destination.
+type predec struct {
+	in     isa.Inst
+	dst    isa.Reg
+	srcs   [2]isa.Reg
+	class  isa.Class
+	hasDst bool
+	nsrc   uint8
+}
+
 // New builds a machine for the given program. The program's data image is
 // applied to a fresh functional memory.
 func New(cfg Config, p *prog.Program) (*Machine, error) {
@@ -136,11 +168,29 @@ func New(cfg Config, p *prog.Program) (*Machine, error) {
 		ic:            cache.NewICache(cfg.ICacheMissPenalty),
 		mem:           mem.New(),
 		win:           newWindow(2 * cfg.QueueSize),
-		unHead:        noSeq,
-		unTail:        noSeq,
 		specPC:        p.Entry,
 		specValid:     true,
 		lastCommitSeq: noSeq,
+	}
+	m.ren.SetWakeFunc(m.wake)
+	// Under the precise model with per-category live statistics unwanted,
+	// redefine kills influence nothing observable (freeing is commit-driven)
+	// — turn off the kill queue, and with it the branch-frontier machinery
+	// that exists to arm it.
+	if cfg.Model == rename.Precise && !cfg.TrackLiveRegisters {
+		m.ren.DisableKills()
+	}
+	m.skipFrontier = m.ren.KillsDisabled() && !cfg.InOrderBranches
+	m.dec = make([]predec, len(p.Text))
+	for pc, in := range p.Text {
+		d := &m.dec[pc]
+		d.in = in
+		d.class = in.Op.Class()
+		dst, hasDst := in.Dst()
+		d.dst = dst
+		d.hasDst = hasDst && !dst.IsZero()
+		srcs := in.Srcs(d.srcs[:0])
+		d.nsrc = uint8(len(srcs))
 	}
 	for _, dw := range p.Data {
 		m.mem.Write64(dw.Addr, dw.Value)
@@ -157,6 +207,15 @@ func New(cfg Config, p *prog.Program) (*Machine, error) {
 	}
 	m.buckets = make([][]int64, n)
 	m.bmask = n - 1
+	// Presize the recycled per-cycle structures: the completion calendar
+	// and the store/branch queues grow once here instead of leaving a
+	// doubling trail of garbage during the run.
+	bbuf := make([]int64, n*16)
+	for i := range m.buckets {
+		m.buckets[i], bbuf = bbuf[:0:16], bbuf[16:]
+	}
+	m.storeQ = make([]int64, 0, 64)
+	m.brQ = make([]int64, 0, 64)
 	m.divBusyUntil = make([]int64, limits.FPDivUnits())
 	m.divOwner = make([]int64, limits.FPDivUnits())
 	for i := range m.divOwner {
@@ -273,33 +332,22 @@ func (m *Machine) Memory() *mem.Memory { return m.mem }
 // misprediction recovery restores the speculative file exactly, so with
 // nothing in flight the speculative file is the architectural file.
 func (m *Machine) ArchRegs(f isa.RegFile) [isa.NumArchRegs]uint64 {
-	if f == isa.IntFile {
-		return m.specInt
-	}
-	return m.specFP
+	return m.spec[f]
 }
 
 // --- speculative register file helpers ---
 
+// readSpec needs no zero-register check: writeSpec never writes the
+// hardwired-zero slot, so it always reads as zero.
 func (m *Machine) readSpec(r isa.Reg) uint64 {
-	if r.IsZero() {
-		return 0
-	}
-	if r.File == isa.IntFile {
-		return m.specInt[r.Idx]
-	}
-	return m.specFP[r.Idx]
+	return m.spec[r.File][r.Idx]
 }
 
 func (m *Machine) writeSpec(f isa.RegFile, idx uint8, v uint64) {
 	if idx == isa.ZeroReg {
 		return
 	}
-	if f == isa.IntFile {
-		m.specInt[idx] = v
-	} else {
-		m.specFP[idx] = v
-	}
+	m.spec[f][idx] = v
 }
 
 // loadSpec returns the functional value a load of addr observes at dispatch:
@@ -314,7 +362,7 @@ func (m *Machine) loadSpec(addr uint64) (val uint64, depStore int64) {
 	return m.mem.Read64(addr), noSeq
 }
 
-// --- dispatch-queue intrusive list ---
+// --- dispatch queue ---
 
 // queueGroup maps an instruction class to its dispatch queue in split mode:
 // 0 integer+control, 1 floating point, 2 memory.
@@ -347,31 +395,52 @@ func (m *Machine) queueFull(c isa.Class) bool {
 		g := queueGroup(c)
 		return m.qCounts[g] >= m.queueCapacity(g)
 	}
-	return m.qCounts[0]+m.qCounts[1]+m.qCounts[2] >= m.cfg.QueueSize
+	return m.qTotal >= m.cfg.QueueSize
 }
 
-func (m *Machine) unissuedPush(u *uop) {
-	u.prevUn, u.nextUn = m.unTail, noSeq
-	if m.unTail != noSeq {
-		m.win.at(m.unTail).nextUn = u.seq
-	} else {
-		m.unHead = u.seq
-	}
-	m.unTail = u.seq
+// queueAdd inserts a freshly dispatched uop into the dispatch queue. A uop
+// with no outstanding operands enters the ready set immediately; otherwise
+// the wakeup broadcast inserts it when its last producer completes.
+func (m *Machine) queueAdd(u *uop) {
 	m.qCounts[queueGroup(u.class)]++
+	m.qTotal++
+	if u.waitCount == 0 {
+		m.win.setReady(u.seq)
+	}
 }
 
-func (m *Machine) unissuedRemove(u *uop) {
-	if u.prevUn != noSeq {
-		m.win.at(u.prevUn).nextUn = u.nextUn
-	} else {
-		m.unHead = u.nextUn
-	}
-	if u.nextUn != noSeq {
-		m.win.at(u.nextUn).prevUn = u.prevUn
-	} else {
-		m.unTail = u.prevUn
-	}
-	u.prevUn, u.nextUn = noSeq, noSeq
+// queueRemove takes a uop out of the dispatch queue (on issue or squash).
+// clearReady is bit-checked, so removing a uop still waiting on operands —
+// which was never in the ready set — is harmless.
+func (m *Machine) queueRemove(u *uop) {
+	m.win.clearReady(u.seq)
 	m.qCounts[queueGroup(u.class)]--
+	m.qTotal--
+}
+
+// wake walks one producer's waiter chain, decrementing each registered
+// consumer's outstanding count and inserting those that reach zero into the
+// ready set. It serves both the rename unit's completion broadcast (chain
+// per physical register) and store completion (chain of forwarded loads).
+//
+// A token encodes consumer seq and link slot as seq<<1|slot. Stale tokens —
+// consumers squashed since registering — are skipped but their links are
+// still followed: a chain is only walked when its producer completes, the
+// producer is then live and older than every chain member, so no member's
+// window slot can have been recycled (recycling requires headSeq to pass
+// it). Sequence numbers are never reused, so a stale token cannot alias a
+// live uop either.
+func (m *Machine) wake(head int64) {
+	for token := head; token != rename.NoWaiter; {
+		u := m.win.at(token >> 1)
+		slot := token & 1
+		token = u.waitLink[slot]
+		if u.state != sQueued || u.waitCount == 0 {
+			continue
+		}
+		u.waitCount--
+		if u.waitCount == 0 {
+			m.win.setReady(u.seq)
+		}
+	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math/bits"
+
 	"regsim/internal/dispatch"
 	"regsim/internal/isa"
 	"regsim/internal/mem"
@@ -71,12 +73,13 @@ func (m *Machine) completionStage() int64 {
 	recoverSeq := noSeq
 	bucket := m.buckets[m.now&m.bmask]
 	for _, seq := range bucket {
-		if !m.win.valid(seq) {
-			continue // squashed and slot since reused
-		}
 		u := m.win.at(seq)
-		if u.state != sIssued || u.completeAt != m.now {
-			continue // squashed (dead) or stale
+		// A mismatched seq means the slot was recycled after a squash; a
+		// state other than issued means squashed in place (sequence numbers
+		// are never reused, so the slot cannot belong to a committed
+		// instruction still carrying this seq — those complete first).
+		if u.seq != seq || u.state != sIssued || u.completeAt != m.now {
+			continue
 		}
 		u.state = sCompleted
 		m.emit(EvComplete, u)
@@ -95,6 +98,11 @@ func (m *Machine) completionStage() int64 {
 					recoverSeq = u.seq
 				}
 			}
+		}
+		if u.depWaitHead != noSeq {
+			// A completing store releases the forwarded loads waiting on it.
+			m.wake(u.depWaitHead)
+			u.depWaitHead = noSeq
 		}
 	}
 	m.buckets[m.now&m.bmask] = bucket[:0]
@@ -120,6 +128,9 @@ func (m *Machine) recover(boundary int64) {
 	for len(m.brQ) > m.brQHead && m.brQ[len(m.brQ)-1] > boundary {
 		m.brQ = m.brQ[:len(m.brQ)-1]
 	}
+	if m.brIssueIdx > len(m.brQ) {
+		m.brIssueIdx = len(m.brQ)
+	}
 	m.ren.DropKillsAfter(boundary)
 
 	br := m.win.at(boundary)
@@ -143,7 +154,7 @@ func (m *Machine) recover(boundary int64) {
 // squash undoes one instruction (newest-first within a recovery).
 func (m *Machine) squash(u *uop) {
 	if u.state == sQueued {
-		m.unissuedRemove(u)
+		m.queueRemove(u)
 	}
 	if u.hasDst {
 		m.writeSpec(u.dstFile, u.dstVirt, u.oldSpecVal)
@@ -177,6 +188,9 @@ func (m *Machine) squash(u *uop) {
 // branch queue and tells the rename unit the oldest still-unresolved one
 // (which gates imprecise mapping kills).
 func (m *Machine) advanceFrontier() {
+	if m.skipFrontier {
+		return
+	}
 	for m.brQHead < len(m.brQ) {
 		seq := m.brQ[m.brQHead]
 		if seq >= m.win.headSeq {
@@ -193,6 +207,11 @@ func (m *Machine) advanceFrontier() {
 	}
 	if m.brQHead > 1024 && m.brQHead*2 > len(m.brQ) {
 		m.brQ = append(m.brQ[:0], m.brQ[m.brQHead:]...)
+		if m.brIssueIdx > m.brQHead {
+			m.brIssueIdx -= m.brQHead
+		} else {
+			m.brIssueIdx = 0
+		}
 		m.brQHead = 0
 	}
 	m.ren.SetFrontier(frontier)
@@ -271,17 +290,62 @@ func (m *Machine) commit(u *uop) {
 
 // issueStage selects ready dispatch-queue instructions oldest-first, subject
 // to the per-class issue limits (and, when configured, the register-file
-// read-port budget).
+// read-port budget). Only the ready set is scanned: a uop enters it when its
+// last producer's completion broadcast drops its waitCount to zero, so
+// instructions still waiting on operands — which the polled scheduler
+// re-examined every cycle — cost nothing here. Scan order is sequence order,
+// and every uop the old full-queue walk could have issued is ready by the
+// time this stage runs (completion precedes issue within the cycle), so the
+// oldest-first selection is unchanged.
 func (m *Machine) issueStage() {
-	slots := dispatch.NewSlots(m.limits)
-	for seq := m.unHead; seq != noSeq && !slots.Full(); {
-		u := m.win.at(seq)
-		next := u.nextUn
-		if m.canIssue(u) && m.readPortsAvailable(u) && slots.TryIssue(u.class) {
-			m.issue(u)
-		}
-		seq = next
+	remaining := m.win.readyCount
+	if remaining == 0 {
+		return
 	}
+	slots := dispatch.NewSlots(m.limits)
+	// The ready bitmap in slot order starting at headSeq is sequence order:
+	// slots [head&mask, len) hold the oldest instructions, [0, head&mask)
+	// the wrap.
+	n := int64(len(m.win.buf))
+	h := m.win.headSeq & m.win.mask
+	if m.issueScan(&slots, &remaining, h, n, m.win.headSeq-h) {
+		m.issueScan(&slots, &remaining, 0, h, m.win.headSeq+(n-h))
+	}
+}
+
+// issueScan visits ready bits with slot index in [lo, hi) (the seq of slot i
+// is base+i), issuing whatever the structural checks and slot limits admit.
+// Returns false once the issue slots are exhausted or every ready bit has
+// been visited (remaining counts the ones not yet seen — the words past the
+// last one are guaranteed empty and need no scan). issue clears the current
+// uop's bit, which is already folded into the local word copy; nothing
+// inserts bits during the scan.
+func (m *Machine) issueScan(slots *dispatch.Slots, remaining *int, lo, hi, base int64) bool {
+	if lo >= hi {
+		return true
+	}
+	for wi := lo >> 6; wi <= (hi-1)>>6; wi++ {
+		word := m.win.ready[wi]
+		if wi == lo>>6 {
+			word &= ^uint64(0) << uint(lo&63)
+		}
+		if end := (wi + 1) << 6; end > hi {
+			word &= 1<<uint(hi&63) - 1
+		}
+		for word != 0 {
+			b := int64(bits.TrailingZeros64(word))
+			word &= word - 1
+			u := m.win.at(base + wi<<6 + b)
+			if m.canIssueStructural(u) && m.readPortsAvailable(u) && slots.TryIssue(u.class) {
+				m.issue(u)
+			}
+			*remaining--
+			if *remaining == 0 || slots.Full() {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // readPortsAvailable checks the per-cycle read-port budget for an
@@ -300,25 +364,17 @@ func (m *Machine) readPortsAvailable(u *uop) bool {
 	return m.cycleReads[0]+need[0] <= budget && m.cycleReads[1]+need[1] <= budget
 }
 
-// canIssue checks operand readiness and structural conditions other than the
-// per-class issue slots.
-func (m *Machine) canIssue(u *uop) bool {
-	for i := 0; i < int(u.nsrc); i++ {
-		if !m.ren.Ready(u.srcFile[i], u.srcPhys[i]) {
-			return false
-		}
-	}
+// canIssueStructural checks structural issue conditions other than the
+// per-class issue slots. Operand readiness is not re-checked: membership in
+// the ready set already means every source writer has completed.
+func (m *Machine) canIssueStructural(u *uop) bool {
 	switch u.class {
 	case isa.ClassFPDiv:
 		return m.freeDivider() >= 0
 	case isa.ClassLoad:
-		if u.depStore != noSeq && u.depStore >= m.win.headSeq {
-			dep := m.win.at(u.depStore)
-			if dep.seq == u.depStore && dep.state != sCompleted && dep.state != sDead {
-				// The matching earlier store has not resolved yet.
-				return false
-			}
-		}
+		// A forwarded load's dependent store counted toward waitCount, so a
+		// ready load's store has already completed; only the cache-port
+		// check remains for loads that go to memory.
 		if !u.forwarded && !m.dc.CanAcceptLoad(u.addr, m.now) {
 			return false
 		}
@@ -332,19 +388,22 @@ func (m *Machine) canIssue(u *uop) bool {
 
 // isOldestUnissuedBranch reports whether seq is the oldest conditional
 // branch still waiting in the dispatch queue (the InOrderBranches ablation).
+// brIssueIdx advances permanently past branches that have left the queue —
+// leaving the queued state is irreversible, and recovery only truncates the
+// tail of brQ — so the scan is amortised O(1) per call instead of walking
+// every in-flight branch.
 func (m *Machine) isOldestUnissuedBranch(seq int64) bool {
-	for i := m.brQHead; i < len(m.brQ); i++ {
-		s := m.brQ[i]
-		if s >= seq {
-			return true
+	for m.brIssueIdx < len(m.brQ) {
+		s := m.brQ[m.brIssueIdx]
+		if s >= m.win.headSeq {
+			u := m.win.at(s)
+			if u.seq == s && u.state == sQueued {
+				// s is the oldest queued branch; brQ is in program order,
+				// so seq is oldest exactly when the cursor reached it.
+				return s >= seq
+			}
 		}
-		if s < m.win.headSeq {
-			continue
-		}
-		u := m.win.at(s)
-		if u.seq == s && u.state == sQueued {
-			return false
-		}
+		m.brIssueIdx++
 	}
 	return true
 }
@@ -362,7 +421,7 @@ func (m *Machine) issue(u *uop) {
 	u.state = sIssued
 	u.issueAt = m.now
 	m.emit(EvIssue, u)
-	m.unissuedRemove(u)
+	m.queueRemove(u)
 	m.res.Issued++
 
 	switch u.class {
@@ -430,8 +489,8 @@ func (m *Machine) dispatchStage() {
 			m.specValid = false
 			return
 		}
-		in := m.text[m.specPC]
-		if m.queueFull(in.Op.Class()) {
+		d := &m.dec[m.specPC]
+		if m.queueFull(d.class) {
 			m.stallQueue = true
 			return
 		}
@@ -440,13 +499,11 @@ func (m *Machine) dispatchStage() {
 			m.icacheStallUntil = readyAt
 			return
 		}
-		dst, hasDst := in.Dst()
-		hasDst = hasDst && !dst.IsZero()
-		if hasDst && !m.ren.HasFree(dst.File) {
+		if d.hasDst && !m.ren.HasFree(d.dst.File) {
 			m.stallReg = true
 			return
 		}
-		m.dispatchOne(in, dst, hasDst)
+		m.dispatchOne(d)
 		if !m.specValid {
 			return // halt fetched: nothing sensible follows
 		}
@@ -454,22 +511,28 @@ func (m *Machine) dispatchStage() {
 }
 
 // dispatchOne functionally executes and inserts a single instruction.
-func (m *Machine) dispatchOne(in isa.Inst, dst isa.Reg, hasDst bool) {
+func (m *Machine) dispatchOne(d *predec) {
+	in := d.in
 	u := m.win.alloc()
 	u.pc = m.specPC
 	u.in = in
-	u.class = in.Op.Class()
+	u.class = d.class
 	u.dispatchAt = m.now
 
-	var srcBuf [2]isa.Reg
-	srcs := in.Srcs(srcBuf[:0])
-	u.nsrc = uint8(len(srcs))
+	srcs := d.srcs[:d.nsrc]
+	u.nsrc = d.nsrc
 	var srcVals [2]uint64
 	for i, r := range srcs {
 		u.srcFile[i] = r.File
-		u.srcPhys[i] = m.ren.Lookup(r)
+		p, ready := m.ren.ReadSource(r)
+		u.srcPhys[i] = p
 		srcVals[i] = m.readSpec(r)
-		m.ren.AddReader(r.File, u.srcPhys[i])
+		if !ready {
+			// The producer has not completed: count the operand outstanding
+			// and register for its completion broadcast.
+			u.waitCount++
+			u.waitLink[i] = m.ren.AddWaiter(r.File, p, u.seq<<1|int64(i))
+		}
 	}
 
 	nextPC := u.pc + 1
@@ -495,6 +558,16 @@ func (m *Machine) dispatchOne(in isa.Inst, dst isa.Reg, hasDst bool) {
 		u.addr = mem.Align(srcVals[0] + uint64(int64(in.Imm)))
 		u.result, u.depStore = m.loadSpec(u.addr)
 		u.forwarded = u.depStore != noSeq
+		if u.forwarded {
+			if dep := m.win.at(u.depStore); dep.state != sCompleted {
+				// The matching store is still in flight: treat it as a
+				// producer. Loads have one register source, so link slot 1
+				// is free for the store's chain.
+				u.waitCount++
+				u.waitLink[1] = dep.depWaitHead
+				dep.depWaitHead = u.seq<<1 | 1
+			}
+		}
 	case isa.ClassStore:
 		u.addr = mem.Align(srcVals[0] + uint64(int64(in.Imm)))
 		u.result = srcVals[1]
@@ -510,7 +583,9 @@ func (m *Machine) dispatchOne(in isa.Inst, dst isa.Reg, hasDst bool) {
 		if u.predTaken {
 			nextPC = uint64(uint32(in.Imm))
 		}
-		m.brQ = append(m.brQ, u.seq)
+		if !m.skipFrontier {
+			m.brQ = append(m.brQ, u.seq)
+		}
 	case isa.ClassCtrl:
 		switch in.Op {
 		case isa.OpJmp:
@@ -525,7 +600,8 @@ func (m *Machine) dispatchOne(in isa.Inst, dst isa.Reg, hasDst bool) {
 		m.specValid = false
 	}
 
-	if hasDst {
+	if d.hasDst {
+		dst := d.dst
 		u.hasDst = true
 		u.dstFile = dst.File
 		u.dstVirt = dst.Idx
@@ -535,7 +611,7 @@ func (m *Machine) dispatchOne(in isa.Inst, dst isa.Reg, hasDst bool) {
 	}
 
 	u.state = sQueued
-	m.unissuedPush(u)
+	m.queueAdd(u)
 	m.specPC = nextPC
 	m.emit(EvDispatch, u)
 }
@@ -591,7 +667,7 @@ func (m *Machine) statsStage() {
 		m.nextCounterAt = m.now + every
 		m.cfg.CounterSampler(CounterSample{
 			Cycle:          m.now,
-			QueueOccupancy: m.qCounts[0] + m.qCounts[1] + m.qCounts[2],
+			QueueOccupancy: m.qTotal,
 			FreeIntRegs:    m.ren.FreeCount(isa.IntFile),
 			FreeFPRegs:     m.ren.FreeCount(isa.FPFile),
 		})

@@ -73,10 +73,17 @@ type CounterSample struct {
 	FreeFPRegs  int
 }
 
+// emit keeps only the nil check in-line so untraced runs — the common case,
+// and every stage calls it several times a cycle — pay a register test
+// instead of a function call.
 func (m *Machine) emit(kind EventKind, u *uop) {
 	if m.cfg.Tracer == nil {
 		return
 	}
+	m.emitEvent(kind, u)
+}
+
+func (m *Machine) emitEvent(kind EventKind, u *uop) {
 	m.cfg.Tracer(Event{
 		Kind:       kind,
 		Cycle:      m.now,

@@ -15,7 +15,7 @@ const (
 	sCompleted              // result produced, awaiting commit
 )
 
-// noSeq marks empty linked-list references and absent dependencies.
+// noSeq marks empty references and absent dependencies.
 const noSeq int64 = -1
 
 // uop is one in-flight instruction.
@@ -25,6 +25,31 @@ type uop struct {
 	in    isa.Inst
 	class isa.Class
 	state uint8
+
+	// waitCount is the number of producers this uop still waits for: one
+	// per renamed source whose writer has not completed, plus one for a
+	// forwarded load whose matching store is still in flight. It is set at
+	// dispatch (registering on each producer's waiter chain) and
+	// decremented by the wakeup broadcast as producers complete; at zero
+	// the uop enters the window's ready set and stays there until it
+	// issues or is squashed. It replaces the per-cycle re-polling of
+	// rename.Ready (and of the dependent store's state) for every queued
+	// instruction.
+	waitCount uint8
+
+	// waitLink[i] is this uop's successor on the waiter chain its i'th
+	// outstanding producer keeps: the chain for source operand i's
+	// physical register, or — slot 1 of a forwarded load, which has only
+	// one register source — the chain of the load's dependent store. Links
+	// are only meaningful while the uop is registered; chains through
+	// squashed uops stay walkable because a slot is never recycled while
+	// an incomplete producer older than it is still in the window.
+	waitLink [2]int64
+
+	// depWaitHead heads the waiter chain of forwarded loads blocked on
+	// this store (stores only; rename.NoWaiter == noSeq when empty).
+	// Walked at completion.
+	depWaitHead int64
 
 	// Renaming.
 	nsrc    uint8
@@ -58,21 +83,27 @@ type uop struct {
 	dispatchAt int64
 	issueAt    int64
 	miss       bool
-
-	// Unissued (dispatch queue) intrusive list, in program order.
-	prevUn, nextUn int64
 }
 
 // window is a ring buffer of uops indexed by sequence number. Sequence
 // numbers are never reused — a squash leaves dead holes between the youngest
 // surviving instruction and the next sequence number — so all cross-
-// references (dependencies, completion buckets, the dispatch-queue list) can
-// safely be sequence numbers.
+// references (dependencies, completion buckets, waiter tokens) can safely be
+// sequence numbers.
+//
+// The window also owns the scheduler's ready set: a bitmap with one bit per
+// ring slot, set exactly for the queued uops whose operands are all
+// available (waitCount == 0). Slot order traversed from headSeq is sequence
+// order, so the issue stage's oldest-first select is a word-at-a-time scan
+// of set bits — O(occupancy/64) words plus O(ready) bit visits — instead of
+// a walk of every queued instruction.
 type window struct {
-	buf     []uop
-	mask    int64
-	headSeq int64 // oldest not-yet-committed sequence number
-	nextSeq int64 // next sequence number to assign
+	buf        []uop
+	ready      []uint64 // one bit per buf slot; bit set ⇔ uop in the ready set
+	readyCount int
+	mask       int64
+	headSeq    int64 // oldest not-yet-committed sequence number
+	nextSeq    int64 // next sequence number to assign
 }
 
 func newWindow(sizeHint int) *window {
@@ -80,10 +111,12 @@ func newWindow(sizeHint int) *window {
 	for n < int64(sizeHint) {
 		n <<= 1
 	}
-	return &window{buf: make([]uop, n), mask: n - 1}
+	return &window{buf: make([]uop, n), ready: make([]uint64, n>>6), mask: n - 1}
 }
 
-func (w *window) at(seq int64) *uop { return &w.buf[seq&w.mask] }
+// at returns the slot for seq. Indexing through len(buf)-1 (the ring size is
+// a power of two, so it equals mask) lets the compiler drop the bounds check.
+func (w *window) at(seq int64) *uop { return &w.buf[int(seq)&(len(w.buf)-1)] }
 
 // valid reports whether seq refers to a live (not yet overwritten) slot.
 func (w *window) valid(seq int64) bool {
@@ -94,25 +127,84 @@ func (w *window) occupied() int64 { return w.nextSeq - w.headSeq }
 
 func (w *window) full() bool { return w.occupied() >= int64(len(w.buf)) }
 
-// alloc reserves the next slot, growing the ring if necessary, and returns
-// the uop zeroed except for its sequence number.
+// setReady inserts seq into the ready set (idempotent). The word index is
+// re-masked by len(ready)-1 — a no-op, since ready has one word per 64 buf
+// slots — purely to eliminate the bounds check.
+func (w *window) setReady(seq int64) {
+	i := int(seq) & (len(w.buf) - 1)
+	word, bit := &w.ready[(i>>6)&(len(w.ready)-1)], uint64(1)<<uint(i&63)
+	if *word&bit == 0 {
+		*word |= bit
+		w.readyCount++
+	}
+}
+
+// clearReady removes seq from the ready set (idempotent — a squashed uop
+// still waiting on operands was never in the set).
+func (w *window) clearReady(seq int64) {
+	i := int(seq) & (len(w.buf) - 1)
+	word, bit := &w.ready[(i>>6)&(len(w.ready)-1)], uint64(1)<<uint(i&63)
+	if *word&bit != 0 {
+		*word &^= bit
+		w.readyCount--
+	}
+}
+
+// isReady reports ready-set membership (used by the invariant audit).
+func (w *window) isReady(seq int64) bool {
+	i := int(seq) & (len(w.buf) - 1)
+	return w.ready[(i>>6)&(len(w.ready)-1)]&(1<<uint(i&63)) != 0
+}
+
+// alloc reserves the next slot, growing the ring if necessary. The recycled
+// slot is not zeroed wholesale (the struct is ~200 bytes and dispatch runs
+// several times a cycle); instead alloc resets exactly the fields that are
+// read before dispatchOne necessarily writes them:
+//
+//   - the gate fields hasDst, forwarded, and the sentinels depStore /
+//     depWaitHead / fill, behind which all conditionally-written state hides;
+//   - waitCount, which dispatch increments rather than stores;
+//   - result, which reaches the commit checksum for classes that only
+//     conditionally produce one (untaken branches, jumps);
+//   - miss and mispredict, read by cycle classification and the tracer
+//     without a class gate.
+//
+// Everything else is unconditionally written at dispatch or only read behind
+// one of the gates above. A new uop field that is read before being written
+// must join this list; the golden byte-identity suite and the scheduler audit
+// are the backstop.
 func (w *window) alloc() *uop {
 	if w.full() {
 		w.grow()
 	}
 	u := w.at(w.nextSeq)
-	*u = uop{seq: w.nextSeq, depStore: noSeq, prevUn: noSeq, nextUn: noSeq}
+	u.seq = w.nextSeq
+	u.waitCount = 0
+	u.depStore = noSeq
+	u.depWaitHead = noSeq
+	u.fill = nil
+	u.hasDst = false
+	u.forwarded = false
+	u.mispredict = false
+	u.miss = false
+	u.result = 0
 	w.nextSeq++
 	return u
 }
 
 func (w *window) grow() {
 	old := w.buf
+	oldReady := w.ready
 	oldMask := w.mask
 	n := int64(len(old)) * 2
 	w.buf = make([]uop, n)
+	w.ready = make([]uint64, n>>6)
 	w.mask = n - 1
 	for seq := w.headSeq; seq < w.nextSeq; seq++ {
 		w.buf[seq&w.mask] = old[seq&oldMask]
+		if i := seq & oldMask; oldReady[i>>6]&(1<<uint(i&63)) != 0 {
+			j := seq & w.mask
+			w.ready[j>>6] |= 1 << uint(j&63)
+		}
 	}
 }

@@ -37,6 +37,7 @@ import (
 
 	"regsim/internal/cache"
 	"regsim/internal/core"
+	"regsim/internal/prog"
 	"regsim/internal/rename"
 	"regsim/internal/sweep"
 	"regsim/internal/sweep/rescache"
@@ -122,6 +123,13 @@ type Suite struct {
 	eng     *sweep.Engine[Spec, *core.Result]
 	progMu  sync.Mutex
 	sims    atomic.Int64 // simulations actually executed (cache misses)
+
+	// Built workloads, shared across the suite's runs. A Program is
+	// immutable once built (the machine copies its data image into a fresh
+	// memory), so one build serves every spec over the same benchmark
+	// instead of regenerating it per run.
+	workMu    sync.Mutex
+	workloads map[string]*prog.Program
 }
 
 // NewSuite returns a Suite with the given default per-run commit budget.
@@ -219,6 +227,25 @@ func fingerprint(spec Spec) string {
 }
 
 // simulate is the engine's run function: persistent-cache lookup, then a
+// program returns the built workload for bench, building it at most once
+// per suite.
+func (s *Suite) program(bench string) (*prog.Program, error) {
+	s.workMu.Lock()
+	defer s.workMu.Unlock()
+	if p, ok := s.workloads[bench]; ok {
+		return p, nil
+	}
+	p, err := workload.Build(bench)
+	if err != nil {
+		return nil, err
+	}
+	if s.workloads == nil {
+		s.workloads = make(map[string]*prog.Program)
+	}
+	s.workloads[bench] = p
+	return p, nil
+}
+
 // real simulation, then a cache fill. It may run on any pool worker.
 func (s *Suite) simulate(ctx context.Context, spec Spec) (*core.Result, error) {
 	var key string
@@ -231,7 +258,7 @@ func (s *Suite) simulate(ctx context.Context, spec Spec) (*core.Result, error) {
 			return &r, nil
 		}
 	}
-	p, err := workload.Build(spec.Bench)
+	p, err := s.program(spec.Bench)
 	if err != nil {
 		return nil, err
 	}

@@ -22,6 +22,13 @@ type page [pageWords]uint64
 // Memory is not safe for concurrent use.
 type Memory struct {
 	pages map[uint64]*page
+
+	// Most accesses land on the page touched last (the simulator reads and
+	// writes memory once per load/store), so one remembered translation
+	// skips the map lookup. Pages are never deallocated, so the cached
+	// pointer cannot go stale.
+	lastKey  uint64
+	lastPage *page
 }
 
 // New returns an empty memory.
@@ -33,27 +40,34 @@ func Align(addr uint64) uint64 { return addr &^ 7 }
 // Read64 returns the 64-bit word at addr (aligned down). Unwritten memory
 // reads as zero.
 func (m *Memory) Read64(addr uint64) uint64 {
-	if m.pages == nil {
-		return 0
+	key := addr >> pageShift
+	if p := m.lastPage; p != nil && key == m.lastKey {
+		return p[(addr&pageMask)>>3]
 	}
-	p := m.pages[addr>>pageShift]
+	p := m.pages[key]
 	if p == nil {
 		return 0
 	}
+	m.lastKey, m.lastPage = key, p
 	return p[(addr&pageMask)>>3]
 }
 
 // Write64 stores a 64-bit word at addr (aligned down).
 func (m *Memory) Write64(addr, v uint64) {
+	key := addr >> pageShift
+	if p := m.lastPage; p != nil && key == m.lastKey {
+		p[(addr&pageMask)>>3] = v
+		return
+	}
 	if m.pages == nil {
 		m.pages = make(map[uint64]*page)
 	}
-	key := addr >> pageShift
 	p := m.pages[key]
 	if p == nil {
 		p = new(page)
 		m.pages[key] = p
 	}
+	m.lastKey, m.lastPage = key, p
 	p[(addr&pageMask)>>3] = v
 }
 

@@ -185,20 +185,28 @@ const (
 
 // Add absorbs one retired instruction.
 func (c *Checksum) Add(pc uint64, op isa.Op, result uint64) {
-	if c.h == 0 {
-		c.h = fnvOffset
+	h := c.h
+	if h == 0 {
+		h = fnvOffset
 	}
-	c.fold(pc)
-	c.fold(uint64(op))
-	c.fold(result)
+	h = foldWord(foldWord(foldWord(h, pc), uint64(op)), result)
+	c.h = h
 }
 
-func (c *Checksum) fold(v uint64) {
-	for i := 0; i < 8; i++ {
-		c.h ^= v & 0xff
-		c.h *= fnvPrime
-		v >>= 8
-	}
+// foldWord absorbs one 64-bit word byte-by-byte, little-endian — the FNV-1a
+// byte loop unrolled with the accumulator in a register. The math is
+// byte-for-byte identical to the rolled loop; committed checksums must not
+// change.
+func foldWord(h, v uint64) uint64 {
+	h = (h ^ (v & 0xff)) * fnvPrime
+	h = (h ^ (v >> 8 & 0xff)) * fnvPrime
+	h = (h ^ (v >> 16 & 0xff)) * fnvPrime
+	h = (h ^ (v >> 24 & 0xff)) * fnvPrime
+	h = (h ^ (v >> 32 & 0xff)) * fnvPrime
+	h = (h ^ (v >> 40 & 0xff)) * fnvPrime
+	h = (h ^ (v >> 48 & 0xff)) * fnvPrime
+	h = (h ^ (v >> 56)) * fnvPrime
+	return h
 }
 
 // Value returns the accumulated checksum.

@@ -151,9 +151,8 @@ type physReg struct {
 // chainEntry is one outstanding mapping of a virtual register, in creation
 // (program) order.
 type chainEntry struct {
-	seq       int64
-	phys      Phys
-	completed bool // the writing instruction has completed
+	seq  int64
+	phys Phys
 }
 
 type fileState struct {
@@ -165,6 +164,19 @@ type fileState struct {
 	liveCat  [NumCategories]int
 	live     int
 	pending  []Phys // frees to apply at EndCycle
+
+	// waitHead[p] is the head of the intrusive chain of dispatched
+	// consumers waiting for p's writer to complete (NoWaiter when empty).
+	// The rename unit stores only opaque tokens: the scheduler encodes its
+	// own identity in each token and threads the chain links through its
+	// own structures, so registering a waiter and the broadcast itself
+	// never allocate. The chain is handed to the wake callback the moment
+	// OnWriterDone runs, which is what makes the scheduler's select loop
+	// event-driven instead of re-polling Ready every cycle. Chains left
+	// behind by squashed consumers are lazily discarded: they are never
+	// drained (their writer never completes), and the head is reset when p
+	// is next allocated.
+	waitHead []int64
 }
 
 // pendingKill is a completed redefiner waiting for the conditional-branch
@@ -181,6 +193,18 @@ type Unit struct {
 	files    [2]fileState
 	frontier int64
 	kills    []pendingKill
+	// killsOff suppresses redefine-kill tracking entirely (see DisableKills).
+	killsOff bool
+	// killsMin is a lower bound on the seqs in kills (NoFrontier when the
+	// view is empty), letting the per-cycle SetFrontier scan exit without
+	// touching the list when no pending kill can be armed yet.
+	killsMin int64
+
+	// wake, when non-nil, receives the head of a register's waiter chain
+	// at the moment that register's writer completes (inside OnWriterDone,
+	// so wakeups are visible to the same cycle's issue stage — the model's
+	// bypass network).
+	wake func(head int64)
 
 	// Frees counts registers returned to the free lists (tests use this
 	// to check conservation).
@@ -193,7 +217,7 @@ func NewUnit(regsPerFile int, model Model) (*Unit, error) {
 	if regsPerFile < MinRegsPerFile {
 		return nil, fmt.Errorf("rename: %d registers per file; fewer than %d deadlocks (31 renameable virtual registers)", regsPerFile, MinRegsPerFile)
 	}
-	u := &Unit{model: model, frontier: NoFrontier}
+	u := &Unit{model: model, frontier: NoFrontier, killsMin: NoFrontier}
 	for f := range u.files {
 		fs := &u.files[f]
 		fs.n = regsPerFile
@@ -204,7 +228,7 @@ func NewUnit(regsPerFile int, model Model) (*Unit, error) {
 		for v := 0; v < numRenameable; v++ {
 			fs.mapTable[v] = Phys(v)
 			fs.regs[v] = physReg{live: true, cat: CatWaitImprecise, writerDone: true, virt: uint8(v)}
-			fs.chains[v] = append(fs.chains[v], chainEntry{seq: -1, phys: Phys(v), completed: true})
+			fs.chains[v] = append(fs.chains[v], chainEntry{seq: -1, phys: Phys(v)})
 		}
 		fs.mapTable[isa.ZeroReg] = PhysZero
 		fs.liveCat[CatWaitImprecise] = numRenameable
@@ -213,14 +237,61 @@ func NewUnit(regsPerFile int, model Model) (*Unit, error) {
 		for p := regsPerFile - 1; p >= numRenameable; p-- {
 			fs.freeList = append(fs.freeList, Phys(p))
 		}
+		fs.waitHead = make([]int64, regsPerFile)
+		for p := range fs.waitHead {
+			fs.waitHead[p] = NoWaiter
+		}
 	}
 	return u, nil
+}
+
+// NoWaiter marks an empty waiter chain.
+const NoWaiter int64 = -1
+
+// SetWakeFunc registers the scheduler's wakeup callback: fn receives the
+// head token of each waiter chain whose awaited physical register becomes
+// ready, synchronously from inside OnWriterDone. The scheduler owns the
+// chain links (AddWaiter returns the previous head for the caller to store),
+// and must tolerate stale tokens — consumers squashed after registering are
+// not unlinked.
+func (u *Unit) SetWakeFunc(fn func(head int64)) { u.wake = fn }
+
+// AddWaiter pushes a consumer token onto physical register p's waiter chain
+// and returns the previous head, which the caller must keep as the token's
+// successor link. The caller must only register while Ready(f, p) is false;
+// a completed writer's register never wakes anyone again until it is freed
+// and reallocated.
+func (u *Unit) AddWaiter(f isa.RegFile, p Phys, token int64) (next int64) {
+	fs := u.fs(f)
+	next = fs.waitHead[p]
+	fs.waitHead[p] = token
+	return next
 }
 
 // Model returns the freeing discipline in use.
 func (u *Unit) Model() Model { return u.model }
 
-func (u *Unit) fs(f isa.RegFile) *fileState { return &u.files[f] }
+// DisableKills turns off redefine-kill tracking. Under the precise model a
+// kill never frees anything — freeing is driven by OnCommitRetire — and never
+// affects timing; its only observable effect is splitting the live-register
+// count between the wait-imprecise and wait-precise categories. A caller that
+// does not consume LiveByCat can therefore disable the per-writer kill queue,
+// the per-cycle frontier scan, and the mapping-chain kill walks wholesale.
+// It must not be called under the imprecise model (kills are its freeing
+// rule) or when per-category statistics are wanted.
+func (u *Unit) DisableKills() {
+	if u.model != Precise {
+		panic("rename: DisableKills under the imprecise model would leak every register")
+	}
+	u.killsOff = true
+}
+
+// KillsDisabled reports whether DisableKills was applied.
+func (u *Unit) KillsDisabled() bool { return u.killsOff }
+
+// fs returns the state of file f. Masking the index (files has exactly two
+// entries) drops the bounds check from every rename-unit entry point.
+func (u *Unit) fs(f isa.RegFile) *fileState { return &u.files[f&1] }
 
 // FreeCount returns the number of allocatable physical registers in a file.
 func (u *Unit) FreeCount(f isa.RegFile) int { return len(u.fs(f).freeList) }
@@ -272,6 +343,12 @@ func (u *Unit) Rename(seq int64, dst isa.Reg) (newPhys, oldPhys Phys) {
 	*r = physReg{live: true, cat: CatInQueue, virt: dst.Idx}
 	fs.live++
 	fs.liveCat[CatInQueue]++
+	// Reset the waiter chain for the register's new lifetime. A chain
+	// still attached here belongs to consumers of a squashed previous
+	// mapping (a completed writer drains its chain, so only a squash can
+	// leave one behind); dropping it here bounds staleness without
+	// per-squash unlinking.
+	fs.waitHead[newPhys] = NoWaiter
 
 	oldPhys = fs.mapTable[dst.Idx]
 	fs.mapTable[dst.Idx] = newPhys
@@ -297,6 +374,21 @@ func (u *Unit) AddReader(f isa.RegFile, p Phys) {
 	u.fs(f).regs[p].readers++
 }
 
+// ReadSource resolves source register r to its current physical mapping,
+// records the dispatched reader, and reports whether the producer has already
+// completed. It is the fused form of Lookup+AddReader+Ready used on the
+// dispatch fast path: one file-state lookup instead of three.
+func (u *Unit) ReadSource(r isa.Reg) (Phys, bool) {
+	if r.IsZero() {
+		return PhysZero, true
+	}
+	fs := u.fs(r.File)
+	p := fs.mapTable[r.Idx]
+	reg := &fs.regs[p]
+	reg.readers++
+	return p, reg.writerDone
+}
+
 // OnIssue moves a destination register from the in-queue to the in-flight
 // category when its writing instruction issues.
 func (u *Unit) OnIssue(f isa.RegFile, p Phys) {
@@ -317,7 +409,12 @@ func (u *Unit) OnReaderDone(f isa.RegFile, p Phys) {
 		panic("rename: reader completion underflow")
 	}
 	r.readers--
-	u.maybeImpreciseDone(f, p)
+	// Freeing needs killed && writerDone && readers == 0; checking the first
+	// two here skips the call for the common case of a reader draining from
+	// a mapping that is still current.
+	if r.killed && r.writerDone && r.readers == 0 {
+		u.maybeImpreciseDone(f, p, fs, r)
+	}
 }
 
 // OnWriterDone records the completion of the instruction writing p, and
@@ -328,16 +425,25 @@ func (u *Unit) OnWriterDone(f isa.RegFile, p Phys, virt uint8, seq int64) {
 	r := &fs.regs[p]
 	r.writerDone = true
 	fs.setCat(p, CatWaitImprecise)
-	// Mark the chain entry completed and queue the kill.
-	ch := fs.chains[virt]
-	for i := len(ch) - 1; i >= 0; i-- {
-		if ch[i].phys == p {
-			ch[i].completed = true
-			break
+	// Broadcast wakeup: hand the waiter chain to the scheduler and detach
+	// it. Detaching before the callback is safe — the callback never
+	// re-registers on an already-ready register.
+	if h := fs.waitHead[p]; h != NoWaiter {
+		fs.waitHead[p] = NoWaiter
+		if u.wake != nil {
+			u.wake(h)
 		}
 	}
-	u.kills = append(u.kills, pendingKill{file: f, virt: virt, seq: seq})
-	u.maybeImpreciseDone(f, p)
+	// Queue the kill (unless kills are disabled — see DisableKills).
+	if !u.killsOff {
+		u.kills = append(u.kills, pendingKill{file: f, virt: virt, seq: seq})
+		if seq < u.killsMin {
+			u.killsMin = seq
+		}
+	}
+	if r.killed && r.readers == 0 {
+		u.maybeImpreciseDone(f, p, fs, r)
+	}
 }
 
 // SetFrontier updates the oldest-uncompleted-conditional-branch sequence
@@ -346,18 +452,27 @@ func (u *Unit) OnWriterDone(f isa.RegFile, p Phys, virt uint8, seq int64) {
 // after completions and misprediction recovery.
 func (u *Unit) SetFrontier(frontier int64) {
 	u.frontier = frontier
-	if len(u.kills) == 0 {
+	// Nothing to arm unless some pending kill precedes the frontier.
+	// killsMin is a lower bound on the pending seqs (exact after every
+	// scan, only ever conservative in between), so a skipped scan is one
+	// that would have armed nothing — the kill set and order are untouched.
+	if u.killsMin >= frontier {
 		return
 	}
 	remaining := u.kills[:0]
+	min := NoFrontier
 	for _, k := range u.kills {
 		if k.seq < frontier {
 			u.killOlder(k.file, k.virt, k.seq)
 		} else {
+			if k.seq < min {
+				min = k.seq
+			}
 			remaining = append(remaining, k)
 		}
 	}
 	u.kills = remaining
+	u.killsMin = min
 }
 
 // killOlder marks every mapping of virt older than seq as killed. The kill
@@ -365,9 +480,13 @@ func (u *Unit) SetFrontier(frontier int64) {
 // its chain entry, which must not perturb the scan.
 func (u *Unit) killOlder(f isa.RegFile, virt uint8, seq int64) {
 	fs := u.fs(f)
+	ch := fs.chains[virt]
+	if len(ch) == 0 || ch[0].seq >= seq {
+		return // no older mapping outstanding: the walk would find nothing
+	}
 	var buf [8]Phys
 	toKill := buf[:0]
-	for _, e := range fs.chains[virt] {
+	for _, e := range ch {
 		if e.seq >= seq {
 			break
 		}
@@ -376,18 +495,20 @@ func (u *Unit) killOlder(f isa.RegFile, virt uint8, seq int64) {
 		}
 	}
 	for _, p := range toKill {
-		fs.regs[p].killed = true
-		u.maybeImpreciseDone(f, p)
+		r := &fs.regs[p]
+		r.killed = true
+		if r.writerDone && r.readers == 0 {
+			u.maybeImpreciseDone(f, p, fs, r)
+		}
 	}
 }
 
 // maybeImpreciseDone checks the full imprecise freeing condition for p:
 // writer completed, no uncompleted readers, and mapping killed. When it
 // holds, the register either frees (imprecise model) or moves to the
-// wait-precise category (precise model).
-func (u *Unit) maybeImpreciseDone(f isa.RegFile, p Phys) {
-	fs := u.fs(f)
-	r := &fs.regs[p]
+// wait-precise category (precise model). Callers pass the file state and
+// register entry they already hold; r must be &fs.regs[p].
+func (u *Unit) maybeImpreciseDone(f isa.RegFile, p Phys, fs *fileState, r *physReg) {
 	if !r.live || r.pendFree || !r.killed || !r.writerDone || r.readers != 0 {
 		return
 	}
@@ -539,6 +660,16 @@ func (u *Unit) CheckInvariants() error {
 		}
 		if catSum != fs.live {
 			return fmt.Errorf("file %d: category sum %d != live %d", f, catSum, fs.live)
+		}
+		// A register whose writer has completed must have an empty waiter
+		// chain: OnWriterDone detaches it, and AddWaiter never registers on
+		// a ready register. A live not-yet-written register may hold
+		// waiters; a dead one may hold only a stale (squashed-consumer)
+		// chain, which Rename resets on reallocation.
+		for p := range fs.regs {
+			if fs.regs[p].writerDone && fs.waitHead[p] != NoWaiter {
+				return fmt.Errorf("file %d: phys %d has waiters after its writer completed", f, p)
+			}
 		}
 		for v := 0; v < numRenameable; v++ {
 			p := fs.mapTable[v]
