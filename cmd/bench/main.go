@@ -11,15 +11,23 @@
 // Usage:
 //
 //	bench [-quick] [-benchtime 3x] [-run CycleLoop] [-o BENCH_core.json]
+//	      [-compare BENCH_core.json] [-regress 10]
 //
 // -quick runs every case for a single iteration — the CI smoke mode, which
 // proves the suite still runs without spending minutes on stable numbers.
+//
+// -compare turns the run into a regression gate: after measuring, every case
+// is compared against the same-named case in the baseline report, a
+// markdown-friendly delta table is printed, and the process exits 1 if any
+// case's ns/op regressed by more than -regress percent (default 10). Cases
+// present on only one side are reported but never gate.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -58,11 +66,32 @@ func main() {
 	benchtime := flag.String("benchtime", "", "time or iteration count per case, as for -test.benchtime (e.g. 2s or 3x)")
 	run := flag.String("run", "", "only run cases whose name contains this substring")
 	out := flag.String("o", "BENCH_core.json", "output path for the JSON report")
+	compare := flag.String("compare", "", "baseline report to compare against; regressions beyond -regress exit 1")
+	regress := flag.Float64("regress", 10, "ns/op regression threshold for -compare, in percent")
 	testing.Init()
 	flag.Parse()
 	if flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: bench [-quick] [-benchtime 3x] [-run substring] [-o BENCH_core.json]")
+		fmt.Fprintln(os.Stderr, "usage: bench [-quick] [-benchtime 3x] [-run substring] [-o BENCH_core.json] [-compare baseline.json] [-regress pct]")
 		os.Exit(2)
+	}
+	if *regress <= 0 {
+		fmt.Fprintf(os.Stderr, "bench: invalid -regress %v: want a positive percentage\n", *regress)
+		os.Exit(2)
+	}
+	// Load the baseline up front: a missing or malformed baseline is a usage
+	// error, and it must fail before the measurement spends minutes.
+	var baseline *report
+	if *compare != "" {
+		baseline = &report{}
+		raw, err := os.ReadFile(*compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: invalid -compare: %v\n", err)
+			os.Exit(2)
+		}
+		if err := json.Unmarshal(raw, baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: invalid -compare %q: %v\n", *compare, err)
+			os.Exit(2)
+		}
 	}
 	bt := *benchtime
 	if bt == "" && *quick {
@@ -138,4 +167,52 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d cases)\n", *out, len(rep.Results))
+
+	if baseline != nil && !compareReports(os.Stdout, baseline, &rep, *regress) {
+		fmt.Fprintf(os.Stderr, "bench: ns/op regressed beyond %.0f%% against %s\n", *regress, *compare)
+		os.Exit(1)
+	}
+}
+
+// compareReports prints a markdown delta table of new vs. baseline and
+// reports whether every matched case stayed within the regression threshold.
+// Quick (1x) numbers are noisy, so the table is advisory there — but the
+// threshold logic is identical, and CI runs the step non-blocking.
+func compareReports(w io.Writer, baseline, rep *report, regressPct float64) bool {
+	base := make(map[string]caseResult, len(baseline.Results))
+	for _, c := range baseline.Results {
+		base[c.Name] = c
+	}
+	fmt.Fprintf(w, "\n### Benchmark comparison vs baseline (%s, threshold %.0f%%)\n\n", baseline.Date, regressPct)
+	fmt.Fprintf(w, "| case | baseline ns/op | current ns/op | delta | verdict |\n")
+	fmt.Fprintf(w, "|---|---:|---:|---:|---|\n")
+	ok := true
+	matched := make(map[string]bool, len(rep.Results))
+	for _, c := range rep.Results {
+		b, found := base[c.Name]
+		if !found {
+			fmt.Fprintf(w, "| %s | — | %.0f | — | new case |\n", c.Name, c.NsPerOp)
+			continue
+		}
+		matched[c.Name] = true
+		if b.NsPerOp <= 0 {
+			fmt.Fprintf(w, "| %s | %.0f | %.0f | — | baseline unusable |\n", c.Name, b.NsPerOp, c.NsPerOp)
+			continue
+		}
+		delta := 100 * (c.NsPerOp - b.NsPerOp) / b.NsPerOp
+		verdict := "ok"
+		if delta > regressPct {
+			verdict = "REGRESSION"
+			ok = false
+		} else if delta < -regressPct {
+			verdict = "improved"
+		}
+		fmt.Fprintf(w, "| %s | %.0f | %.0f | %+.1f%% | %s |\n", c.Name, b.NsPerOp, c.NsPerOp, delta, verdict)
+	}
+	for _, b := range baseline.Results {
+		if !matched[b.Name] {
+			fmt.Fprintf(w, "| %s | %.0f | — | — | not run |\n", b.Name, b.NsPerOp)
+		}
+	}
+	return ok
 }

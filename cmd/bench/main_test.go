@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"regsim/internal/cmdtest"
@@ -23,6 +24,8 @@ func TestExitCodes(t *testing.T) {
 		{"bad benchtime", []string{"-benchtime", "fast"}, 2},
 		{"uncreatable output", []string{"-quick", "-o", "/nonexistent-dir/bench.json"}, 2},
 		{"unmatched run filter", []string{"-quick", "-run", "NoSuchCase", "-o", os.DevNull}, 2},
+		{"missing baseline", []string{"-quick", "-compare", "/nonexistent/baseline.json", "-o", os.DevNull}, 2},
+		{"bad regress threshold", []string{"-quick", "-regress", "0", "-o", os.DevNull}, 2},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -75,4 +78,99 @@ func TestQuickReport(t *testing.T) {
 			t.Errorf("%s: missing simcycles/s metric", r.Name)
 		}
 	}
+}
+
+// TestCompareGate pins the regression gate's exit-code contract by replaying
+// one quick case against synthesized baselines: a regression beyond the
+// threshold exits 1 with a markdown delta table, a matching (or absent)
+// baseline case passes, and a malformed baseline is a usage error caught
+// before any measurement runs.
+func TestCompareGate(t *testing.T) {
+	bin := cmdtest.Build(t, "bench")
+	dir := t.TempDir()
+
+	// Measure once to learn the case's real name and rough ns/op.
+	real := filepath.Join(dir, "real.json")
+	if code, out := cmdtest.Run(t, bin, "-quick", "-run", "CycleLoop/w4/q8", "-o", real); code != 0 {
+		t.Fatalf("measure: exit %d\n%s", code, out)
+	}
+	var rep struct {
+		Results []struct {
+			Name    string  `json:"name"`
+			NsPerOp float64 `json:"nsPerOp"`
+		} `json:"results"`
+	}
+	raw, err := os.ReadFile(real)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 {
+		t.Fatalf("got %d cases, want exactly 1 for the gate fixture\n%s", len(rep.Results), raw)
+	}
+	name := rep.Results[0].Name
+
+	writeBaseline := func(t *testing.T, nsPerOp float64) string {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "baseline.json")
+		doc := map[string]any{
+			"date":    "2026-01-01T00:00:00Z",
+			"results": []map[string]any{{"name": name, "nsPerOp": nsPerOp}},
+		}
+		raw, _ := json.Marshal(doc)
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	t.Run("regression exits 1", func(t *testing.T) {
+		// A baseline this far below any real measurement must trip the gate.
+		base := writeBaseline(t, 1)
+		code, out := cmdtest.Run(t, bin, "-quick", "-run", name, "-o", os.DevNull, "-compare", base)
+		if code != 1 {
+			t.Fatalf("exit %d, want 1\n%s", code, out)
+		}
+		if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "| case |") {
+			t.Errorf("no markdown verdict table in output:\n%s", out)
+		}
+	})
+	t.Run("matching baseline passes", func(t *testing.T) {
+		// A generous baseline (far above any real measurement) cannot trip
+		// a regression gate; quick-mode numbers are too noisy to assert an
+		// exact match.
+		base := writeBaseline(t, 1e12)
+		code, out := cmdtest.Run(t, bin, "-quick", "-run", name, "-o", os.DevNull, "-compare", base)
+		if code != 0 {
+			t.Fatalf("exit %d, want 0\n%s", code, out)
+		}
+		if !strings.Contains(out, "improved") {
+			t.Errorf("delta table missing the improved verdict:\n%s", out)
+		}
+	})
+	t.Run("unknown cases never gate", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "baseline.json")
+		doc := `{"date":"2026-01-01T00:00:00Z","results":[{"name":"NoSuchCase","nsPerOp":1}]}`
+		if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		code, out := cmdtest.Run(t, bin, "-quick", "-run", name, "-o", os.DevNull, "-compare", path)
+		if code != 0 {
+			t.Fatalf("exit %d, want 0\n%s", code, out)
+		}
+		if !strings.Contains(out, "new case") || !strings.Contains(out, "not run") {
+			t.Errorf("one-sided cases not reported:\n%s", out)
+		}
+	})
+	t.Run("malformed baseline is a usage error", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "baseline.json")
+		if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if code, out := cmdtest.Run(t, bin, "-quick", "-run", name, "-o", os.DevNull, "-compare", path); code != 2 {
+			t.Fatalf("exit %d, want 2\n%s", code, out)
+		}
+	})
 }

@@ -28,6 +28,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -287,6 +288,20 @@ func run(bench string, o runOpts) error {
 		}
 	}
 
+	// A Chrome-trace run is wrapped in a span tree so the exported file shows
+	// the run phase alongside the pipeline tracks, with the top-down cycle
+	// accounting attached to the core.run slice — the same shape a traced
+	// serving request produces.
+	var root *regsim.Span
+	runCtx := context.Background()
+	if ct != nil {
+		root, runCtx = regsim.StartTrace(runCtx, "regsim "+bench)
+		if tel == nil {
+			tel = regsim.NewTelemetry()
+			cfg.Telemetry = tel
+		}
+	}
+
 	// A plain registry benchmark with no machine-observing flags can be
 	// answered from the persistent result cache (shared with cmd/paper);
 	// anything that needs the live pipeline always simulates.
@@ -310,7 +325,14 @@ func run(bench string, o runOpts) error {
 			}
 		}
 	} else {
+		runSpan, _ := regsim.StartSpan(runCtx, "core.run")
 		res, err = regsim.Run(cfg, p, o.budget)
+		if err == nil && runSpan != nil {
+			runSpan.Set("cycles", res.Cycles)
+			runSpan.Set("committed", res.Committed)
+			runSpan.Set("cycleAccounting", tel.Account.Snapshot())
+		}
+		runSpan.End()
 	}
 	if err != nil {
 		return err
@@ -368,6 +390,8 @@ func run(bench string, o runOpts) error {
 		}
 	}
 	if ct != nil {
+		root.End()
+		ct.AttachSpans(root.Snapshot())
 		f, err := os.Create(o.chromeTrace)
 		if err != nil {
 			return err

@@ -9,8 +9,15 @@
 //	regsimd [-addr :8265] [-jobs N] [-cache-dir dir] [-n budget] ...
 //
 // Endpoints: POST /v1/simulate, POST /v1/sweep, GET /v1/workloads,
-// GET /v1/timing, GET /healthz, GET /metrics. See the README's Serving
-// section for the wire format and curl examples.
+// GET /v1/timing, GET /healthz, GET /metrics (JSON, or Prometheus text
+// exposition with ?format=prometheus). See the README's Serving and
+// Observability sections for the wire format and curl examples.
+//
+// All output is structured JSON logs (log/slog) on stderr; every request is
+// logged with its trace ID (also echoed as the X-Trace-Id response header),
+// and requests slower than -slow get their full span tree inlined. With
+// -debug-addr a second listener serves net/http/pprof and /debug/obs (recent
+// request traces, exportable as Perfetto files via /debug/obs/trace?id=).
 //
 // SIGINT/SIGTERM triggers a graceful drain: /healthz flips to 503, new
 // simulation requests are refused with Retry-After, in-flight requests run
@@ -23,7 +30,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -66,6 +73,9 @@ func main() {
 	maxSweepSpecs := flag.Int("max-sweep-specs", 512, "largest spec matrix one sweep request may carry")
 	maxBudget := flag.Int64("max-budget", 10_000_000, "largest per-spec commit budget a request may ask for")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for in-flight requests")
+	debugAddr := flag.String("debug-addr", "", "listen address for the operator debug surface (pprof, /debug/obs); empty disables it")
+	slow := flag.Duration("slow", 10*time.Second, "latency above which a request's full span tree is logged (0 disables)")
+	traceBuffer := flag.Int("trace-buffer", 0, "recent request traces kept for /debug/obs (0 = default)")
 	quiet := flag.Bool("quiet", false, "suppress the per-request access log")
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -81,8 +91,18 @@ func main() {
 	if *jobs <= 0 {
 		fatalUsage("invalid -jobs %d: want at least one worker", *jobs)
 	}
+	if *slow < 0 {
+		fatalUsage("invalid -slow %v: the slow-request threshold cannot be negative", *slow)
+	}
+	if *traceBuffer < 0 {
+		fatalUsage("invalid -trace-buffer %d: want a non-negative ring size", *traceBuffer)
+	}
 
-	logger := log.New(os.Stderr, "regsimd ", log.LstdFlags)
+	// All daemon output is structured JSON on stderr: slog records directly,
+	// and the legacy *log.Logger surfaces (panic logs, http.Server errors)
+	// through the slog adapter, so one `jq` works on the whole stream.
+	slogger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	logger := slog.NewLogLogger(slogger.Handler(), slog.LevelError)
 
 	suite := exper.NewSuite(*budget)
 	suite.Jobs = *jobs
@@ -92,9 +112,9 @@ func main() {
 			fatalUsage("invalid -cache-dir %q: %v", *cacheDir, err)
 		}
 		suite.Cache = store
-		logger.Printf("result cache at %s", *cacheDir)
+		slogger.Info("result cache open", "dir", *cacheDir)
 	} else {
-		logger.Printf("result cache disabled; every cold spec simulates")
+		slogger.Info("result cache disabled; every cold spec simulates")
 	}
 
 	cfg := server.Config{
@@ -106,9 +126,11 @@ func main() {
 		MaxSweepSpecs:  *maxSweepSpecs,
 		MaxBudget:      *maxBudget,
 		ErrorLog:       logger,
+		SlowRequest:    *slow,
+		TraceBuffer:    *traceBuffer,
 	}
 	if !*quiet {
-		cfg.AccessLog = logger
+		cfg.Logger = slogger
 	}
 	srv, err := server.New(cfg)
 	if err != nil {
@@ -121,6 +143,29 @@ func main() {
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		ErrorLog:          logger,
+	}
+
+	// The debug surface (pprof, /debug/obs) listens on its own address so it
+	// is never reachable through the serving port or its load balancer.
+	var ds *http.Server
+	if *debugAddr != "" {
+		ds = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           srv.DebugHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+			ErrorLog:          logger,
+		}
+		go func() {
+			slogger.Info("debug surface listening", "addr", *debugAddr)
+			if err := ds.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				// An unusable debug address is a runtime error like an
+				// unusable serving address: fail loudly rather than run
+				// half-configured.
+				slogger.Error("debug listener failed", "addr", *debugAddr, "err", err.Error())
+				os.Exit(1)
+			}
+		}()
 	}
 
 	// Graceful drain: the first signal stops admission and waits for
@@ -132,24 +177,28 @@ func main() {
 		defer close(done)
 		<-ctx.Done()
 		stop() // restore default signal behaviour: a second ^C kills us
-		logger.Printf("drain: refusing new simulation work, waiting up to %v for in-flight requests", *drainTimeout)
+		slogger.Info("drain: refusing new simulation work", "drainTimeout", drainTimeout.String())
 		srv.Drain()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := hs.Shutdown(shutdownCtx); err != nil {
-			logger.Printf("drain: %v (closing remaining connections)", err)
+			slogger.Warn("drain incomplete; closing remaining connections", "err", err.Error())
 			hs.Close()
+		}
+		if ds != nil {
+			ds.Close()
 		}
 	}()
 
-	logger.Printf("listening on %s (jobs=%d budget=%d)", *addr, *jobs, *budget)
+	slogger.Info("listening", "addr", *addr, "jobs", *jobs, "budget", *budget)
 	// A listen failure (bad address, port in use) is a runtime error: the
 	// flag was well-formed, the environment refused it.
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		logger.Fatal(err)
+		slogger.Error("listen failed", "addr", *addr, "err", err.Error())
+		os.Exit(1)
 	}
 	<-done
 	st := suite.SweepStats()
-	logger.Printf("exiting: %d simulations run, %d memo hits, %d coalesced, %d cache hits",
-		st.Runs, st.MemoHits, st.Deduped, st.CacheHits)
+	slogger.Info("exiting",
+		"runs", st.Runs, "memoHits", st.MemoHits, "coalesced", st.Deduped, "cacheHits", st.CacheHits)
 }

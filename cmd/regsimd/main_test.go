@@ -30,7 +30,12 @@ func TestExitCodes(t *testing.T) {
 		{"bad jobs", []string{"-jobs", "-1"}, 2},
 		{"bad cache dir", []string{"-cache-dir", notADir}, 2},
 		{"timeouts inverted", []string{"-no-cache", "-default-timeout", "5m", "-max-timeout", "1m"}, 2},
+		{"negative slow threshold", []string{"-no-cache", "-slow", "-1s"}, 2},
+		{"negative trace buffer", []string{"-no-cache", "-trace-buffer", "-1"}, 2},
 		{"unusable listen address", []string{"-no-cache", "-addr", "256.256.256.256:0"}, 1},
+		// The serving address is fine; the debug listener's is not. The
+		// daemon must die loudly rather than serve without its debug surface.
+		{"unusable debug address", []string{"-no-cache", "-addr", "127.0.0.1:0", "-debug-addr", "256.256.256.256:0"}, 1},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -37,6 +37,7 @@ import (
 
 	"regsim/internal/cache"
 	"regsim/internal/core"
+	"regsim/internal/obs"
 	"regsim/internal/prog"
 	"regsim/internal/rename"
 	"regsim/internal/sweep"
@@ -151,6 +152,20 @@ func (s *Suite) normalize(spec Spec) Spec {
 func (s *Suite) engine() *sweep.Engine[Spec, *core.Result] {
 	s.engOnce.Do(func() {
 		s.eng = sweep.New(s.Jobs, s.simulate)
+		// A traced request that piggybacks on an in-flight execution of the
+		// same spec records the wait as a "coalesce" span linked to the
+		// leader's span — so when a leader is killed by its own deadline,
+		// its victims' traces still say whose execution they died waiting
+		// on. Untraced callers (the batch CLIs) return a nil span whose
+		// methods no-op.
+		s.eng.OnCoalesce = func(waiter, leader context.Context) func() {
+			sp, _ := obs.StartSpan(waiter, "coalesce")
+			if sp == nil {
+				return nil
+			}
+			sp.LinkTo(obs.FromContext(leader))
+			return sp.End
+		}
 	})
 	return s.eng
 }
@@ -251,14 +266,21 @@ func (s *Suite) simulate(ctx context.Context, spec Spec) (*core.Result, error) {
 	var key string
 	if s.Cache != nil {
 		key = fingerprint(spec)
+		lookup, _ := obs.StartSpan(ctx, "rescache.lookup")
 		var r core.Result
-		if s.Cache.Get(key, &r) {
+		hit := s.Cache.Get(key, &r)
+		lookup.Set("hit", hit)
+		lookup.End()
+		if hit {
 			s.progressf("hit %-9s w=%d q=%-3d regs=%-4d %s/%s: IPC %.2f (cached)",
 				spec.Bench, spec.Width, spec.Queue, spec.Regs, spec.Model, spec.Cache, r.CommitIPC())
 			return &r, nil
 		}
 	}
+	build, _ := obs.StartSpan(ctx, "workload.build")
+	build.Set("bench", spec.Bench)
 	p, err := s.program(spec.Bench)
+	build.End()
 	if err != nil {
 		return nil, err
 	}
@@ -282,15 +304,37 @@ func (s *Suite) simulate(ctx context.Context, spec Spec) (*core.Result, error) {
 		}
 		cfg.ProgressEvery = s.HeartbeatEvery
 	}
+	run, _ := obs.StartSpan(ctx, "core.run")
+	if run != nil {
+		// Traced runs carry full cycle accounting on the span, so the trace
+		// export can lay the simulator's own time attribution alongside the
+		// serving phases. Batch (untraced) runs skip the instrumentation and
+		// keep the uninstrumented hot path.
+		run.Set("spec", fmt.Sprintf("%s w=%d q=%d regs=%d %s/%s",
+			spec.Bench, spec.Width, spec.Queue, spec.Regs, spec.Model, spec.Cache))
+		if cfg.Telemetry == nil {
+			cfg.Telemetry = telemetry.New()
+		}
+	}
 	m, err := core.New(cfg, p)
 	if err != nil {
+		run.Set("error", err.Error())
+		run.End()
 		return nil, fmt.Errorf("exper %v: %w", spec, err)
 	}
 	s.sims.Add(1)
 	res, err := m.Run(spec.Budget)
 	if err != nil {
+		run.Set("error", err.Error())
+		run.End()
 		return nil, fmt.Errorf("exper %v: %w", spec, err)
 	}
+	if run != nil {
+		run.Set("cycles", res.Cycles)
+		run.Set("committed", res.Committed)
+		run.Set("cycleAccounting", cfg.Telemetry.Account.Snapshot())
+	}
+	run.End()
 	if s.Cache != nil {
 		if err := s.Cache.Put(key, res); err != nil {
 			// A failed fill costs a future re-simulation, never the sweep.
@@ -309,6 +353,7 @@ func (s *Suite) SweepStats() telemetry.SweepStats {
 	eng := s.engine().Stats()
 	st := telemetry.SweepStats{
 		Workers:  eng.Jobs,
+		Active:   eng.Active,
 		Runs:     s.sims.Load(),
 		MemoHits: eng.MemoHits,
 		Deduped:  eng.Deduped,

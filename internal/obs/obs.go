@@ -1,0 +1,102 @@
+// Package obs is the serving stack's observability layer: lightweight
+// spans with per-request trace correlation, a hand-rolled Prometheus-style
+// metrics registry, and a ring buffer of recent request traces for the
+// operator debugging surface.
+//
+// The package applies the paper's own methodology — attribute every cycle to
+// a structural cause (Farkas, Jouppi & Chow's top-down accounting, built
+// inside the core by internal/telemetry) — to the serving layer: every
+// request carries a trace ID from admission onwards, and every phase it
+// passes through (admission wait, singleflight coalescing, persistent-cache
+// lookup, the cycle loop itself) is a span on one tree, so where the time
+// went is a lookup, not a reconstruction.
+//
+// Design constraints, matching the rest of the repository:
+//
+//   - zero dependencies: the package imports only the standard library and
+//     internal/telemetry (itself a stdlib-only leaf), so it can be threaded
+//     anywhere without dragging a metrics SDK along;
+//   - nil-safe disabled path: every Span method is a no-op on a nil
+//     receiver, and StartSpan on a context without an active trace returns
+//     nil — code paths shared with the batch CLIs (exper.Suite.simulate runs
+//     under cmd/paper too) pay one context lookup, nothing else;
+//   - cross-trace links: a span can record a link to a span of a different
+//     trace — how a coalesced waiter points at the leader execution it
+//     piggybacked on, so a 504'd leader's victims are diagnosable from
+//     either side.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+)
+
+// TraceID correlates every span and log line of one request. IDs are random
+// 64-bit values rendered as 16 hex digits; zero means "no trace".
+type TraceID uint64
+
+// String renders the ID the way it appears in access logs and on the
+// X-Trace-Id response header.
+func (id TraceID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// ParseTraceID parses the 16-hex-digit wire form.
+func ParseTraceID(s string) (TraceID, error) {
+	var v uint64
+	if _, err := fmt.Sscanf(s, "%16x", &v); err != nil || len(s) != 16 {
+		return 0, fmt.Errorf("obs: malformed trace id %q", s)
+	}
+	return TraceID(v), nil
+}
+
+// newTraceID draws a non-zero random ID. Collisions across a debugging ring
+// buffer of a few dozen traces are vanishingly unlikely at 64 bits.
+func newTraceID() TraceID {
+	for {
+		if id := TraceID(rand.Uint64()); id != 0 {
+			return id
+		}
+	}
+}
+
+// ctxKey carries the active span through a request's context.
+type ctxKey struct{}
+
+// ContextWithSpan returns ctx with sp as the active span (the parent of
+// spans started through StartSpan).
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// FromContext returns the context's active span, or nil when the request is
+// not being traced. All Span methods are nil-safe, so callers may use the
+// result unconditionally.
+func FromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}
+
+// TraceIDFromContext returns the active trace's ID, or zero when untraced.
+func TraceIDFromContext(ctx context.Context) TraceID { return FromContext(ctx).TraceID() }
+
+// StartTrace begins a new trace: a fresh trace ID and a root span named
+// name, installed as the context's active span. The caller must End the
+// returned span; completed trees are snapshotted with (*Span).Snapshot.
+func StartTrace(ctx context.Context, name string) (*Span, context.Context) {
+	sp := newSpan(newTraceID(), name)
+	return sp, ContextWithSpan(ctx, sp)
+}
+
+// StartSpan begins a child of the context's active span and installs it as
+// the new active span. On an untraced context it returns (nil, ctx): the
+// disabled path is one context lookup, and every method of the nil span is a
+// no-op.
+func StartSpan(ctx context.Context, name string) (*Span, context.Context) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return nil, ctx
+	}
+	sp := newSpan(parent.trace, name)
+	parent.addChild(sp)
+	return sp, ContextWithSpan(ctx, sp)
+}

@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceIDRoundTrip(t *testing.T) {
+	id := newTraceID()
+	if id == 0 {
+		t.Fatal("newTraceID returned zero")
+	}
+	s := id.String()
+	if len(s) != 16 {
+		t.Fatalf("TraceID.String() = %q, want 16 hex digits", s)
+	}
+	back, err := ParseTraceID(s)
+	if err != nil {
+		t.Fatalf("ParseTraceID(%q): %v", s, err)
+	}
+	if back != id {
+		t.Fatalf("round trip: %v != %v", back, id)
+	}
+	for _, bad := range []string{"", "xyz", "123", strings.Repeat("f", 17)} {
+		if _, err := ParseTraceID(bad); err == nil {
+			t.Errorf("ParseTraceID(%q) accepted a malformed ID", bad)
+		}
+	}
+}
+
+func TestNilSpanIsSafe(t *testing.T) {
+	var sp *Span
+	// Every method must be a no-op, not a panic: instrumented code calls
+	// them unconditionally on the untraced path.
+	sp.End()
+	sp.Set("k", 1)
+	sp.LinkTo(nil)
+	if sp.TraceID() != 0 || sp.Name() != "" || sp.Ended() || sp.Duration() != 0 {
+		t.Fatal("nil span reported non-zero state")
+	}
+	if d := sp.Snapshot(); d.Name != "" {
+		t.Fatalf("nil snapshot = %+v", d)
+	}
+}
+
+func TestStartSpanUntracedReturnsNil(t *testing.T) {
+	sp, ctx := StartSpan(context.Background(), "x")
+	if sp != nil {
+		t.Fatal("StartSpan on an untraced context returned a span")
+	}
+	if FromContext(ctx) != nil {
+		t.Fatal("untraced context gained an active span")
+	}
+	if TraceIDFromContext(ctx) != 0 {
+		t.Fatal("untraced context has a trace ID")
+	}
+}
+
+func TestSpanTreeSnapshot(t *testing.T) {
+	root, ctx := StartTrace(context.Background(), "request")
+	root.Set("status", 200)
+
+	a, actx := StartSpan(ctx, "admission")
+	a.End()
+	b, bctx := StartSpan(ctx, "simulate")
+	if a.TraceID() != root.TraceID() || b.TraceID() != root.TraceID() {
+		t.Fatal("children carry a different trace ID")
+	}
+	c, _ := StartSpan(bctx, "core.run")
+	c.Set("cycles", int64(123))
+	c.End()
+	b.End()
+	root.End()
+
+	// StartSpan from the admission child's context parents under it, not
+	// under the root: the context carries the *active* span.
+	if got := FromContext(actx); got != a {
+		t.Fatalf("active span of child context = %v, want the child", got.Name())
+	}
+
+	d := root.Snapshot()
+	if d.TraceID != root.TraceID().String() {
+		t.Fatalf("snapshot trace ID %q, want %q", d.TraceID, root.TraceID())
+	}
+	if len(d.Children) != 2 {
+		t.Fatalf("root has %d children, want 2", len(d.Children))
+	}
+	if d.Children[0].TraceID != "" {
+		t.Fatal("non-root spans must not repeat the trace ID")
+	}
+	run := d.Find("core.run")
+	if run == nil {
+		t.Fatal("Find(core.run) = nil")
+	}
+	if got := run.Attr("cycles"); got != int64(123) {
+		t.Fatalf("core.run cycles attr = %v", got)
+	}
+	if d.Attr("status") != 200 {
+		t.Fatalf("root status attr = %v", d.Attr("status"))
+	}
+	var names []string
+	d.Walk(func(s *SpanData) { names = append(names, s.Name) })
+	if strings.Join(names, ",") != "request,admission,simulate,core.run" {
+		t.Fatalf("walk order = %v", names)
+	}
+	if run.StartUS < 0 || run.DurationUS < 0 {
+		t.Fatalf("negative offsets: %+v", run)
+	}
+}
+
+func TestSpanEndFirstCallWins(t *testing.T) {
+	root, _ := StartTrace(context.Background(), "r")
+	root.End()
+	d1 := root.Snapshot().DurationUS
+	time.Sleep(2 * time.Millisecond)
+	root.End()
+	if d2 := root.Snapshot().DurationUS; d2 != d1 {
+		t.Fatalf("second End moved the end time: %d != %d", d2, d1)
+	}
+}
+
+func TestSnapshotLiveTreeInProgress(t *testing.T) {
+	root, ctx := StartTrace(context.Background(), "r")
+	StartSpan(ctx, "open")
+	d := root.Snapshot()
+	if !d.InProgress || !d.Children[0].InProgress {
+		t.Fatalf("live spans not marked InProgress: %+v", d)
+	}
+	if d.Children[0].DurationUS < 0 {
+		t.Fatal("live span has negative duration")
+	}
+}
+
+func TestCrossTraceLinks(t *testing.T) {
+	leader, _ := StartTrace(context.Background(), "leader")
+	waiter, wctx := StartTrace(context.Background(), "waiter")
+	co, _ := StartSpan(wctx, "coalesce")
+	co.LinkTo(leader)
+	co.End()
+	waiter.End()
+
+	wd := waiter.Snapshot()
+	links := wd.Find("coalesce").Links
+	if len(links) != 1 {
+		t.Fatalf("got %d links, want 1", len(links))
+	}
+	if links[0].Trace != leader.TraceID() || links[0].TraceHex != leader.TraceID().String() {
+		t.Fatalf("link trace = %+v, want leader %v", links[0], leader.TraceID())
+	}
+	if links[0].Span != "leader" {
+		t.Fatalf("link span = %q", links[0].Span)
+	}
+
+	// Linking to nil records a zero trace: "coalesced onto unobserved work".
+	co2, _ := StartSpan(wctx, "coalesce2")
+	co2.LinkTo(nil)
+	wd = waiter.Snapshot()
+	if l := wd.Find("coalesce2").Links[0]; l.Trace != 0 {
+		t.Fatalf("nil link trace = %v, want 0", l.Trace)
+	}
+}
+
+func TestStoreRing(t *testing.T) {
+	st := NewStore(3)
+	add := func(name string) {
+		root, _ := StartTrace(context.Background(), name)
+		root.End()
+		st.Add(root.Snapshot())
+	}
+	add("a")
+	add("b")
+	add("c")
+	add("d") // evicts a
+	if st.Total() != 4 {
+		t.Fatalf("Total = %d, want 4", st.Total())
+	}
+	recent := st.Recent()
+	if len(recent) != 3 {
+		t.Fatalf("Recent has %d entries, want 3", len(recent))
+	}
+	var names []string
+	for _, d := range recent {
+		names = append(names, d.Name)
+	}
+	if strings.Join(names, ",") != "d,c,b" {
+		t.Fatalf("Recent order = %v, want newest first", names)
+	}
+	if _, ok := st.Get(recent[0].TraceID); !ok {
+		t.Fatal("Get by trace ID missed a stored trace")
+	}
+	if _, ok := st.Get("0000000000000000"); ok {
+		t.Fatal("Get found a never-stored trace")
+	}
+}
+
+func TestStoreDefaultCapacity(t *testing.T) {
+	st := NewStore(0)
+	for i := 0; i < DefaultStoreCapacity+5; i++ {
+		root, _ := StartTrace(context.Background(), "r")
+		root.End()
+		st.Add(root.Snapshot())
+	}
+	if got := len(st.Recent()); got != DefaultStoreCapacity {
+		t.Fatalf("default-capacity ring holds %d, want %d", got, DefaultStoreCapacity)
+	}
+}
+
+func TestSpanConcurrency(t *testing.T) {
+	// Hammer one tree from several goroutines under -race.
+	root, ctx := StartTrace(context.Background(), "r")
+	done := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 100; j++ {
+				sp, _ := StartSpan(ctx, "child")
+				sp.Set("j", j)
+				sp.End()
+			}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 50; j++ {
+				root.Snapshot()
+			}
+		}()
+	}
+	for i := 0; i < 6; i++ {
+		<-done
+	}
+	root.End()
+	if got := len(root.Snapshot().Children); got != 400 {
+		t.Fatalf("tree has %d children, want 400", got)
+	}
+}

@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"regsim/internal/telemetry"
+)
+
+// Metric family types, matching the Prometheus exposition TYPE keywords.
+const (
+	TypeCounter   = "counter"
+	TypeGauge     = "gauge"
+	TypeHistogram = "histogram"
+)
+
+// Label is one name="value" pair on a sample.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Sample is one exposition line within a family: the family name plus
+// Suffix ("_bucket", "_sum", "_count" for histograms; empty otherwise),
+// the label pairs in order, and the value.
+type Sample struct {
+	Suffix string
+	Labels []Label
+	Value  float64
+}
+
+// family is one registered metric: a name, its metadata, and a collector
+// invoked at scrape time. Collect-time callbacks (rather than pushed
+// updates) let the registry expose counters that already exist elsewhere —
+// the sweep engine's dedup counts, the rescache hit/miss/heal counters, the
+// admission controller — without double-instrumenting them.
+type family struct {
+	name, help, typ string
+	collect         func(emit func(Sample))
+}
+
+// Registry is a hand-rolled Prometheus-style metric registry: counters,
+// gauges and histograms registered by name, rendered by WritePrometheus in
+// text exposition format. It exists so the serving layer scrapes without an
+// external dependency, consistent with the rest of the repository. A
+// Registry is safe for concurrent registration and scraping, though
+// registration normally happens once at startup.
+type Registry struct {
+	mu   sync.Mutex
+	fams []*family
+	seen map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{seen: make(map[string]bool)}
+}
+
+// Register adds a metric family with an arbitrary collector — the escape
+// hatch for labeled families collected from existing structures. Most
+// callers want the typed helpers (Counter, Gauge, GaugeFunc, CounterFunc,
+// HistogramFunc). Registering a duplicate or malformed name panics: metric
+// names are compile-time decisions, not runtime conditions.
+func (r *Registry) Register(name, help, typ string, collect func(emit func(Sample))) {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.seen[name] {
+		panic(fmt.Sprintf("obs: metric %q registered twice", name))
+	}
+	r.seen[name] = true
+	r.fams = append(r.fams, &family{name: name, help: help, typ: typ, collect: collect})
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative n panics: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("obs: counter decremented")
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Counter registers and returns a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.Register(name, help, TypeCounter, func(emit func(Sample)) {
+		emit(Sample{Value: float64(c.Value())})
+	})
+	return c
+}
+
+// CounterFunc registers a counter collected from fn at scrape time — for
+// counts that already live in another subsystem's atomics.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.Register(name, help, TypeCounter, func(emit func(Sample)) {
+		emit(Sample{Value: fn()})
+	})
+}
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.Register(name, help, TypeGauge, func(emit func(Sample)) {
+		emit(Sample{Value: float64(g.Value())})
+	})
+	return g
+}
+
+// GaugeFunc registers a gauge collected from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.Register(name, help, TypeGauge, func(emit func(Sample)) {
+		emit(Sample{Value: fn()})
+	})
+}
+
+// LabeledHist is one histogram child within a HistogramFunc family.
+type LabeledHist struct {
+	Labels []Label
+	Stats  telemetry.HistStats
+}
+
+// HistogramFunc registers a histogram family collected from fn at scrape
+// time. The snapshots reuse the simulator's telemetry histograms (log2
+// buckets, exact below 128), encoded as cumulative Prometheus buckets; fn
+// must return snapshots with Buckets populated.
+func (r *Registry) HistogramFunc(name, help string, fn func() []LabeledHist) {
+	r.Register(name, help, TypeHistogram, func(emit func(Sample)) {
+		for _, h := range fn() {
+			for _, s := range HistSamples(h.Stats, h.Labels...) {
+				emit(s)
+			}
+		}
+	})
+}
+
+// HistSamples converts one telemetry histogram snapshot into Prometheus
+// histogram samples: cumulative "_bucket" lines keyed by le (each telemetry
+// bucket's inclusive upper bound), the mandatory le="+Inf" bucket, and the
+// "_sum"/"_count" pair.
+func HistSamples(st telemetry.HistStats, labels ...Label) []Sample {
+	withLE := func(le string) []Label {
+		ls := make([]Label, 0, len(labels)+1)
+		ls = append(ls, labels...)
+		return append(ls, Label{Name: "le", Value: le})
+	}
+	out := make([]Sample, 0, len(st.Buckets)+3)
+	var cum int64
+	for _, b := range st.Buckets {
+		cum += b.Count
+		out = append(out, Sample{Suffix: "_bucket", Labels: withLE(formatValue(float64(b.Hi))), Value: float64(cum)})
+	}
+	out = append(out,
+		Sample{Suffix: "_bucket", Labels: withLE("+Inf"), Value: float64(st.Count)},
+		Sample{Suffix: "_sum", Labels: labels, Value: float64(st.Sum)},
+		Sample{Suffix: "_count", Labels: labels, Value: float64(st.Count)},
+	)
+	return out
+}
+
+// validMetricName enforces the Prometheus data-model grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"regsim/internal/telemetry"
+)
+
+func scrape(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return b.String()
+}
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "Requests served.")
+	c.Add(3)
+	g := r.Gauge("test_inflight", "In-flight requests.")
+	g.Set(2)
+	r.GaugeFunc("test_uptime_seconds", "Uptime.", func() float64 { return 1.5 })
+	r.CounterFunc("test_runs_total", "Runs.", func() float64 { return 7 })
+
+	out := scrape(t, r)
+	for _, want := range []string{
+		"# HELP test_requests_total Requests served.\n",
+		"# TYPE test_requests_total counter\n",
+		"test_requests_total 3\n",
+		"# TYPE test_inflight gauge\n",
+		"test_inflight 2\n",
+		"test_uptime_seconds 1.5\n",
+		"test_runs_total 7\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Families render in registration order, HELP before TYPE before samples.
+	if strings.Index(out, "test_requests_total") > strings.Index(out, "test_inflight") {
+		t.Error("families not in registration order")
+	}
+}
+
+func TestRegistryWellFormed(t *testing.T) {
+	// Every non-comment line must be `name{labels} value` or `name value`;
+	// every family must have exactly one HELP and one TYPE line.
+	r := NewRegistry()
+	r.Counter("a_total", "A.").Inc()
+	r.HistogramFunc("b_ms", "B.", func() []LabeledHist {
+		var h telemetry.Histogram
+		h.Record(1)
+		h.Record(200)
+		return []LabeledHist{{Labels: []Label{{Name: "endpoint", Value: "x"}}, Stats: h.Stats()}}
+	})
+	out := scrape(t, r)
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Errorf("unexpected comment line %q", line)
+			continue
+		}
+		rest := line
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			j := strings.LastIndexByte(line, '}')
+			if j < i {
+				t.Errorf("unbalanced braces in %q", line)
+				continue
+			}
+			rest = line[:i] + line[j+1:]
+		}
+		fields := strings.Fields(rest)
+		if len(fields) != 2 || !validMetricName(fields[0]) {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}
+
+func TestCounterPanicsOnDecrement(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Counter.Add(-1) did not panic")
+		}
+	}()
+	c := &Counter{}
+	c.Add(-1)
+}
+
+func TestRegisterPanicsOnDuplicateAndInvalid(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "x")
+	for name, reg := range map[string]func(){
+		"duplicate": func() { r.Counter("dup_total", "again") },
+		"invalid":   func() { r.Counter("9starts_with_digit", "x") },
+		"empty":     func() { r.Counter("", "x") },
+		"badchar":   func() { r.Counter("has-dash", "x") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s registration did not panic", name)
+				}
+			}()
+			reg()
+		}()
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Register("esc_total", "help with \\ and\nnewline", TypeCounter, func(emit func(Sample)) {
+		emit(Sample{Labels: []Label{{Name: "v", Value: "q\"b\\s\nn"}}, Value: 1})
+	})
+	out := scrape(t, r)
+	if !strings.Contains(out, `# HELP esc_total help with \\ and\nnewline`) {
+		t.Errorf("help not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `esc_total{v="q\"b\\s\nn"} 1`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+}
+
+func TestHistSamplesCumulative(t *testing.T) {
+	var h telemetry.Histogram
+	for _, v := range []int64{0, 1, 1, 3, 200} {
+		h.Record(v)
+	}
+	samples := HistSamples(h.Stats(), Label{Name: "endpoint", Value: "e"})
+
+	var buckets []Sample
+	var sum, count *Sample
+	for i := range samples {
+		s := samples[i]
+		switch s.Suffix {
+		case "_bucket":
+			buckets = append(buckets, s)
+		case "_sum":
+			sum = &samples[i]
+		case "_count":
+			count = &samples[i]
+		}
+	}
+	if sum == nil || count == nil {
+		t.Fatal("missing _sum/_count")
+	}
+	if sum.Value != 205 || count.Value != 5 {
+		t.Fatalf("sum=%v count=%v, want 205/5", sum.Value, count.Value)
+	}
+	// Buckets must be cumulative and end at le=+Inf with the total count.
+	last := buckets[len(buckets)-1]
+	if got := last.Labels[len(last.Labels)-1]; got.Name != "le" || got.Value != "+Inf" {
+		t.Fatalf("last bucket le = %+v, want +Inf", got)
+	}
+	if last.Value != 5 {
+		t.Fatalf("+Inf bucket = %v, want 5", last.Value)
+	}
+	prev := -1.0
+	for _, b := range buckets {
+		if b.Value < prev {
+			t.Fatalf("buckets not cumulative: %v after %v", b.Value, prev)
+		}
+		prev = b.Value
+		// Every bucket keeps the caller's labels ahead of le.
+		if b.Labels[0].Name != "endpoint" || b.Labels[0].Value != "e" {
+			t.Fatalf("bucket lost labels: %+v", b.Labels)
+		}
+	}
+}

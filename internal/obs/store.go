@@ -1,0 +1,71 @@
+package obs
+
+import "sync"
+
+// Store is a bounded ring buffer of recently completed request traces — the
+// substrate of the /debug/obs surface: recent span trees by trace ID, so an
+// operator can pull the exact tree behind an access-log line (and export it
+// to Perfetto) minutes after the fact without having had tracing "turned up"
+// in advance.
+type Store struct {
+	mu    sync.Mutex
+	ring  []SpanData
+	next  int
+	total int64
+}
+
+// DefaultStoreCapacity is the ring size when NewStore is given zero.
+const DefaultStoreCapacity = 64
+
+// NewStore returns a ring holding the last capacity traces
+// (0 = DefaultStoreCapacity).
+func NewStore(capacity int) *Store {
+	if capacity <= 0 {
+		capacity = DefaultStoreCapacity
+	}
+	return &Store{ring: make([]SpanData, 0, capacity)}
+}
+
+// Add records one completed trace, evicting the oldest beyond capacity.
+func (st *Store) Add(d SpanData) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.total++
+	if len(st.ring) < cap(st.ring) {
+		st.ring = append(st.ring, d)
+		st.next = len(st.ring) % cap(st.ring)
+		return
+	}
+	st.ring[st.next] = d
+	st.next = (st.next + 1) % cap(st.ring)
+}
+
+// Recent returns the stored traces, newest first.
+func (st *Store) Recent() []SpanData {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]SpanData, 0, len(st.ring))
+	for i := 1; i <= len(st.ring); i++ {
+		out = append(out, st.ring[(st.next-i+len(st.ring))%len(st.ring)])
+	}
+	return out
+}
+
+// Get returns the stored trace with the given hex ID.
+func (st *Store) Get(traceID string) (SpanData, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, d := range st.ring {
+		if d.TraceID == traceID {
+			return d, true
+		}
+	}
+	return SpanData{}, false
+}
+
+// Total counts every trace ever added (including evicted ones).
+func (st *Store) Total() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.total
+}

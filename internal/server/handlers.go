@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"regsim/internal/exper"
+	"regsim/internal/obs"
 	"regsim/internal/rftiming"
 	"regsim/internal/workload"
 )
@@ -123,9 +124,18 @@ func (s *Server) retryAfterSeconds() int {
 	return int(math.Ceil(s.cfg.RetryAfter.Seconds()))
 }
 
-// admit claims an admission slot, translating the failure modes.
+// admit claims an admission slot, translating the failure modes. The wait is
+// a span on the request's trace and an observation in the admission wait-time
+// histogram, whichever way it ends.
 func (s *Server) admit(ctx context.Context) (func(), *APIError) {
+	sp, _ := obs.StartSpan(ctx, "admission")
+	start := time.Now()
 	release, err := s.adm.acquire(ctx)
+	s.recordAdmissionWait(time.Since(start))
+	if err != nil {
+		sp.Set("error", err.Error())
+	}
+	sp.End()
 	if err == nil {
 		return release, nil
 	}
@@ -184,7 +194,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	res, err := s.cfg.Suite.RunContext(ctx, spec)
+	sim, simCtx := obs.StartSpan(ctx, "simulate")
+	res, err := s.cfg.Suite.RunContext(simCtx, spec)
+	sim.End()
 	if err != nil {
 		writeError(w, simError(err))
 		return
@@ -246,7 +258,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	results, err := s.cfg.Suite.RunAll(ctx, specs)
+	sim, simCtx := obs.StartSpan(ctx, "simulate")
+	sim.Set("specs", len(specs))
+	results, err := s.cfg.Suite.RunAll(simCtx, specs)
+	sim.End()
 	if err != nil {
 		writeError(w, simError(err))
 		return
@@ -391,8 +406,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // handleMetrics: GET /metrics. Live counters: the sweep engine and
 // persistent cache (shared with every CLI using the same cache directory),
-// the admission controller, and per-endpoint request statistics.
+// the admission controller, and per-endpoint request statistics. The default
+// document is JSON; ?format=prometheus renders the registry in Prometheus
+// text exposition format for scrapers.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+	case "prometheus":
+		w.Header().Set("Content-Type", obs.ContentType)
+		s.reg.WritePrometheus(w) // the connection is gone if this fails
+		return
+	default:
+		writeError(w, &APIError{Status: http.StatusBadRequest, Code: CodeInvalidArgument,
+			Field:   "format",
+			Message: fmt.Sprintf("unknown metrics format %q (want json or prometheus)", format)})
+		return
+	}
 	resp := MetricsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Draining:      s.draining.Load(),
@@ -401,7 +430,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Endpoints:     make(map[string]EndpointMetrics, len(s.metrics)),
 	}
 	for pattern, m := range s.metrics {
-		resp.Endpoints[pattern] = m.snapshot()
+		resp.Endpoints[pattern] = m.snapshot(false)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

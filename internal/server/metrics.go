@@ -1,0 +1,151 @@
+package server
+
+import (
+	"runtime"
+	"sort"
+	"time"
+
+	"regsim/internal/obs"
+	"regsim/internal/telemetry"
+)
+
+// registerMetrics installs the server's metric families into the registry
+// behind GET /metrics?format=prometheus. Everything is collected at scrape
+// time from the counters the subsystems already keep (the admission
+// controller's atomics, the sweep engine's singleflight counters, the
+// rescache store, the per-endpoint latency histograms), so serving a scrape
+// adds no cost to the request path.
+func (s *Server) registerMetrics() {
+	r := s.reg
+
+	// Process-level context first, so a scrape reads top-down.
+	r.GaugeFunc("regsim_uptime_seconds", "Seconds since the server was constructed.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	r.GaugeFunc("regsim_draining", "1 while the server is draining, else 0.",
+		func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+	r.GaugeFunc("go_goroutines", "Number of goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+
+	// HTTP serving: request counts per endpoint and status, latency
+	// histograms per endpoint (the same telemetry histograms /metrics JSON
+	// summarises, here with full cumulative buckets).
+	r.Register("regsim_http_requests_total", "Requests served, by endpoint pattern and status code.",
+		obs.TypeCounter, func(emit func(obs.Sample)) {
+			for _, pattern := range s.patterns() {
+				snap := s.metrics[pattern].snapshot(false)
+				codes := make([]string, 0, len(snap.ByStatus))
+				for code := range snap.ByStatus {
+					codes = append(codes, code)
+				}
+				sort.Strings(codes)
+				for _, code := range codes {
+					emit(obs.Sample{
+						Labels: []obs.Label{{Name: "endpoint", Value: pattern}, {Name: "code", Value: code}},
+						Value:  float64(snap.ByStatus[code]),
+					})
+				}
+			}
+		})
+	r.HistogramFunc("regsim_http_request_duration_ms", "Request latency in milliseconds, by endpoint pattern.",
+		func() []obs.LabeledHist {
+			var out []obs.LabeledHist
+			for _, pattern := range s.patterns() {
+				snap := s.metrics[pattern].snapshot(true)
+				if snap.LatencyMS.Count == 0 {
+					continue
+				}
+				out = append(out, obs.LabeledHist{
+					Labels: []obs.Label{{Name: "endpoint", Value: pattern}},
+					Stats:  snap.LatencyMS,
+				})
+			}
+			return out
+		})
+
+	// Admission control: the bounds as gauges (so queue-depth panels can
+	// show depth against capacity), the live occupancy, and the outcome
+	// counters.
+	r.GaugeFunc("regsim_admission_slots", "Admission bound on concurrently executing simulation requests.",
+		func() float64 { return float64(s.adm.maxInFlight) })
+	r.GaugeFunc("regsim_admission_queue_capacity", "Bounded wait-queue capacity in front of the slots.",
+		func() float64 { return float64(s.adm.maxQueue) })
+	r.GaugeFunc("regsim_admission_in_flight", "Simulation requests currently holding an admission slot.",
+		func() float64 { return float64(s.adm.inFlight.Load()) })
+	r.GaugeFunc("regsim_admission_waiting", "Requests currently queued for an admission slot.",
+		func() float64 { return float64(s.adm.stats().Waiting) })
+	r.CounterFunc("regsim_admission_admitted_total", "Requests granted an admission slot.",
+		func() float64 { return float64(s.adm.admitted.Load()) })
+	r.CounterFunc("regsim_admission_rejected_total", "Requests refused with 429 because the wait queue was full.",
+		func() float64 { return float64(s.adm.rejected.Load()) })
+	r.CounterFunc("regsim_admission_expired_total", "Requests whose deadline fired while queued for a slot.",
+		func() float64 { return float64(s.adm.expired.Load()) })
+	r.HistogramFunc("regsim_admission_wait_ms", "Milliseconds spent queued before an admission slot was granted.",
+		func() []obs.LabeledHist {
+			s.admWaitMu.Lock()
+			st := s.admWait.Stats()
+			s.admWaitMu.Unlock()
+			if st.Count == 0 {
+				return nil
+			}
+			return []obs.LabeledHist{{Stats: st}}
+		})
+
+	// Sweep engine and persistent result cache: executions vs. the two
+	// layers that absorb repeats (the in-flight singleflight, the
+	// cross-process rescache).
+	sweepStats := func() telemetry.SweepStats { return s.cfg.Suite.SweepStats() }
+	r.GaugeFunc("regsim_sweep_workers", "Sweep worker-pool bound.",
+		func() float64 { return float64(sweepStats().Workers) })
+	r.GaugeFunc("regsim_sweep_active", "Simulations executing right now (active/workers is pool utilization).",
+		func() float64 { return float64(sweepStats().Active) })
+	r.CounterFunc("regsim_sweep_runs_total", "Simulations actually executed by this process.",
+		func() float64 { return float64(sweepStats().Runs) })
+	r.CounterFunc("regsim_sweep_memo_hits_total", "Requests answered from an already-completed execution.",
+		func() float64 { return float64(sweepStats().MemoHits) })
+	r.CounterFunc("regsim_sweep_coalesced_total", "Requests that piggybacked on an in-flight execution of the same spec.",
+		func() float64 { return float64(sweepStats().Deduped) })
+	r.CounterFunc("regsim_rescache_hits_total", "Persistent result-cache hits.",
+		func() float64 { return float64(sweepStats().CacheHits) })
+	r.CounterFunc("regsim_rescache_misses_total", "Persistent result-cache misses (including defective entries).",
+		func() float64 { return float64(sweepStats().CacheMisses) })
+	r.CounterFunc("regsim_rescache_errors_total", "Defective persistent-cache entries healed by re-simulation.",
+		func() float64 { return float64(sweepStats().CacheErrors) })
+
+	r.CounterFunc("regsim_traces_total", "Request traces recorded (including ones evicted from the debug ring).",
+		func() float64 { return float64(s.traces.Total()) })
+}
+
+// patterns returns the registered route patterns in stable order.
+func (s *Server) patterns() []string {
+	out := make([]string, 0, len(s.metrics))
+	for pattern := range s.metrics {
+		out = append(out, pattern)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// recordAdmissionWait feeds the admission wait-time histogram.
+func (s *Server) recordAdmissionWait(d time.Duration) {
+	s.admWaitMu.Lock()
+	s.admWait.Record(d.Milliseconds())
+	s.admWaitMu.Unlock()
+}
+
+// Registry returns the server's metric registry (the daemon registers its own
+// families into it, tests scrape it directly).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Traces returns the recent-trace ring behind /debug/obs.
+func (s *Server) Traces() *obs.Store { return s.traces }

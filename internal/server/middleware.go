@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"regsim/internal/obs"
 	"regsim/internal/telemetry"
 )
 
@@ -33,7 +34,11 @@ func (m *endpointMetrics) record(status int, elapsed time.Duration) {
 	m.latency.Record(elapsed.Milliseconds())
 }
 
-func (m *endpointMetrics) snapshot() EndpointMetrics {
+// snapshot copies the counters. The JSON /metrics document keeps the summary
+// form (buckets are scrape-time detail that would dwarf the rest of the
+// page); the Prometheus exposition passes includeBuckets=true because its
+// histogram encoding *is* the buckets.
+func (m *endpointMetrics) snapshot(includeBuckets bool) EndpointMetrics {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	by := make(map[string]int64, len(m.byStatus))
@@ -41,7 +46,9 @@ func (m *endpointMetrics) snapshot() EndpointMetrics {
 		by[k] = v
 	}
 	stats := m.latency.Stats()
-	stats.Buckets = nil // the summary is enough for /metrics; buckets are per-run detail
+	if !includeBuckets {
+		stats.Buckets = nil
+	}
 	return EndpointMetrics{Requests: m.requests, ByStatus: by, LatencyMS: stats}
 }
 
@@ -63,11 +70,17 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// wrap is the middleware stack applied to every route: panic-to-500
-// recovery, per-endpoint metrics, and a structured access-log line.
+// wrap is the middleware stack applied to every route: a root span with a
+// fresh trace ID (echoed on the X-Trace-Id response header and threaded
+// through the request context into admission, the sweep engine, and the
+// machine loop), panic-to-500 recovery, per-endpoint metrics, structured
+// access logs, and slow-request span-tree dumps.
 func (s *Server) wrap(pattern string, m *endpointMetrics, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		root, ctx := obs.StartTrace(r.Context(), pattern)
+		r = r.WithContext(ctx)
+		w.Header().Set("X-Trace-Id", root.TraceID().String())
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		defer func() {
 			if p := recover(); p != nil {
@@ -81,15 +94,52 @@ func (s *Server) wrap(pattern string, m *endpointMetrics, h http.HandlerFunc) ht
 					})
 				}
 			}
+			root.Set("status", rec.status)
+			root.End()
 			elapsed := time.Since(start)
 			m.record(rec.status, elapsed)
+			s.traces.Add(root.Snapshot())
 			if s.cfg.AccessLog != nil {
-				s.cfg.AccessLog.Printf("method=%s path=%s status=%d bytes=%d elapsed=%s remote=%s",
-					r.Method, r.URL.RequestURI(), rec.status, rec.bytes, elapsed.Round(time.Microsecond), r.RemoteAddr)
+				s.cfg.AccessLog.Printf("method=%s path=%s status=%d bytes=%d elapsed=%s remote=%s trace=%s",
+					r.Method, r.URL.RequestURI(), rec.status, rec.bytes, elapsed.Round(time.Microsecond), r.RemoteAddr, root.TraceID())
 			}
+			s.logRequest(r, rec, root, elapsed)
 		}()
 		h(rec, r)
 	})
+}
+
+// logRequest emits the structured access record and, above the SlowRequest
+// threshold, a warn-level record with the full span tree inlined — the
+// "where did this one request's time go" answer, attached to the log line an
+// operator is already looking at.
+func (s *Server) logRequest(r *http.Request, rec *statusRecorder, root *obs.Span, elapsed time.Duration) {
+	if s.cfg.Logger == nil {
+		return
+	}
+	attrs := []any{
+		"trace", root.TraceID().String(),
+		"method", r.Method,
+		"path", r.URL.RequestURI(),
+		"status", rec.status,
+		"bytes", rec.bytes,
+		"elapsedMS", float64(elapsed.Microseconds()) / 1000,
+		"remote", r.RemoteAddr,
+	}
+	// Phase timings: one attribute per direct child of the root span, so
+	// the flat access record already answers "queued or simulating?".
+	snap := root.Snapshot()
+	for _, c := range snap.Children {
+		attrs = append(attrs, "phaseMS_"+c.Name, float64(c.DurationUS)/1000)
+	}
+	if s.cfg.SlowRequest > 0 && elapsed >= s.cfg.SlowRequest {
+		// The JSON slog handler marshals the tree via encoding/json, so the
+		// full span tree lands inlined as structured JSON on the warn line.
+		attrs = append(attrs, "slowThreshold", s.cfg.SlowRequest.String(), "spans", snap)
+		s.cfg.Logger.Warn("slow request", attrs...)
+		return
+	}
+	s.cfg.Logger.Info("request", attrs...)
 }
 
 // writeJSON writes a 2xx JSON response.

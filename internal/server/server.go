@@ -29,13 +29,17 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"regsim/internal/exper"
+	"regsim/internal/obs"
+	"regsim/internal/telemetry"
 )
 
 // Config configures a Server. The zero value of every field except Suite is
@@ -74,6 +78,22 @@ type Config struct {
 	// ErrorLog, when non-nil, receives handler panics with stacks
 	// (default: log.Default so panics are never silent).
 	ErrorLog *log.Logger
+	// Logger, when non-nil, receives structured (slog) access lines — one
+	// record per request with the trace ID, endpoint, status, and span
+	// timings — alongside (not replacing) AccessLog.
+	Logger *slog.Logger
+	// SlowRequest, when positive, is the latency above which a request's
+	// full span tree is inlined into a warn-level Logger record (0 disables
+	// slow-request logging).
+	SlowRequest time.Duration
+	// TraceBuffer is the capacity of the recent-trace ring served at
+	// /debug/obs (0 = obs.DefaultStoreCapacity).
+	TraceBuffer int
+	// Registry, when non-nil, is the metric registry the server installs
+	// its families into; nil means a fresh private registry. Supplying one
+	// lets the embedding process add its own families to the same
+	// /metrics?format=prometheus page.
+	Registry *obs.Registry
 }
 
 // Server is the HTTP serving layer. Construct with New, expose with
@@ -86,6 +106,15 @@ type Server struct {
 	draining atomic.Bool
 	metrics  map[string]*endpointMetrics
 	methods  map[string][]string // path → registered methods, for 405s
+
+	reg    *obs.Registry // Prometheus-format metric families
+	traces *obs.Store    // recent completed request traces, for /debug/obs
+
+	// admWait is the admission wait-time histogram (milliseconds queued
+	// before a slot), fed by the handlers and scraped as
+	// regsim_admission_wait_ms.
+	admWaitMu sync.Mutex
+	admWait   telemetry.Histogram
 }
 
 // New validates the configuration, fills defaults, and builds the routing
@@ -121,6 +150,10 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ErrorLog == nil {
 		cfg.ErrorLog = log.Default()
 	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	s := &Server{
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
@@ -128,7 +161,10 @@ func New(cfg Config) (*Server, error) {
 		start:   time.Now(),
 		metrics: make(map[string]*endpointMetrics),
 		methods: make(map[string][]string),
+		reg:     reg,
+		traces:  obs.NewStore(cfg.TraceBuffer),
 	}
+	s.registerMetrics()
 	s.route("POST /v1/simulate", s.handleSimulate)
 	s.route("POST /v1/sweep", s.handleSweep)
 	s.route("GET /v1/workloads", s.handleWorkloads)

@@ -27,19 +27,31 @@ type Engine[K comparable, V any] struct {
 	jobs int
 	run  func(context.Context, K) (V, error)
 
+	// OnCoalesce, when non-nil, is invoked whenever a Do call piggybacks on
+	// an in-flight execution of the same key, with the waiter's context and
+	// the leader execution's context. The returned function (which may be
+	// nil) is called when the wait ends, whichever way it ends — the hook by
+	// which the observability layer spans a coalesced wait and links the
+	// waiter's trace to the leader's. Set it before the engine's first use.
+	OnCoalesce func(waiter, leader context.Context) func()
+
 	mu    sync.Mutex
 	calls map[K]*call[V]
 
 	runs     atomic.Int64 // executions started (misses on the memo)
+	active   atomic.Int64 // executions running right now
 	memoHits atomic.Int64 // calls answered from a completed execution
 	deduped  atomic.Int64 // calls that piggybacked on an in-flight execution
 }
 
 // call is one execution's slot in the memo: val/err are written exactly once
 // before done is closed, so waiters may read them after <-done without
-// further synchronisation.
+// further synchronisation. ctx is the leader's context, kept so coalesced
+// waiters can link their observability trace to the leader's; waiters only
+// read values from it, never its deadline.
 type call[V any] struct {
 	done chan struct{}
+	ctx  context.Context
 	val  V
 	err  error
 }
@@ -71,9 +83,19 @@ func (e *Engine[K, V]) Do(ctx context.Context, k K) (V, error) {
 				e.memoHits.Add(1)
 			default:
 				e.deduped.Add(1)
+				var waitDone func()
+				if e.OnCoalesce != nil {
+					waitDone = e.OnCoalesce(ctx, c.ctx)
+				}
 				select {
 				case <-c.done:
+					if waitDone != nil {
+						waitDone()
+					}
 				case <-ctx.Done():
+					if waitDone != nil {
+						waitDone()
+					}
 					return zero, ctx.Err()
 				}
 			}
@@ -89,12 +111,14 @@ func (e *Engine[K, V]) Do(ctx context.Context, k K) (V, error) {
 			}
 			return c.val, nil
 		}
-		c := &call[V]{done: make(chan struct{})}
+		c := &call[V]{done: make(chan struct{}), ctx: ctx}
 		e.calls[k] = c
 		e.mu.Unlock()
 
 		e.runs.Add(1)
+		e.active.Add(1)
 		c.val, c.err = e.run(ctx, k)
+		e.active.Add(-1)
 		if c.err != nil {
 			e.mu.Lock()
 			delete(e.calls, k)
@@ -192,6 +216,10 @@ type Stats struct {
 	// Runs counts executions actually started (memo misses, including
 	// executions that later failed).
 	Runs int64
+	// Active counts executions running at the moment of the snapshot — the
+	// worker-utilization gauge (Active/Jobs is the pool's instantaneous
+	// occupancy).
+	Active int64
 	// MemoHits counts calls answered from an already-completed execution.
 	MemoHits int64
 	// Deduped counts calls that waited on an in-flight execution of the
@@ -204,6 +232,7 @@ func (e *Engine[K, V]) Stats() Stats {
 	return Stats{
 		Jobs:     e.jobs,
 		Runs:     e.runs.Load(),
+		Active:   e.active.Load(),
 		MemoHits: e.memoHits.Load(),
 		Deduped:  e.deduped.Load(),
 	}

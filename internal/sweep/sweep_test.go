@@ -333,3 +333,137 @@ func TestDefaultJobs(t *testing.T) {
 		t.Errorf("default jobs = %d, want >= 1", e.Jobs())
 	}
 }
+
+func TestOnCoalesceHook(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	e := New(4, func(ctx context.Context, k int) (int, error) {
+		close(started)
+		<-release
+		return k, nil
+	})
+
+	type pair struct{ waiter, leader context.Context }
+	var mu sync.Mutex
+	var coalesces []pair
+	var completions int
+	e.OnCoalesce = func(waiter, leader context.Context) func() {
+		mu.Lock()
+		coalesces = append(coalesces, pair{waiter, leader})
+		mu.Unlock()
+		return func() {
+			mu.Lock()
+			completions++
+			mu.Unlock()
+		}
+	}
+
+	type keyT struct{}
+	leaderCtx := context.WithValue(context.Background(), keyT{}, "leader")
+	waiterCtx := context.WithValue(context.Background(), keyT{}, "waiter")
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		e.Do(leaderCtx, 1)
+	}()
+	<-started
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		e.Do(waiterCtx, 1)
+	}()
+
+	// Wait for the waiter to register before releasing the leader.
+	deadline := time.After(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(coalesces)
+		mu.Unlock()
+		if n == 1 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("OnCoalesce never fired")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(release)
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(coalesces) != 1 || completions != 1 {
+		t.Fatalf("coalesces=%d completions=%d, want 1/1", len(coalesces), completions)
+	}
+	// The hook receives the true contexts of both sides: the waiter's own,
+	// and the context the leader's execution started under.
+	if got := coalesces[0].waiter.Value(keyT{}); got != "waiter" {
+		t.Errorf("waiter context value = %v", got)
+	}
+	if got := coalesces[0].leader.Value(keyT{}); got != "leader" {
+		t.Errorf("leader context value = %v", got)
+	}
+}
+
+func TestOnCoalesceCompletionFiresOnWaiterDeadline(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	e := New(4, func(ctx context.Context, k int) (int, error) {
+		close(started)
+		<-release
+		return k, nil
+	})
+	defer close(release)
+
+	done := make(chan struct{}, 1)
+	e.OnCoalesce = func(waiter, leader context.Context) func() {
+		return func() { done <- struct{}{} }
+	}
+
+	go e.Do(context.Background(), 1)
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := e.Do(ctx, 1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("waiter error = %v, want deadline exceeded", err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("completion callback never fired for an expired waiter")
+	}
+}
+
+func TestActiveGauge(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	e := New(4, func(ctx context.Context, k int) (int, error) {
+		started <- struct{}{}
+		<-release
+		return k, nil
+	})
+	if e.Stats().Active != 0 {
+		t.Fatal("idle engine reports active executions")
+	}
+	go e.Do(context.Background(), 1)
+	go e.Do(context.Background(), 2)
+	<-started
+	<-started
+	if got := e.Stats().Active; got != 2 {
+		t.Fatalf("Active = %d with two executions running, want 2", got)
+	}
+	close(release)
+	// Both executions drain; Active must return to zero.
+	deadline := time.After(5 * time.Second)
+	for e.Stats().Active != 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("Active stuck at %d after drain", e.Stats().Active)
+		case <-time.After(time.Millisecond):
+		}
+	}
+}

@@ -48,6 +48,10 @@ func (h *Histogram) Record(v int64) {
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count }
 
+// Sum returns the sum of all observations (the Prometheus histogram `_sum`
+// series; Mean is Sum/Count).
+func (h *Histogram) Sum() int64 { return h.sum }
+
 // Max returns the largest observation (0 when empty).
 func (h *Histogram) Max() int64 { return h.max }
 
@@ -139,6 +143,7 @@ func (h *Histogram) Buckets() []BucketCount {
 // HistStats is the JSON summary of a Histogram.
 type HistStats struct {
 	Count   int64         `json:"count"`
+	Sum     int64         `json:"sum"`
 	Mean    float64       `json:"mean"`
 	Max     int64         `json:"max"`
 	P50     int64         `json:"p50"`
@@ -151,6 +156,7 @@ type HistStats struct {
 func (h *Histogram) Stats() HistStats {
 	return HistStats{
 		Count:   h.count,
+		Sum:     h.sum,
 		Mean:    math.Round(h.Mean()*1000) / 1000,
 		Max:     h.max,
 		P50:     h.P50(),

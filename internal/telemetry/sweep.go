@@ -9,6 +9,9 @@ import "fmt"
 type SweepStats struct {
 	// Workers is the scheduler's worker-pool bound.
 	Workers int `json:"workers"`
+	// Active counts simulations executing at the moment of the snapshot
+	// (Active/Workers is the pool's instantaneous utilization).
+	Active int64 `json:"active"`
 	// Runs counts simulations actually executed this process.
 	Runs int64 `json:"runs"`
 	// MemoHits counts requests answered from the in-memory memo.

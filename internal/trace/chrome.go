@@ -24,6 +24,7 @@ import (
 
 	"regsim/internal/core"
 	"regsim/internal/isa"
+	"regsim/internal/obs"
 )
 
 // Track/thread ids of the per-stage tracks.
@@ -62,6 +63,7 @@ type ChromeTracer struct {
 	maxCycle int64
 	dropped  int64
 	seen     map[int64]bool
+	spans    []obs.SpanData // serving/CLI span trees merged in by AttachSpans
 }
 
 // NewChromeTracer returns a tracer capturing under the given bounds.
@@ -210,7 +212,11 @@ func (c *ChromeTracer) Export(w io.Writer) error {
 		)
 	}
 
-	file := chromeFile{
+	for _, root := range c.spans {
+		events = append(events, spanEvents(root)...)
+	}
+
+	return writeChromeFile(w, chromeFile{
 		TraceEvents:     events,
 		DisplayTimeUnit: "ms",
 		OtherData: map[string]any{
@@ -220,9 +226,12 @@ func (c *ChromeTracer) Export(w io.Writer) error {
 			"dropped":      c.dropped,
 			"recoveries":   c.rec.Recoveries,
 		},
-	}
-	enc := json.NewEncoder(w)
-	if err := enc.Encode(file); err != nil {
+	})
+}
+
+// writeChromeFile encodes one trace container.
+func writeChromeFile(w io.Writer, file chromeFile) error {
+	if err := json.NewEncoder(w).Encode(file); err != nil {
 		return fmt.Errorf("trace: encoding chrome trace: %w", err)
 	}
 	return nil

@@ -1,0 +1,76 @@
+package trace
+
+// Serving-span export: renders an obs span tree (a request trace captured by
+// the serving stack) as Chrome trace-event slices, either standalone
+// (ChromeSpans, behind the daemon's /debug/obs/trace endpoint) or merged
+// into a pipeline capture (ChromeTracer.AttachSpans, behind cmd/regsim's
+// -chrome-trace). Span offsets are microseconds from the root span's start
+// and the pipeline timeline is one microsecond per cycle, so a merged file
+// shows the serving phases and the machine's cycle accounting on one
+// Perfetto timeline.
+
+import (
+	"io"
+
+	"regsim/internal/obs"
+)
+
+// Process/thread ids of the serving-span track. The pipeline tracks live in
+// pid 1; spans get their own process so Perfetto groups them separately.
+const (
+	spanPid = 2
+	spanTid = 1
+)
+
+// spanEvents flattens a span tree into trace-event slices. All spans share
+// one thread track: children are contained in their parents' intervals, so
+// the viewer stacks them into the usual flame shape. Attributes and
+// cross-trace links ride along as slice args.
+func spanEvents(root obs.SpanData) []chromeEvent {
+	events := []chromeEvent{
+		{Name: "process_name", Ph: "M", Pid: spanPid,
+			Args: map[string]any{"name": "regsim serving (trace " + root.TraceID + ")"}},
+		{Name: "thread_name", Ph: "M", Pid: spanPid, Tid: spanTid,
+			Args: map[string]any{"name": "request spans"}},
+	}
+	root.Walk(func(d *obs.SpanData) {
+		args := map[string]any{}
+		for _, a := range d.Attrs {
+			args[a.Key] = a.Value
+		}
+		if len(d.Links) > 0 {
+			args["links"] = d.Links
+		}
+		if d.InProgress {
+			args["inProgress"] = true
+		}
+		dur := d.DurationUS
+		if dur < 1 {
+			dur = 1 // zero-width slices are invisible in the viewer
+		}
+		events = append(events, chromeEvent{
+			Name: d.Name, Ph: "X", Ts: d.StartUS, Dur: dur,
+			Pid: spanPid, Tid: spanTid, Args: args,
+		})
+	})
+	return events
+}
+
+// ChromeSpans renders one span tree as a standalone Chrome trace-event file.
+func ChromeSpans(w io.Writer, root obs.SpanData) error {
+	return writeChromeFile(w, chromeFile{
+		TraceEvents:     spanEvents(root),
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]any{
+			"tool":    "regsim",
+			"traceID": root.TraceID,
+		},
+	})
+}
+
+// AttachSpans merges a span tree into the tracer's next Export: the serving
+// (or CLI) phases appear as a second process alongside the pipeline tracks,
+// on the same microsecond timeline.
+func (c *ChromeTracer) AttachSpans(root obs.SpanData) {
+	c.spans = append(c.spans, root)
+}

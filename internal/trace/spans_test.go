@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"regsim/internal/obs"
+)
+
+// spanTree builds a two-level request tree with an attribute, a cross-trace
+// link, and one span still in progress.
+func spanTree(t *testing.T) obs.SpanData {
+	t.Helper()
+	other, _ := obs.StartTrace(context.Background(), "leader")
+	root, ctx := obs.StartTrace(context.Background(), "POST /v1/simulate")
+	sim, sctx := obs.StartSpan(ctx, "simulate")
+	co, _ := obs.StartSpan(sctx, "coalesce")
+	co.LinkTo(other)
+	co.End()
+	run, _ := obs.StartSpan(sctx, "core.run")
+	run.Set("cycles", int64(123))
+	run.End()
+	sim.End()
+	// root left in progress deliberately
+	return root.Snapshot()
+}
+
+func TestChromeSpansStandalone(t *testing.T) {
+	tree := spanTree(t)
+	var buf bytes.Buffer
+	if err := ChromeSpans(&buf, tree); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []schemaEvent  `json:"traceEvents"`
+		OtherData   map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if file.OtherData["traceID"] != tree.TraceID {
+		t.Errorf("otherData traceID = %v, want %s", file.OtherData["traceID"], tree.TraceID)
+	}
+
+	slices := map[string]schemaEvent{}
+	metas := 0
+	for _, ev := range file.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			metas++
+		case "X":
+			if *ev.Pid != spanPid || ev.Tid != spanTid {
+				t.Errorf("slice %s on pid/tid %d/%d, want %d/%d", ev.Name, *ev.Pid, ev.Tid, spanPid, spanTid)
+			}
+			if ev.Dur < 1 {
+				t.Errorf("slice %s has dur %d; zero-width slices are invisible", ev.Name, ev.Dur)
+			}
+			slices[ev.Name] = ev
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if metas != 2 {
+		t.Errorf("got %d metadata events, want process_name + thread_name", metas)
+	}
+	for _, name := range []string{"POST /v1/simulate", "simulate", "coalesce", "core.run"} {
+		if _, ok := slices[name]; !ok {
+			t.Errorf("missing slice %q", name)
+		}
+	}
+	if got := slices["core.run"].Args["cycles"]; got != float64(123) {
+		t.Errorf("core.run cycles arg = %v", got)
+	}
+	if slices["coalesce"].Args["links"] == nil {
+		t.Error("coalesce slice lost its cross-trace link")
+	}
+	if slices["POST /v1/simulate"].Args["inProgress"] != true {
+		t.Error("unfinished root not marked inProgress")
+	}
+	// Children are contained in their parent's interval so the viewer can
+	// stack them on one track.
+	parent, child := slices["simulate"], slices["core.run"]
+	if *child.Ts < *parent.Ts || *child.Ts+child.Dur > *parent.Ts+parent.Dur+1 {
+		t.Errorf("core.run [%d,+%d] escapes simulate [%d,+%d]", *child.Ts, child.Dur, *parent.Ts, parent.Dur)
+	}
+}
+
+// TestAttachSpansMerged: a pipeline capture with an attached span tree keeps
+// both processes in one file — the acceptance criterion for loading a
+// -chrome-trace export with serving spans and cycle accounting side by side.
+func TestAttachSpansMerged(t *testing.T) {
+	ct := runChrome(t, ChromeOptions{}, 2_000)
+	ct.AttachSpans(spanTree(t))
+	events := decodeTrace(t, ct)
+
+	pids := map[int]bool{}
+	spanSlices := 0
+	for _, ev := range events {
+		if ev.Pid != nil {
+			pids[*ev.Pid] = true
+		}
+		if ev.Ph == "X" && ev.Pid != nil && *ev.Pid == spanPid {
+			spanSlices++
+		}
+	}
+	if !pids[1] || !pids[spanPid] { // pipeline tracks live in pid 1
+		t.Fatalf("merged file has pids %v, want both the pipeline and %d", pids, spanPid)
+	}
+	if spanSlices != 4 {
+		t.Errorf("merged file has %d span slices, want 4", spanSlices)
+	}
+}

@@ -27,10 +27,13 @@
 package regsim
 
 import (
+	"context"
+
 	"regsim/internal/asm"
 	"regsim/internal/cache"
 	"regsim/internal/core"
 	"regsim/internal/exper"
+	"regsim/internal/obs"
 	"regsim/internal/prog"
 	"regsim/internal/rename"
 	"regsim/internal/rftiming"
@@ -274,6 +277,43 @@ type ChromeTraceOptions = trace.ChromeOptions
 // NewChromeTracer returns a Chrome-trace capture; install its Hook as
 // Config.Tracer and its CounterHook as Config.CounterSampler.
 func NewChromeTracer(opts ChromeTraceOptions) *ChromeTracer { return trace.NewChromeTracer(opts) }
+
+// Span is one timed phase of a traced request (or CLI run). Spans form a
+// tree per trace plus cross-trace links; every method is a no-op on a nil
+// receiver, so instrumented code needs no enabled/disabled branches.
+type Span = obs.Span
+
+// SpanData is the plain-data snapshot of a span tree: what the serving
+// layer's /debug/obs endpoint returns, what slow-request logs inline, and
+// what ChromeTracer.AttachSpans renders onto the Perfetto timeline.
+type SpanData = obs.SpanData
+
+// StartTrace begins a new trace: a fresh random trace ID and a root span,
+// installed as the context's active span. End the returned span, then
+// snapshot it with its Snapshot method.
+func StartTrace(ctx context.Context, name string) (*Span, context.Context) {
+	return obs.StartTrace(ctx, name)
+}
+
+// StartSpan begins a child of the context's active span. On an untraced
+// context it returns (nil, ctx) — the disabled path costs one context
+// lookup.
+func StartSpan(ctx context.Context, name string) (*Span, context.Context) {
+	return obs.StartSpan(ctx, name)
+}
+
+// SpanFromContext returns the context's active span, or nil when untraced.
+func SpanFromContext(ctx context.Context) *Span { return obs.FromContext(ctx) }
+
+// MetricsRegistry is the serving layer's hand-rolled Prometheus-style metric
+// registry (counters, gauges, histograms; text exposition via
+// WritePrometheus). Pass one in ServerConfig.Registry to add your own
+// families to the server's /metrics?format=prometheus page, or read the
+// server's own via Server.Registry.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty metric registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
 // Verify runs the differential oracle: it simulates p under cfg and checks
 // the committed instruction stream (count and checksum), the final
