@@ -1,0 +1,346 @@
+// Package cluster is the multi-node layer over the serving stack: a router
+// frontend that shards simulation traffic across a pool of regsimd workers
+// by cache affinity, with health probing, saturation-aware spillover, and
+// retry-with-reroute failover.
+//
+// The core mechanism is rendezvous (highest-random-weight) hashing over the
+// same SHA-256 spec fingerprint the persistent result cache keys entries by
+// (internal/sweep/rescache via exper.Fingerprint): every spec has one
+// preferred worker, so repeated traffic for a configuration concentrates on
+// the node whose in-memory memo and on-disk cache already hold its result —
+// the warm-hit concentration that makes a cluster of small caches behave
+// like one big one. Adding or removing a worker moves only the ~1/n of
+// fingerprints that mapped to it; everything else keeps its warm node.
+//
+// Around that affinity core the router is failure-shaped:
+//
+//   - a prober polls every worker's GET /v1/load (admission occupancy,
+//     queue depth, drain state) and demotes workers to degraded (draining)
+//     or dead (consecutive probe failures);
+//   - queue-depth-aware spillover: a saturated or degraded primary is
+//     skipped for the next-preferred worker while an alternative exists,
+//     trading one cold simulation for not queueing behind a full node;
+//   - retry-with-reroute: a worker that dies mid-request (connection error,
+//     429/503 refusal) is routed around — sweep shards assigned to it are
+//     regrouped onto the surviving preference order and re-sent, so an
+//     in-flight sweep completes with results byte-identical to a
+//     single-node run;
+//   - per-spec sweep sharding: POST /v1/sweep splits its matrix by each
+//     spec's preferred worker, runs the shards concurrently, and merges
+//     results back into request order.
+//
+// The router serves the same wire surface as a worker (simulate, sweep,
+// workloads, timing, healthz, metrics), so regsim.Client points at either
+// interchangeably, plus GET /v1/cluster (pool status) and optional worker
+// registration. Trace IDs propagate: the router stamps X-Trace-Id on every
+// upstream call and workers adopt it, so one trace covers
+// route → probe → worker.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"regsim/internal/obs"
+	"regsim/internal/server"
+)
+
+// Routing policies. Affinity is the production policy; round-robin exists as
+// the measurement baseline the affinity win is quantified against (see
+// EXPERIMENTS.md) and as an escape hatch for pathological key skew.
+type Policy string
+
+const (
+	// PolicyAffinity routes each spec to the rendezvous-hash preference
+	// order of its fingerprint.
+	PolicyAffinity Policy = "affinity"
+	// PolicyRoundRobin rotates through the pool per request, ignoring
+	// fingerprints (cache hits then depend on luck, which is the point of
+	// the baseline).
+	PolicyRoundRobin Policy = "roundrobin"
+)
+
+// Error codes specific to the router, sharing the server package's wire
+// envelope. Cluster-wide overload reuses server.CodeOverloaded.
+const (
+	// CodeNoWorkers: no worker reachable at all (503, retryable — workers
+	// may register or revive).
+	CodeNoWorkers = "no_workers"
+	// CodeUpstream: every candidate worker failed with a transport-level
+	// error (502).
+	CodeUpstream = "upstream_error"
+)
+
+// Config configures a Router. Workers (or AllowRegister) is required;
+// everything else defaults.
+type Config struct {
+	// Workers is the static pool: worker base URLs
+	// (e.g. "http://10.0.0.7:8265"). The pool can grow at runtime through
+	// POST /v1/cluster/register when AllowRegister is set.
+	Workers []string
+	// AllowRegister enables POST /v1/cluster/register.
+	AllowRegister bool
+
+	// Policy selects the routing policy (default PolicyAffinity).
+	Policy Policy
+
+	// DefaultBudget fills a request spec's omitted commit budget before
+	// fingerprinting, and must match the workers' -n so the router's
+	// routing key equals the workers' cache key (default 200,000 — the
+	// regsimd default). A mismatch only de-concentrates caches; results
+	// stay correct because workers fill their own defaults.
+	DefaultBudget int64
+	// MaxSweepSpecs bounds one sweep request's matrix at the router
+	// (default 4096). MaxShardSpecs bounds one sub-sweep sent to a single
+	// worker (default 256; shards beyond it are chunked into parallel
+	// requests so a skewed matrix cannot exceed a worker's own limit).
+	MaxSweepSpecs int
+	MaxShardSpecs int
+	// MaxBudget bounds the per-spec commit budget, mirroring the workers'
+	// -max-budget (default 10,000,000).
+	MaxBudget int64
+
+	// DefaultTimeout/MaxTimeout mirror the worker-side per-request deadline
+	// handling (defaults 30s / 2m); the effective deadline is forwarded to
+	// workers as their ?timeout= hint.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// RetryAfter is the backoff hint on cluster-wide refusals when no
+	// worker supplied one (default 1s).
+	RetryAfter time.Duration
+
+	// ProbeInterval is the health/saturation probe period (default 2s;
+	// negative disables the background prober — tests drive probes
+	// directly). ProbeTimeout bounds one probe round trip (default 1s).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// DeadAfter is the number of consecutive failures (probe or request)
+	// after which a worker is considered dead and only used as a last
+	// resort (default 3; a later success revives it).
+	DeadAfter int
+	// SpillThreshold is the admission-occupancy fraction
+	// ((inFlight+waiting)/capacity) above which a worker is spilled past
+	// while a less-loaded candidate exists (default 0.9).
+	SpillThreshold float64
+	// LoadMaxAge is how long a load snapshot stays fresh enough to base a
+	// spillover decision on (default 3×ProbeInterval); stale snapshots are
+	// ignored rather than acted on.
+	LoadMaxAge time.Duration
+	// MaxAttempts bounds how many distinct workers one request may try
+	// (default: the whole pool).
+	MaxAttempts int
+
+	// Logger, when non-nil, receives structured access and routing records.
+	Logger *slog.Logger
+	// Registry, when non-nil, receives the router's metric families; nil
+	// means a fresh private registry.
+	Registry *obs.Registry
+	// TraceBuffer is the recent-trace ring capacity (0 = default).
+	TraceBuffer int
+	// HTTPClient, when non-nil, overrides the upstream transport (tests).
+	HTTPClient *http.Client
+}
+
+// Router is the cluster frontend. Construct with New, expose with Handler,
+// stop with Close (which also stops the prober).
+type Router struct {
+	cfg      Config
+	pool     *pool
+	mux      *http.ServeMux
+	methods  map[string][]string
+	start    time.Time
+	draining atomic.Bool
+
+	reg     *obs.Registry
+	traces  *obs.Store
+	metrics map[string]*endpointMetrics
+
+	rr atomic.Uint64 // round-robin cursor (PolicyRoundRobin only)
+
+	spillovers atomic.Int64 // primaries skipped for load/degradation
+	reroutes   atomic.Int64 // attempts moved past a failed/refusing worker
+	probes     atomic.Int64
+	probeFails atomic.Int64
+
+	stopProber chan struct{}
+	proberDone chan struct{}
+}
+
+// New validates the configuration, builds the worker pool, and (unless
+// probing is disabled) starts the background prober.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Workers) == 0 && !cfg.AllowRegister {
+		return nil, errors.New("cluster: no workers configured and registration disabled")
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = PolicyAffinity
+	}
+	if cfg.Policy != PolicyAffinity && cfg.Policy != PolicyRoundRobin {
+		return nil, fmt.Errorf("cluster: unknown policy %q (want %q or %q)", cfg.Policy, PolicyAffinity, PolicyRoundRobin)
+	}
+	if cfg.DefaultBudget <= 0 {
+		cfg.DefaultBudget = 200_000
+	}
+	if cfg.MaxSweepSpecs <= 0 {
+		cfg.MaxSweepSpecs = 4096
+	}
+	if cfg.MaxShardSpecs <= 0 {
+		cfg.MaxShardSpecs = 256
+	}
+	if cfg.MaxBudget <= 0 {
+		cfg.MaxBudget = 10_000_000
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 30 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 2 * time.Minute
+	}
+	if cfg.DefaultTimeout > cfg.MaxTimeout {
+		return nil, fmt.Errorf("cluster: DefaultTimeout %v exceeds MaxTimeout %v", cfg.DefaultTimeout, cfg.MaxTimeout)
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = 2 * time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = time.Second
+	}
+	if cfg.DeadAfter <= 0 {
+		cfg.DeadAfter = 3
+	}
+	if cfg.SpillThreshold <= 0 || cfg.SpillThreshold > 1 {
+		cfg.SpillThreshold = 0.9
+	}
+	if cfg.LoadMaxAge <= 0 {
+		interval := cfg.ProbeInterval
+		if interval < 0 {
+			interval = 2 * time.Second
+		}
+		cfg.LoadMaxAge = 3 * interval
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	rt := &Router{
+		cfg:     cfg,
+		pool:    newPool(cfg.HTTPClient),
+		mux:     http.NewServeMux(),
+		methods: make(map[string][]string),
+		start:   time.Now(),
+		reg:     reg,
+		traces:  obs.NewStore(cfg.TraceBuffer),
+		metrics: make(map[string]*endpointMetrics),
+	}
+	for _, raw := range cfg.Workers {
+		if _, err := rt.pool.add(raw); err != nil {
+			return nil, err
+		}
+	}
+	rt.registerMetrics()
+	rt.route("POST /v1/simulate", rt.handleSimulate)
+	rt.route("POST /v1/sweep", rt.handleSweep)
+	rt.route("GET /v1/workloads", rt.handleProxy)
+	rt.route("GET /v1/timing", rt.handleProxy)
+	rt.route("GET /v1/cluster", rt.handleCluster)
+	if cfg.AllowRegister {
+		rt.route("POST /v1/cluster/register", rt.handleRegister)
+	}
+	rt.route("GET /healthz", rt.handleHealthz)
+	rt.route("GET /metrics", rt.handleMetrics)
+	rt.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if allowed, ok := rt.methods[r.URL.Path]; ok {
+			w.Header().Set("Allow", strings.Join(allowed, ", "))
+			server.WriteError(w, &server.APIError{
+				Status: http.StatusMethodNotAllowed, Code: server.CodeInvalidArgument,
+				Message: fmt.Sprintf("%s not allowed on %s (allow %s)", r.Method, r.URL.Path, strings.Join(allowed, ", ")),
+			})
+			return
+		}
+		server.WriteError(w, &server.APIError{
+			Status: http.StatusNotFound, Code: server.CodeNotFound,
+			Message: fmt.Sprintf("no route for %s %s", r.Method, r.URL.Path),
+		})
+	})
+	if cfg.ProbeInterval > 0 {
+		rt.stopProber = make(chan struct{})
+		rt.proberDone = make(chan struct{})
+		go rt.proberLoop()
+	}
+	return rt, nil
+}
+
+// route registers a handler under the middleware stack and records the
+// method for 405 answers.
+func (rt *Router) route(pattern string, h http.HandlerFunc) {
+	m := &endpointMetrics{}
+	rt.metrics[pattern] = m
+	rt.mux.Handle(pattern, rt.wrap(pattern, m, h))
+	method, path, _ := strings.Cut(pattern, " ")
+	rt.methods[path] = append(rt.methods[path], method)
+}
+
+// Handler returns the router's root handler.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Drain flips /healthz to 503 and refuses new simulation work, mirroring
+// the worker-side drain contract so load balancers treat routers and
+// workers uniformly.
+func (rt *Router) Drain() { rt.draining.Store(true) }
+
+// Draining reports whether Drain has been called.
+func (rt *Router) Draining() bool { return rt.draining.Load() }
+
+// Close stops the background prober (idempotent; safe when probing is
+// disabled).
+func (rt *Router) Close() {
+	if rt.stopProber == nil {
+		return
+	}
+	select {
+	case <-rt.stopProber:
+	default:
+		close(rt.stopProber)
+		<-rt.proberDone
+	}
+}
+
+// Workers returns a point-in-time status snapshot of every pool member.
+func (rt *Router) Workers() []WorkerStatus {
+	workers := rt.pool.workers()
+	out := make([]WorkerStatus, len(workers))
+	for i, w := range workers {
+		out[i] = w.status()
+	}
+	return out
+}
+
+// Register adds a worker to the pool at runtime (the programmatic form of
+// POST /v1/cluster/register; unlike the endpoint it works even when
+// AllowRegister is off). It reports whether the worker was new.
+func (rt *Router) Register(rawURL string) (bool, error) {
+	w, err := rt.pool.add(rawURL)
+	if err != nil {
+		return false, err
+	}
+	return w != nil, nil
+}
+
+// normalizeWorkerURL validates and canonicalises one worker base URL.
+func normalizeWorkerURL(raw string) (string, error) {
+	raw = strings.TrimRight(strings.TrimSpace(raw), "/")
+	u, err := url.Parse(raw)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return "", fmt.Errorf("cluster: worker URL %q is not an absolute http(s) URL", raw)
+	}
+	return raw, nil
+}

@@ -1,0 +1,545 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"regsim/internal/exper"
+	"regsim/internal/obs"
+	"regsim/internal/server"
+)
+
+// requestContext applies the per-request deadline, mirroring the worker-side
+// rules (?timeout= override, clamped to MaxTimeout). The same duration is
+// forwarded to workers as their ?timeout= hint, so router and worker agree
+// on when the request is out of time.
+func (rt *Router) requestContext(r *http.Request) (context.Context, context.CancelFunc, time.Duration, *server.APIError) {
+	d := rt.cfg.DefaultTimeout
+	if raw := r.URL.Query().Get("timeout"); raw != "" {
+		parsed, err := time.ParseDuration(raw)
+		if err != nil || parsed <= 0 {
+			return nil, nil, 0, &server.APIError{
+				Status: http.StatusBadRequest, Code: server.CodeInvalidArgument,
+				Field:   "timeout",
+				Message: fmt.Sprintf("timeout %q is not a positive Go duration (e.g. 500ms, 30s)", raw),
+			}
+		}
+		d = parsed
+	}
+	if d > rt.cfg.MaxTimeout {
+		d = rt.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, d, nil
+}
+
+// refuseIfDraining answers simulation endpoints during router drain, exactly
+// like a draining worker would.
+func (rt *Router) refuseIfDraining(w http.ResponseWriter) bool {
+	if !rt.draining.Load() {
+		return false
+	}
+	server.WriteError(w, &server.APIError{
+		Status: http.StatusServiceUnavailable, Code: server.CodeDraining,
+		Message:           "router is draining; retry against another instance",
+		RetryAfterSeconds: rt.retryAfterSeconds(),
+	})
+	return true
+}
+
+// ctxError maps a fired request deadline/cancellation to its wire form
+// (matching the worker-side mapping, so clients see one vocabulary).
+func ctxError(ctx context.Context) *server.APIError {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return &server.APIError{
+			Status: http.StatusGatewayTimeout, Code: server.CodeDeadlineExceeded,
+			Message: "request deadline exceeded before the cluster finished; raise ?timeout= or shrink the request",
+		}
+	}
+	return &server.APIError{Status: 499, Code: server.CodeCanceled, Message: "request canceled by the client"}
+}
+
+// handleSimulate routes one spec: POST /v1/simulate. The spec is normalized
+// and fingerprinted, the fingerprint's preference order computed, and the
+// candidates tried in order until one answers — a worker that fails on the
+// transport or refuses with 429/503 is routed past (reroute), a worker that
+// answers a terminal error (validation, simulator failure) speaks for the
+// cluster and its answer passes through unchanged.
+func (rt *Router) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	if rt.refuseIfDraining(w) {
+		return
+	}
+	var spec exper.Spec
+	if apiErr := server.DecodeJSON(w, r, maxSimulateBody, &spec); apiErr != nil {
+		server.WriteError(w, apiErr)
+		return
+	}
+	spec, key := rt.finishSpec(spec)
+	if apiErr := server.ValidateSpec(spec, rt.cfg.MaxBudget); apiErr != nil {
+		server.WriteError(w, apiErr)
+		return
+	}
+	ctx, cancel, timeout, apiErr := rt.requestContext(r)
+	if apiErr != nil {
+		server.WriteError(w, apiErr)
+		return
+	}
+	defer cancel()
+
+	candidates, spilled := rt.pick(key, nil)
+	if len(candidates) == 0 {
+		server.WriteError(w, rt.noWorkersError())
+		return
+	}
+	if spilled {
+		rt.spillovers.Add(1)
+	}
+	var (
+		sawRefusal  bool
+		refusalHint int
+		lastErr     error
+	)
+	for i, wk := range candidates {
+		if i > 0 {
+			rt.reroutes.Add(1)
+		}
+		sp, spCtx := obs.StartSpan(ctx, "route")
+		sp.Set("worker", wk.name)
+		sp.Set("attempt", i+1)
+		wk.requests.Add(1)
+		resp, err := wk.client.WithTimeout(timeout).Simulate(spCtx, spec)
+		if err == nil {
+			sp.End()
+			wk.noteSuccess()
+			server.WriteJSON(w, http.StatusOK, resp)
+			return
+		}
+		sp.Set("error", err.Error())
+		sp.End()
+		var upstream *server.APIError
+		switch {
+		case errors.As(err, &upstream) && upstream.IsRetryable():
+			// The worker is alive but refusing (full queue, draining):
+			// not a health failure, just not this worker right now.
+			sawRefusal = true
+			if upstream.RetryAfterSeconds > refusalHint {
+				refusalHint = upstream.RetryAfterSeconds
+			}
+		case errors.As(err, &upstream):
+			// A terminal answer (validation drift, simulator failure,
+			// deadline inside the worker): retrying elsewhere would just
+			// repeat it. Pass it through verbatim.
+			server.WriteError(w, upstream)
+			return
+		default:
+			// Transport-level death: count it toward the worker's demise
+			// and move on.
+			wk.noteFailure(rt.cfg.DeadAfter, err)
+			lastErr = err
+		}
+		if ctx.Err() != nil {
+			server.WriteError(w, ctxError(ctx))
+			return
+		}
+	}
+	server.WriteError(w, rt.exhaustedError(sawRefusal, refusalHint, lastErr))
+}
+
+// shard is one worker's portion of a sweep round: the original request
+// indices it covers (the specs are re-read from the request array, so a
+// rerouted shard carries identical specs to the first attempt).
+type shard struct {
+	worker  *worker
+	indices []int
+}
+
+// shardOutcome is one shard attempt's result.
+type shardOutcome struct {
+	shard shard
+	resp  *server.SweepResponse
+	err   error
+}
+
+// handleSweep routes a spec matrix: POST /v1/sweep. The matrix is validated
+// up front (so validation errors carry the caller's spec indices), then
+// executed in rounds: each round groups the still-pending specs by their
+// preferred worker, fires the shards concurrently (chunked at MaxShardSpecs
+// per upstream request), merges successes into the response in request
+// order, and excludes failed workers from the next round's grouping — a
+// worker that dies mid-sweep just means its specs re-shard onto the
+// survivors, and the completed sweep is byte-identical to a single-node run.
+func (rt *Router) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if rt.refuseIfDraining(w) {
+		return
+	}
+	start := time.Now()
+	var req server.SweepRequest
+	if apiErr := server.DecodeJSON(w, r, maxSweepBody, &req); apiErr != nil {
+		server.WriteError(w, apiErr)
+		return
+	}
+	if len(req.Specs) == 0 {
+		server.WriteError(w, &server.APIError{
+			Status: http.StatusBadRequest, Code: server.CodeInvalidArgument,
+			Field: "specs", Message: "specs must name at least one simulation",
+		})
+		return
+	}
+	if len(req.Specs) > rt.cfg.MaxSweepSpecs {
+		server.WriteError(w, &server.APIError{
+			Status: http.StatusBadRequest, Code: server.CodeInvalidArgument,
+			Field:   "specs",
+			Message: fmt.Sprintf("sweep of %d specs exceeds the per-request limit %d; split the matrix", len(req.Specs), rt.cfg.MaxSweepSpecs),
+		})
+		return
+	}
+	specs := make([]exper.Spec, len(req.Specs))
+	keys := make([]string, len(req.Specs))
+	for i := range req.Specs {
+		spec, key := rt.finishSpec(req.Specs[i])
+		if apiErr := server.ValidateSpec(spec, rt.cfg.MaxBudget); apiErr != nil {
+			apiErr.Field = fmt.Sprintf("specs[%d].%s", i, apiErr.Field)
+			server.WriteError(w, apiErr)
+			return
+		}
+		specs[i] = spec
+		keys[i] = key
+	}
+	ctx, cancel, timeout, apiErr := rt.requestContext(r)
+	if apiErr != nil {
+		server.WriteError(w, apiErr)
+		return
+	}
+	defer cancel()
+
+	pending := make([]int, len(specs))
+	for i := range pending {
+		pending[i] = i
+	}
+	results := make([]server.SimulateResponse, len(specs))
+	excluded := make(map[string]bool)
+	var (
+		sawRefusal  bool
+		refusalHint int
+		lastErr     error
+	)
+	// One clean pass plus one reroute round per pool member bounds the
+	// loop; in practice a single worker death costs exactly one extra
+	// round.
+	maxRounds := len(rt.pool.workers()) + 1
+	for round := 0; round < maxRounds && len(pending) > 0; round++ {
+		shards := rt.shardSpecs(pending, keys, excluded)
+		if len(shards) == 0 {
+			if len(excluded) == 0 {
+				break // pool is empty
+			}
+			// Everything usable has failed once; clear the exclusions and
+			// let the remaining rounds give revived workers another try.
+			excluded = make(map[string]bool)
+			continue
+		}
+		outcomes := rt.runShards(ctx, shards, specs, timeout, round)
+		pending = pending[:0]
+		for _, out := range outcomes {
+			if out.err == nil {
+				out.shard.worker.noteSuccess()
+				for j, idx := range out.shard.indices {
+					results[idx] = out.resp.Results[j]
+				}
+				continue
+			}
+			var upstream *server.APIError
+			switch {
+			case errors.As(out.err, &upstream) && upstream.IsRetryable():
+				sawRefusal = true
+				if upstream.RetryAfterSeconds > refusalHint {
+					refusalHint = upstream.RetryAfterSeconds
+				}
+			case errors.As(out.err, &upstream):
+				upstream.Field = remapShardField(upstream.Field, out.shard.indices)
+				server.WriteError(w, upstream)
+				return
+			default:
+				out.shard.worker.noteFailure(rt.cfg.DeadAfter, out.err)
+				lastErr = out.err
+			}
+			excluded[out.shard.worker.name] = true
+			pending = append(pending, out.shard.indices...)
+		}
+		if len(pending) > 0 && ctx.Err() != nil {
+			server.WriteError(w, ctxError(ctx))
+			return
+		}
+	}
+	if len(pending) > 0 {
+		if len(rt.pool.workers()) == 0 {
+			server.WriteError(w, rt.noWorkersError())
+			return
+		}
+		server.WriteError(w, rt.exhaustedError(sawRefusal, refusalHint, lastErr))
+		return
+	}
+	server.WriteJSON(w, http.StatusOK, server.SweepResponse{
+		Count:     len(results),
+		Results:   results,
+		ElapsedMS: elapsedMS(start),
+	})
+}
+
+// shardSpecs groups pending spec indices by each spec's preferred worker
+// (head of its candidate order, excluding this sweep's failed workers) and
+// chunks each group at MaxShardSpecs so no upstream request exceeds a
+// worker's own sweep limit.
+func (rt *Router) shardSpecs(pending []int, keys []string, excluded map[string]bool) []shard {
+	groups := make(map[*worker][]int)
+	var order []*worker // deterministic shard order for tests and logs
+	for _, idx := range pending {
+		candidates, spilled := rt.pick(keys[idx], excluded)
+		if len(candidates) == 0 {
+			return nil
+		}
+		if spilled {
+			rt.spillovers.Add(1)
+		}
+		wk := candidates[0]
+		if _, ok := groups[wk]; !ok {
+			order = append(order, wk)
+		}
+		groups[wk] = append(groups[wk], idx)
+	}
+	var shards []shard
+	for _, wk := range order {
+		indices := groups[wk]
+		for len(indices) > rt.cfg.MaxShardSpecs {
+			shards = append(shards, shard{worker: wk, indices: indices[:rt.cfg.MaxShardSpecs]})
+			indices = indices[rt.cfg.MaxShardSpecs:]
+		}
+		shards = append(shards, shard{worker: wk, indices: indices})
+	}
+	return shards
+}
+
+// runShards fires one round's shards concurrently and collects every
+// outcome. Each shard is a span on the request trace carrying its worker
+// and size, and the trace ID rides the upstream call's X-Trace-Id.
+func (rt *Router) runShards(ctx context.Context, shards []shard, specs []exper.Spec, timeout time.Duration, round int) []shardOutcome {
+	outcomes := make([]shardOutcome, len(shards))
+	var wg sync.WaitGroup
+	for i, sh := range shards {
+		wg.Add(1)
+		go func(i int, sh shard) {
+			defer wg.Done()
+			if round > 0 {
+				rt.reroutes.Add(1)
+			}
+			sp, spCtx := obs.StartSpan(ctx, "shard")
+			sp.Set("worker", sh.worker.name)
+			sp.Set("specs", len(sh.indices))
+			sp.Set("round", round)
+			sub := make([]exper.Spec, len(sh.indices))
+			for j, idx := range sh.indices {
+				sub[j] = specs[idx]
+			}
+			sh.worker.requests.Add(1)
+			resp, err := sh.worker.client.WithTimeout(timeout).Sweep(spCtx, sub)
+			if err != nil {
+				sp.Set("error", err.Error())
+			}
+			sp.End()
+			if err == nil && len(resp.Results) != len(sh.indices) {
+				err = fmt.Errorf("worker %s returned %d results for %d specs", sh.worker.name, len(resp.Results), len(sh.indices))
+			}
+			outcomes[i] = shardOutcome{shard: sh, resp: resp, err: err}
+		}(i, sh)
+	}
+	wg.Wait()
+	return outcomes
+}
+
+// remapShardField rewrites a worker's shard-relative "specs[j]..." field
+// reference back to the caller's original spec index. Pre-validation makes
+// these rare (the router applies the same rules first), but a worker with a
+// different registry could still refuse a spec the router accepted.
+func remapShardField(field string, indices []int) string {
+	rest, ok := strings.CutPrefix(field, "specs[")
+	if !ok {
+		return field
+	}
+	num, rest, ok := strings.Cut(rest, "]")
+	if !ok {
+		return field
+	}
+	j, err := strconv.Atoi(num)
+	if err != nil || j < 0 || j >= len(indices) {
+		return field
+	}
+	return fmt.Sprintf("specs[%d]%s", indices[j], rest)
+}
+
+// handleProxy forwards a read-only endpoint (GET /v1/workloads, /v1/timing)
+// to the first answering worker, byte-for-byte. These answers are
+// pool-invariant (every worker runs the same registry and timing model), so
+// any healthy worker speaks for the cluster.
+func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
+	candidates, _ := rt.pick(r.URL.Path, nil)
+	if len(candidates) == 0 {
+		server.WriteError(w, rt.noWorkersError())
+		return
+	}
+	var lastErr error
+	for i, wk := range candidates {
+		if i > 0 {
+			rt.reroutes.Add(1)
+		}
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, wk.name+r.URL.RequestURI(), nil)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if id := obs.TraceIDFromContext(r.Context()); id != 0 {
+			req.Header.Set("X-Trace-Id", id.String())
+		}
+		wk.requests.Add(1)
+		resp, err := rt.httpClient().Do(req)
+		if err != nil {
+			wk.noteFailure(rt.cfg.DeadAfter, err)
+			lastErr = err
+			continue
+		}
+		wk.noteSuccess()
+		// Any HTTP answer — including a structured 4xx — is the cluster's
+		// answer; only transport failures reroute.
+		if ct := resp.Header.Get("Content-Type"); ct != "" {
+			w.Header().Set("Content-Type", ct)
+		}
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body) // connection loss mid-copy is unrecoverable anyway
+		resp.Body.Close()
+		return
+	}
+	server.WriteError(w, rt.exhaustedError(false, 0, lastErr))
+}
+
+// httpClient returns the raw-proxy transport (the configured override or the
+// default client).
+func (rt *Router) httpClient() *http.Client {
+	if rt.cfg.HTTPClient != nil {
+		return rt.cfg.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// handleCluster reports the pool: GET /v1/cluster.
+func (rt *Router) handleCluster(w http.ResponseWriter, r *http.Request) {
+	server.WriteJSON(w, http.StatusOK, ClusterResponse{
+		Policy:        string(rt.cfg.Policy),
+		Draining:      rt.draining.Load(),
+		Workers:       rt.Workers(),
+		Spillovers:    rt.spillovers.Load(),
+		Reroutes:      rt.reroutes.Load(),
+		Probes:        rt.probes.Load(),
+		ProbeFailures: rt.probeFails.Load(),
+		UptimeSeconds: time.Since(rt.start).Seconds(),
+	})
+}
+
+// handleRegister adds a worker at runtime: POST /v1/cluster/register. The
+// new member is probed synchronously so its first load snapshot exists
+// before the response — a registering worker is routable the moment the 200
+// lands.
+func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if apiErr := server.DecodeJSON(w, r, maxRegisterBody, &req); apiErr != nil {
+		server.WriteError(w, apiErr)
+		return
+	}
+	if req.URL == "" {
+		server.WriteError(w, &server.APIError{
+			Status: http.StatusBadRequest, Code: server.CodeInvalidArgument,
+			Field: "url", Message: "url is required",
+		})
+		return
+	}
+	name, err := normalizeWorkerURL(req.URL)
+	if err != nil {
+		server.WriteError(w, &server.APIError{
+			Status: http.StatusBadRequest, Code: server.CodeInvalidArgument,
+			Field: "url", Message: err.Error(),
+		})
+		return
+	}
+	added, err := rt.Register(name)
+	if err != nil {
+		server.WriteError(w, &server.APIError{
+			Status: http.StatusBadRequest, Code: server.CodeInvalidArgument,
+			Field: "url", Message: err.Error(),
+		})
+		return
+	}
+	wk := rt.pool.get(name)
+	rt.probe(r.Context(), wk)
+	server.WriteJSON(w, http.StatusOK, RegisterResponse{Added: added, Worker: wk.status()})
+}
+
+// handleHealthz: GET /healthz. 200 while the router can route, 503 while
+// draining or when the entire pool is dead (a router with no live workers is
+// down as far as a load balancer should care).
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if rt.draining.Load() {
+		server.WriteJSON(w, http.StatusServiceUnavailable, server.HealthResponse{Status: "draining"})
+		return
+	}
+	alive := 0
+	for _, wk := range rt.pool.workers() {
+		if wk.getState() != stateDead {
+			alive++
+		}
+	}
+	if alive == 0 {
+		server.WriteJSON(w, http.StatusServiceUnavailable, server.HealthResponse{Status: "no_workers"})
+		return
+	}
+	server.WriteJSON(w, http.StatusOK, server.HealthResponse{Status: "ok"})
+}
+
+// handleMetrics: GET /metrics. JSON by default, ?format=prometheus for the
+// text exposition — the same contract as a worker, so one scrape config
+// covers both tiers.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+	case "prometheus":
+		w.Header().Set("Content-Type", obs.ContentType)
+		rt.reg.WritePrometheus(w) // the connection is gone if this fails
+		return
+	default:
+		server.WriteError(w, &server.APIError{
+			Status: http.StatusBadRequest, Code: server.CodeInvalidArgument,
+			Field:   "format",
+			Message: fmt.Sprintf("unknown metrics format %q (want json or prometheus)", format),
+		})
+		return
+	}
+	resp := MetricsResponse{
+		UptimeSeconds: time.Since(rt.start).Seconds(),
+		Draining:      rt.draining.Load(),
+		Policy:        string(rt.cfg.Policy),
+		Workers:       rt.Workers(),
+		Spillovers:    rt.spillovers.Load(),
+		Reroutes:      rt.reroutes.Load(),
+		Probes:        rt.probes.Load(),
+		ProbeFailures: rt.probeFails.Load(),
+		Endpoints:     make(map[string]server.EndpointMetrics, len(rt.metrics)),
+	}
+	for pattern, m := range rt.metrics {
+		resp.Endpoints[pattern] = m.snapshot(false)
+	}
+	server.WriteJSON(w, http.StatusOK, resp)
+}

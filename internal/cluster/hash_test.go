@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+)
+
+// fakeWorkers builds n workers with stable names (no network).
+func fakeWorkers(n int) []*worker {
+	out := make([]*worker, n)
+	for i := range out {
+		out[i] = &worker{name: fmt.Sprintf("http://worker-%d:8265", i)}
+	}
+	return out
+}
+
+// fingerprintKeys builds count keys shaped like the real routing keys: hex
+// SHA-256 digests.
+func fingerprintKeys(count int) []string {
+	out := make([]string, count)
+	for i := range out {
+		sum := sha256.Sum256([]byte(fmt.Sprintf("spec-%d", i)))
+		out[i] = hex.EncodeToString(sum[:])
+	}
+	return out
+}
+
+// TestHRWDistributionSkew: rendezvous hashing must spread 1k fingerprints
+// roughly evenly across pools of 3, 5, and 8 workers. The bound is loose
+// (±40% of the fair share) — the point is "no worker starves or drowns",
+// not perfect balance.
+func TestHRWDistributionSkew(t *testing.T) {
+	keys := fingerprintKeys(1000)
+	for _, n := range []int{3, 5, 8} {
+		workers := fakeWorkers(n)
+		counts := make(map[string]int)
+		for _, key := range keys {
+			counts[rankByHRW(workers, key)[0].name]++
+		}
+		if len(counts) != n {
+			t.Fatalf("%d workers: only %d ever ranked first", n, len(counts))
+		}
+		fair := float64(len(keys)) / float64(n)
+		for name, c := range counts {
+			if float64(c) < 0.6*fair || float64(c) > 1.4*fair {
+				t.Errorf("%d workers: %s got %d of %d keys (fair share %.0f)", n, name, c, len(keys), fair)
+			}
+		}
+	}
+}
+
+// TestHRWMinimalMovement: removing one worker must reassign exactly the keys
+// that preferred it — every other key keeps its worker (the property that
+// preserves warm caches across pool changes).
+func TestHRWMinimalMovement(t *testing.T) {
+	keys := fingerprintKeys(1000)
+	workers := fakeWorkers(8)
+	removed := workers[3]
+	survivors := append(append([]*worker{}, workers[:3]...), workers[4:]...)
+
+	moved := 0
+	for _, key := range keys {
+		before := rankByHRW(workers, key)[0]
+		after := rankByHRW(survivors, key)[0]
+		if before == removed {
+			moved++
+			// A displaced key must land on its second preference.
+			if want := rankByHRW(workers, key)[1]; after != want {
+				t.Fatalf("key displaced from %s landed on %s, want second preference %s",
+					removed.name, after.name, want.name)
+			}
+			continue
+		}
+		if after != before {
+			t.Fatalf("key not on the removed worker moved anyway: %s -> %s", before.name, after.name)
+		}
+	}
+	// Expect ~1/8 of the keyspace; allow wide slack around 125.
+	if moved < 60 || moved > 220 {
+		t.Errorf("removing 1 of 8 workers moved %d of %d keys, want ~125", moved, len(keys))
+	}
+}
+
+// TestHRWDeterministicOrder: the full preference order is a pure function of
+// (pool, key) — the property that lets two router instances agree without
+// coordination.
+func TestHRWDeterministicOrder(t *testing.T) {
+	workers := fakeWorkers(5)
+	key := fingerprintKeys(1)[0]
+	first := rankByHRW(workers, key)
+	for i := 0; i < 10; i++ {
+		again := rankByHRW(workers, key)
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatalf("ranking not deterministic at position %d", j)
+			}
+		}
+	}
+	// The input slice order must not matter.
+	reversed := make([]*worker, len(workers))
+	for i, w := range workers {
+		reversed[len(workers)-1-i] = w
+	}
+	fromReversed := rankByHRW(reversed, key)
+	for j := range first {
+		if first[j] != fromReversed[j] {
+			t.Fatalf("ranking depends on input order at position %d", j)
+		}
+	}
+}

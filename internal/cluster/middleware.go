@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"log"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"sync"
+	"time"
+
+	"regsim/internal/obs"
+	"regsim/internal/server"
+	"regsim/internal/telemetry"
+)
+
+// endpointMetrics mirrors the worker-side per-route statistics (request
+// count, responses per status, millisecond latency histogram) so the
+// router's /metrics document has the same shape operators already read off
+// a worker.
+type endpointMetrics struct {
+	mu       sync.Mutex
+	requests int64
+	byStatus map[string]int64
+	latency  telemetry.Histogram
+}
+
+func (m *endpointMetrics) record(status int, elapsed time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests++
+	if m.byStatus == nil {
+		m.byStatus = make(map[string]int64)
+	}
+	m.byStatus[strconv.Itoa(status)]++
+	m.latency.Record(elapsed.Milliseconds())
+}
+
+func (m *endpointMetrics) snapshot(includeBuckets bool) server.EndpointMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	by := make(map[string]int64, len(m.byStatus))
+	for k, v := range m.byStatus {
+		by[k] = v
+	}
+	stats := m.latency.Stats()
+	if !includeBuckets {
+		stats.Buckets = nil
+	}
+	return server.EndpointMetrics{Requests: m.requests, ByStatus: by, LatencyMS: stats}
+}
+
+// statusRecorder captures the response status and size.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// wrap is the router's middleware stack: root span (adopting an incoming
+// X-Trace-Id, minting one otherwise — the same ID is then stamped on every
+// upstream worker call, so one trace covers route → worker), panic-to-500
+// recovery, per-endpoint metrics, and structured access logs.
+func (rt *Router) wrap(pattern string, m *endpointMetrics, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		var inherited obs.TraceID
+		if raw := r.Header.Get("X-Trace-Id"); raw != "" {
+			if id, err := obs.ParseTraceID(raw); err == nil {
+				inherited = id
+			}
+		}
+		root, ctx := obs.StartTraceWithID(r.Context(), inherited, pattern)
+		r = r.WithContext(ctx)
+		w.Header().Set("X-Trace-Id", root.TraceID().String())
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			if p := recover(); p != nil {
+				log.Printf("cluster: panic in %s: %v\n%s", pattern, p, debug.Stack())
+				if rec.bytes == 0 {
+					server.WriteError(rec, &server.APIError{
+						Status: http.StatusInternalServerError, Code: server.CodeInternal,
+						Message: "internal error (panic recovered; see router log)",
+					})
+				}
+			}
+			root.Set("status", rec.status)
+			root.End()
+			elapsed := time.Since(start)
+			m.record(rec.status, elapsed)
+			rt.traces.Add(root.Snapshot())
+			if rt.cfg.Logger != nil {
+				rt.cfg.Logger.Info("request",
+					"trace", root.TraceID().String(),
+					"method", r.Method,
+					"path", r.URL.RequestURI(),
+					"status", rec.status,
+					"bytes", rec.bytes,
+					"elapsedMS", float64(elapsed.Microseconds())/1000,
+					"remote", r.RemoteAddr,
+				)
+			}
+		}()
+		h(rec, r)
+	})
+}

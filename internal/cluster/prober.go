@@ -1,0 +1,65 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// proberLoop is the background health/saturation poller: every ProbeInterval
+// it fetches each worker's GET /v1/load concurrently. The responses feed two
+// consumers — the state machine (healthy/degraded/dead, so routing stops
+// preferring nodes that stopped answering) and the spillover heuristic
+// (queue depth and occupancy, so a saturated primary is skipped while the
+// snapshot is fresh). New needs no warm-up round: unknown workers are
+// routable, and real request outcomes update the same counters the probes
+// do, so traffic itself keeps the picture current between ticks.
+func (rt *Router) proberLoop() {
+	defer close(rt.proberDone)
+	ticker := time.NewTicker(rt.cfg.ProbeInterval)
+	defer ticker.Stop()
+	// Probe immediately on startup so a statically configured pool has load
+	// snapshots before the first request, not one interval later.
+	rt.ProbeAll(context.Background())
+	for {
+		select {
+		case <-rt.stopProber:
+			return
+		case <-ticker.C:
+			rt.ProbeAll(context.Background())
+		}
+	}
+}
+
+// ProbeAll probes every pool member once, concurrently, and returns when all
+// probes finish. Exported so tests (and the router's registration handler)
+// can force a probe round instead of waiting out the interval.
+func (rt *Router) ProbeAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, w := range rt.pool.workers() {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			rt.probe(ctx, w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// probe fetches one worker's load snapshot under the probe timeout.
+func (rt *Router) probe(ctx context.Context, w *worker) {
+	rt.probes.Add(1)
+	ctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
+	defer cancel()
+	load, err := w.client.Load(ctx)
+	if err != nil {
+		rt.probeFails.Add(1)
+		w.noteFailure(rt.cfg.DeadAfter, err)
+		if rt.cfg.Logger != nil {
+			rt.cfg.Logger.Warn("probe failed",
+				"worker", w.name, "state", w.getState().String(), "error", err.Error())
+		}
+		return
+	}
+	w.noteLoad(load)
+}

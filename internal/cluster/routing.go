@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"regsim/internal/exper"
+)
+
+// finishSpec fills a request spec's omitted fields with the same baseline
+// defaults the workers apply (4-wide, cost-effective queue, 80 registers,
+// the configured commit budget), then returns its routing key: the spec
+// fingerprint — the identical hex SHA-256 the workers' persistent result
+// cache keys the entry by. Normalizing before hashing matters: "bench only"
+// and "bench plus explicit defaults" must land on the same worker, or the
+// affinity the router exists for evaporates on cosmetic spec differences.
+func (rt *Router) finishSpec(spec exper.Spec) (exper.Spec, string) {
+	if spec.Width == 0 {
+		spec.Width = 4
+	}
+	if spec.Queue == 0 {
+		spec.Queue = exper.CostEffectiveQueue(spec.Width)
+	}
+	if spec.Regs == 0 {
+		spec.Regs = 80
+	}
+	if spec.Budget == 0 {
+		spec.Budget = rt.cfg.DefaultBudget
+	}
+	return spec, exper.Fingerprint(spec)
+}
+
+// pick computes the attempt order for one routing key: the policy's
+// preference order, re-partitioned so loaded and unhealthy workers sink —
+// routable-and-fresh first, then saturated, then degraded (draining), then
+// dead as a pure last resort (a "dead" worker may have just restarted, and
+// trying it is how it revives when it is all that's left). Workers in
+// excluded (they already failed this request) are dropped entirely.
+//
+// The second return value reports a spillover: the head of the final order
+// is not the head of the raw preference order, i.e. the cache-affine
+// primary was skipped because of load or health. Callers feed it to the
+// spillover counter only when the skip actually redirected a request.
+func (rt *Router) pick(key string, excluded map[string]bool) ([]*worker, bool) {
+	all := rt.pool.workers()
+	candidates := make([]*worker, 0, len(all))
+	for _, w := range all {
+		if !excluded[w.name] {
+			candidates = append(candidates, w)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, false
+	}
+	var preferred []*worker
+	if rt.cfg.Policy == PolicyRoundRobin {
+		// Rotate the pool by a global counter: per-request balance with
+		// zero regard for fingerprints (the measurement baseline).
+		start := int(rt.rr.Add(1)-1) % len(candidates)
+		preferred = make([]*worker, 0, len(candidates))
+		for i := range candidates {
+			preferred = append(preferred, candidates[(start+i)%len(candidates)])
+		}
+	} else {
+		preferred = rankByHRW(candidates, key)
+	}
+	var fresh, loaded, degraded, dead []*worker
+	for _, w := range preferred {
+		switch {
+		case w.getState() == stateDead:
+			dead = append(dead, w)
+		case w.getState() == stateDegraded:
+			degraded = append(degraded, w)
+		case w.saturated(rt.cfg.SpillThreshold, rt.cfg.LoadMaxAge):
+			loaded = append(loaded, w)
+		default:
+			fresh = append(fresh, w)
+		}
+	}
+	ordered := make([]*worker, 0, len(preferred))
+	ordered = append(ordered, fresh...)
+	ordered = append(ordered, loaded...)
+	ordered = append(ordered, degraded...)
+	ordered = append(ordered, dead...)
+	spilled := ordered[0] != preferred[0]
+	if n := rt.cfg.MaxAttempts; n > 0 && n < len(ordered) {
+		ordered = ordered[:n]
+	}
+	return ordered, spilled
+}

@@ -217,6 +217,14 @@ func (s *Suite) progressf(format string, args ...any) {
 	s.Progress(fmt.Sprintf(format, args...))
 }
 
+// Fingerprint is the content address of one fully-specified spec: the hex
+// SHA-256 the persistent result cache keys entries by. The cluster router
+// reuses it as the rendezvous-hashing key, so requests for one spec always
+// prefer the worker whose memo and disk cache already hold its result. The
+// spec should have all fields set (in particular a non-zero Budget); the
+// suite fingerprints specs only after normalize fills the budget in.
+func Fingerprint(spec Spec) string { return fingerprint(spec) }
+
 // fingerprint is the persistent-cache key: everything that can change a
 // spec's result, including the behavioural versions of the simulator and
 // the workload generators. Model and cache kind are encoded as strings so

@@ -87,6 +87,18 @@ func StartTrace(ctx context.Context, name string) (*Span, context.Context) {
 	return sp, ContextWithSpan(ctx, sp)
 }
 
+// StartTraceWithID begins a trace under a caller-supplied ID — how a worker
+// process joins the trace a router minted, so one ID follows a request across
+// process boundaries (route → probe → worker). A zero ID draws a fresh one,
+// making the function a drop-in for StartTrace on untraced entry points.
+func StartTraceWithID(ctx context.Context, id TraceID, name string) (*Span, context.Context) {
+	if id == 0 {
+		id = newTraceID()
+	}
+	sp := newSpan(id, name)
+	return sp, ContextWithSpan(ctx, sp)
+}
+
 // StartSpan begins a child of the context's active span and installs it as
 // the new active span. On an untraced context it returns (nil, ctx): the
 // disabled path is one context lookup, and every method of the nil span is a

@@ -58,6 +58,25 @@ func TestStartSpanUntracedReturnsNil(t *testing.T) {
 	}
 }
 
+func TestStartTraceWithID(t *testing.T) {
+	// A worker adopting a router-minted ID must put its whole span tree on
+	// that trace, so the two processes' spans correlate by ID.
+	id := newTraceID()
+	root, ctx := StartTraceWithID(context.Background(), id, "worker")
+	if root.TraceID() != id {
+		t.Fatalf("adopted trace ID %v, want %v", root.TraceID(), id)
+	}
+	child, _ := StartSpan(ctx, "simulate")
+	if child.TraceID() != id {
+		t.Fatalf("child trace ID %v, want %v", child.TraceID(), id)
+	}
+	// Zero ID means "mint one": the drop-in path for untraced entry points.
+	minted, _ := StartTraceWithID(context.Background(), 0, "cold")
+	if minted.TraceID() == 0 {
+		t.Fatal("zero ID was not replaced with a fresh one")
+	}
+}
+
 func TestSpanTreeSnapshot(t *testing.T) {
 	root, ctx := StartTrace(context.Background(), "request")
 	root.Set("status", 200)

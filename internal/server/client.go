@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -14,6 +16,7 @@ import (
 
 	"regsim/internal/core"
 	"regsim/internal/exper"
+	"regsim/internal/obs"
 )
 
 // Client is the typed Go client for the serving layer. Construct with
@@ -28,6 +31,11 @@ type Client struct {
 	// deadline hint on simulate and sweep calls (the server clamps it to
 	// its MaxTimeout). The context bounds the client side either way.
 	Timeout time.Duration
+
+	// maxAttempts/maxBackoff are the retry policy installed by WithRetry;
+	// maxAttempts <= 1 means one attempt, no retries (the default).
+	maxAttempts int
+	maxBackoff  time.Duration
 }
 
 // NewClient returns a client for a serving instance, e.g.
@@ -46,6 +54,31 @@ func NewClient(baseURL string) *Client {
 func (c *Client) WithHTTPClient(hc *http.Client) *Client {
 	c.hc = hc
 	return c
+}
+
+// WithRetry enables automatic retries of retryable refusals (429 overload,
+// 503 drain): up to maxAttempts total attempts, sleeping the server's
+// Retry-After hint between them with full jitter (a uniform draw from
+// [hint/2, hint]) so a thundering herd of backed-off clients does not
+// reconverge on one instant. maxBackoff, when positive, caps the hint —
+// a bound on how long one call blocks regardless of what the server asks
+// for. Every endpoint is a pure computation, so retrying is always safe.
+// The call's context still bounds the total wait: a deadline that fires
+// mid-backoff returns the last refusal immediately.
+func (c *Client) WithRetry(maxAttempts int, maxBackoff time.Duration) *Client {
+	c.maxAttempts = maxAttempts
+	c.maxBackoff = maxBackoff
+	return c
+}
+
+// WithTimeout returns a copy of the client with the given ?timeout= hint.
+// The copy shares the transport, so per-request timeouts (the cluster
+// router forwards each request's remaining deadline) are cheap and safe for
+// concurrent use.
+func (c *Client) WithTimeout(d time.Duration) *Client {
+	clone := *c
+	clone.Timeout = d
+	return &clone
 }
 
 // Simulate runs one spec on the server and returns the effective
@@ -146,6 +179,17 @@ func (c *Client) Health(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil, &resp)
 }
 
+// Load fetches the worker-side load snapshot (admission occupancy, queue
+// depth, drain state) the cluster router bases routing and spillover
+// decisions on.
+func (c *Client) Load(ctx context.Context) (*LoadResponse, error) {
+	var resp LoadResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/load", nil, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // simQuery carries the optional per-request deadline hint.
 func (c *Client) simQuery() url.Values {
 	if c.Timeout <= 0 {
@@ -156,9 +200,40 @@ func (c *Client) simQuery() url.Values {
 	return q
 }
 
-// do performs one round trip: encode the body, send, and decode either the
-// typed response or the structured error envelope.
+// do performs the call under the retry policy: attempt, and while the
+// failure is a retryable refusal (429/503) and attempts remain, sleep the
+// jittered Retry-After hint and try again.
 func (c *Client) do(ctx context.Context, method, path string, query url.Values, in, out any) error {
+	for attempt := 1; ; attempt++ {
+		err := c.do1(ctx, method, path, query, in, out)
+		var apiErr *APIError
+		if err == nil || attempt >= c.maxAttempts ||
+			!errors.As(err, &apiErr) || !apiErr.IsRetryable() {
+			return err
+		}
+		hint := time.Duration(apiErr.RetryAfterSeconds) * time.Second
+		if hint <= 0 {
+			hint = time.Second
+		}
+		if c.maxBackoff > 0 && hint > c.maxBackoff {
+			hint = c.maxBackoff
+		}
+		// Full jitter over the upper half of the hint: never sooner than
+		// half the server's ask, never later than all of it.
+		backoff := hint/2 + time.Duration(rand.Int64N(int64(hint/2)+1))
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			// Out of time mid-backoff: the last refusal (with its hint) is
+			// more actionable than a bare context error.
+			return err
+		}
+	}
+}
+
+// do1 performs one round trip: encode the body, send, and decode either the
+// typed response or the structured error envelope.
+func (c *Client) do1(ctx context.Context, method, path string, query url.Values, in, out any) error {
 	u := c.baseURL + path
 	if len(query) > 0 {
 		u += "?" + query.Encode()
@@ -177,6 +252,12 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	// Propagate the caller's trace so the server joins it instead of minting
+	// a fresh ID: one trace then covers both sides of the hop (and, through
+	// the cluster router, the whole route → worker chain).
+	if id := obs.TraceIDFromContext(ctx); id != 0 {
+		req.Header.Set("X-Trace-Id", id.String())
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -210,6 +211,89 @@ func TestClientTimeoutHint(t *testing.T) {
 
 // TestAPIErrorRoundTrip: the envelope the server writes is exactly what the
 // client decodes — the two halves share one vocabulary.
+// TestClientRetryAfterBackoff: a client with a retry policy must honour the
+// Retry-After hint — back off, retry, and succeed when the 429 clears —
+// without the caller seeing the refusal at all.
+func TestClientRetryAfterBackoff(t *testing.T) {
+	var calls int32
+	c := stubServer(t, func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt32(&calls, 1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			writeBody(w, http.StatusTooManyRequests,
+				`{"error":{"code":"overloaded","message":"queue full","retryAfterSeconds":1}}`)
+			return
+		}
+		writeBody(w, http.StatusOK, `{"status":"ok"}`)
+	}).WithRetry(3, 50*time.Millisecond) // cap the 1s hint so the test is fast
+
+	start := time.Now()
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("retry did not absorb the 429: %v", err)
+	}
+	if got := atomic.LoadInt32(&calls); got != 2 {
+		t.Fatalf("server saw %d calls, want 2 (429 then 200)", got)
+	}
+	// The backoff is jittered in [cap/2, cap]; it must actually have waited.
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("retried after %v, sooner than half the backoff cap", elapsed)
+	}
+}
+
+// TestClientRetryBounded: a server that never stops refusing exhausts the
+// attempt budget and surfaces the structured refusal, not an infinite loop.
+func TestClientRetryBounded(t *testing.T) {
+	var calls int32
+	c := stubServer(t, func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&calls, 1)
+		writeBody(w, http.StatusServiceUnavailable,
+			`{"error":{"code":"draining","message":"shutting down","retryAfterSeconds":1}}`)
+	}).WithRetry(3, 10*time.Millisecond)
+
+	err := c.Health(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != CodeDraining {
+		t.Fatalf("err = %v, want the final draining APIError", err)
+	}
+	if got := atomic.LoadInt32(&calls); got != 3 {
+		t.Fatalf("server saw %d calls, want exactly maxAttempts=3", got)
+	}
+}
+
+// TestClientRetryNotOnValidation: only retryable refusals retry — a 400
+// validation error must come back after exactly one attempt.
+func TestClientRetryNotOnValidation(t *testing.T) {
+	var calls int32
+	c := stubServer(t, func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&calls, 1)
+		writeBody(w, http.StatusBadRequest,
+			`{"error":{"code":"invalid_argument","field":"width","message":"width 5 unsupported"}}`)
+	}).WithRetry(5, 10*time.Millisecond)
+
+	var apiErr *APIError
+	if err := c.Health(context.Background()); !errors.As(err, &apiErr) || apiErr.Code != CodeInvalidArgument {
+		t.Fatalf("err = %v, want invalid_argument", err)
+	}
+	if got := atomic.LoadInt32(&calls); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (validation errors never retry)", got)
+	}
+}
+
+// TestClientWithTimeoutClone: WithTimeout must not mutate the receiver, so
+// one shared client can serve concurrent per-request timeouts.
+func TestClientWithTimeoutClone(t *testing.T) {
+	base := NewClient("http://example.invalid")
+	clone := base.WithTimeout(5 * time.Second)
+	if base.Timeout != 0 {
+		t.Fatalf("WithTimeout mutated the receiver: Timeout=%v", base.Timeout)
+	}
+	if clone.Timeout != 5*time.Second {
+		t.Fatalf("clone Timeout = %v, want 5s", clone.Timeout)
+	}
+	if clone.hc != base.hc {
+		t.Fatal("clone does not share the transport")
+	}
+}
+
 func TestAPIErrorRoundTrip(t *testing.T) {
 	in := &APIError{Status: 429, Code: CodeOverloaded, Message: "m", Field: "f", RetryAfterSeconds: 2}
 	data, err := json.Marshal(errorBody{Error: in})

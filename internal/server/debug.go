@@ -50,7 +50,7 @@ type debugObsResponse struct {
 func (s *Server) handleDebugObs(w http.ResponseWriter, r *http.Request) {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
-	writeJSON(w, http.StatusOK, debugObsResponse{
+	WriteJSON(w, http.StatusOK, debugObsResponse{
 		UptimeSeconds:  time.Since(s.start).Seconds(),
 		Draining:       s.draining.Load(),
 		Goroutines:     runtime.NumGoroutine(),
@@ -69,13 +69,13 @@ func (s *Server) handleDebugObs(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
 	id := r.URL.Query().Get("id")
 	if id == "" {
-		writeError(w, &APIError{Status: http.StatusBadRequest, Code: CodeInvalidArgument,
+		WriteError(w, &APIError{Status: http.StatusBadRequest, Code: CodeInvalidArgument,
 			Field: "id", Message: "id is required (the 16-hex trace ID from an access-log line)"})
 		return
 	}
 	root, ok := s.traces.Get(id)
 	if !ok {
-		writeError(w, &APIError{Status: http.StatusNotFound, Code: CodeNotFound,
+		WriteError(w, &APIError{Status: http.StatusNotFound, Code: CodeNotFound,
 			Message: fmt.Sprintf("trace %q not in the recent-trace ring (it may have been evicted; see /debug/obs for the current ring)", id)})
 		return
 	}

@@ -46,11 +46,13 @@ func (s *Server) finishSpec(spec exper.Spec) exper.Spec {
 	return spec
 }
 
-// decodeJSON strictly decodes one JSON body into v, mapping the failure
+// DecodeJSON strictly decodes one JSON body into v, mapping the failure
 // modes to structured errors: syntax errors and truncation → invalid_json,
 // wrong types and unknown fields → invalid_argument (naming the field when
-// the decoder knows it), an oversized body → body_too_large.
-func decodeJSON(w http.ResponseWriter, r *http.Request, limit int64, v any) *APIError {
+// the decoder knows it), an oversized body → body_too_large. Exported so the
+// cluster router decodes request bodies with exactly the same rules as the
+// workers.
+func DecodeJSON(w http.ResponseWriter, r *http.Request, limit int64, v any) *APIError {
 	body := http.MaxBytesReader(w, r.Body, limit)
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
@@ -112,7 +114,7 @@ func (s *Server) refuseIfDraining(w http.ResponseWriter) bool {
 	if !s.draining.Load() {
 		return false
 	}
-	writeError(w, &APIError{
+	WriteError(w, &APIError{
 		Status: http.StatusServiceUnavailable, Code: CodeDraining,
 		Message:           "server is draining; retry against another instance",
 		RetryAfterSeconds: s.retryAfterSeconds(),
@@ -173,24 +175,24 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	var spec exper.Spec
-	if apiErr := decodeJSON(w, r, maxSimulateBody, &spec); apiErr != nil {
-		writeError(w, apiErr)
+	if apiErr := DecodeJSON(w, r, maxSimulateBody, &spec); apiErr != nil {
+		WriteError(w, apiErr)
 		return
 	}
 	spec = s.finishSpec(spec)
-	if apiErr := validateSpec(spec, s.cfg.MaxBudget); apiErr != nil {
-		writeError(w, apiErr)
+	if apiErr := ValidateSpec(spec, s.cfg.MaxBudget); apiErr != nil {
+		WriteError(w, apiErr)
 		return
 	}
 	ctx, cancel, apiErr := s.requestContext(r)
 	if apiErr != nil {
-		writeError(w, apiErr)
+		WriteError(w, apiErr)
 		return
 	}
 	defer cancel()
 	release, apiErr := s.admit(ctx)
 	if apiErr != nil {
-		writeError(w, apiErr)
+		WriteError(w, apiErr)
 		return
 	}
 	defer release()
@@ -198,10 +200,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	res, err := s.cfg.Suite.RunContext(simCtx, spec)
 	sim.End()
 	if err != nil {
-		writeError(w, simError(err))
+		WriteError(w, simError(err))
 		return
 	}
-	writeJSON(w, http.StatusOK, SimulateResponse{
+	WriteJSON(w, http.StatusOK, SimulateResponse{
 		Spec:      spec,
 		Result:    res,
 		ElapsedMS: elapsedMS(start),
@@ -219,17 +221,17 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	var req SweepRequest
-	if apiErr := decodeJSON(w, r, maxSweepBody, &req); apiErr != nil {
-		writeError(w, apiErr)
+	if apiErr := DecodeJSON(w, r, maxSweepBody, &req); apiErr != nil {
+		WriteError(w, apiErr)
 		return
 	}
 	if len(req.Specs) == 0 {
-		writeError(w, &APIError{Status: http.StatusBadRequest, Code: CodeInvalidArgument,
+		WriteError(w, &APIError{Status: http.StatusBadRequest, Code: CodeInvalidArgument,
 			Field: "specs", Message: "specs must name at least one simulation"})
 		return
 	}
 	if len(req.Specs) > s.cfg.MaxSweepSpecs {
-		writeError(w, &APIError{Status: http.StatusBadRequest, Code: CodeInvalidArgument,
+		WriteError(w, &APIError{Status: http.StatusBadRequest, Code: CodeInvalidArgument,
 			Field:   "specs",
 			Message: fmt.Sprintf("sweep of %d specs exceeds the per-request limit %d; split the matrix", len(req.Specs), s.cfg.MaxSweepSpecs)})
 		return
@@ -239,22 +241,22 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		// Partial specs mean the baseline machine, exactly like
 		// /v1/simulate.
 		spec := s.finishSpec(req.Specs[i])
-		if apiErr := validateSpec(spec, s.cfg.MaxBudget); apiErr != nil {
+		if apiErr := ValidateSpec(spec, s.cfg.MaxBudget); apiErr != nil {
 			apiErr.Field = fmt.Sprintf("specs[%d].%s", i, apiErr.Field)
-			writeError(w, apiErr)
+			WriteError(w, apiErr)
 			return
 		}
 		specs[i] = spec
 	}
 	ctx, cancel, apiErr := s.requestContext(r)
 	if apiErr != nil {
-		writeError(w, apiErr)
+		WriteError(w, apiErr)
 		return
 	}
 	defer cancel()
 	release, apiErr := s.admit(ctx)
 	if apiErr != nil {
-		writeError(w, apiErr)
+		WriteError(w, apiErr)
 		return
 	}
 	defer release()
@@ -263,7 +265,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	results, err := s.cfg.Suite.RunAll(simCtx, specs)
 	sim.End()
 	if err != nil {
-		writeError(w, simError(err))
+		WriteError(w, simError(err))
 		return
 	}
 	resp := SweepResponse{
@@ -274,7 +276,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	for i, res := range results {
 		resp.Results[i] = SimulateResponse{Spec: specs[i], Result: res}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 // handleWorkloads lists the benchmark registry: GET /v1/workloads.
@@ -284,7 +286,7 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 	for _, name := range names {
 		info, err := workload.Get(name)
 		if err != nil {
-			writeError(w, simError(err))
+			WriteError(w, simError(err))
 			return
 		}
 		resp.Workloads = append(resp.Workloads, WorkloadInfo{
@@ -294,7 +296,7 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 			PaperCommitIPC: info.PaperCommitI4,
 		})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 // handleTiming evaluates the register-file cycle-time model: GET /v1/timing.
@@ -305,7 +307,7 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleTiming(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	fail := func(field, format string, args ...any) {
-		writeError(w, &APIError{Status: http.StatusBadRequest, Code: CodeInvalidArgument,
+		WriteError(w, &APIError{Status: http.StatusBadRequest, Code: CodeInvalidArgument,
 			Field: field, Message: fmt.Sprintf(format, args...)})
 	}
 	intParam := func(field string, def int) (int, bool) {
@@ -384,7 +386,7 @@ func (s *Server) handleTiming(w http.ResponseWriter, r *http.Request) {
 	for _, n := range regs {
 		resp.Rows = append(resp.Rows, breakdownRow(params, n, ports))
 	}
-	writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 // Timing-endpoint bounds: the model is closed-form, so these exist only to
@@ -398,10 +400,34 @@ const (
 // balancers use it to pull the instance before shutdown).
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "draining"})
+		WriteJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "draining"})
 		return
 	}
-	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+	WriteJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+}
+
+// handleLoad: GET /v1/load. The cluster router's spillover input: admission
+// occupancy, queue depth, and drain state as one small JSON document. Unlike
+// /healthz it keeps answering 200 while draining — the router needs the
+// snapshot to say "draining", not a refusal.
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	adm := s.adm.stats()
+	sw := s.cfg.Suite.SweepStats()
+	status := "ok"
+	draining := s.draining.Load()
+	if draining {
+		status = "draining"
+	}
+	WriteJSON(w, http.StatusOK, LoadResponse{
+		Status:        status,
+		Draining:      draining,
+		Admission:     adm,
+		QueueDepth:    adm.Waiting,
+		Capacity:      adm.MaxInFlight + adm.MaxQueue,
+		SweepActive:   sw.Active,
+		SweepWorkers:  sw.Workers,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
 }
 
 // handleMetrics: GET /metrics. Live counters: the sweep engine and
@@ -417,7 +443,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		s.reg.WritePrometheus(w) // the connection is gone if this fails
 		return
 	default:
-		writeError(w, &APIError{Status: http.StatusBadRequest, Code: CodeInvalidArgument,
+		WriteError(w, &APIError{Status: http.StatusBadRequest, Code: CodeInvalidArgument,
 			Field:   "format",
 			Message: fmt.Sprintf("unknown metrics format %q (want json or prometheus)", format)})
 		return
@@ -432,7 +458,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for pattern, m := range s.metrics {
 		resp.Endpoints[pattern] = m.snapshot(false)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 func elapsedMS(start time.Time) float64 {

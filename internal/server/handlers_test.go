@@ -262,6 +262,55 @@ func TestErrorPaths(t *testing.T) {
 
 // TestBodyTooLarge: an oversized request body is refused with 413 before
 // any simulation work.
+// TestLoadEndpoint: the router's spillover input must report admission
+// occupancy, queue depth, and drain state — and keep answering 200 during a
+// drain (the router needs the snapshot, not a refusal).
+func TestLoadEndpoint(t *testing.T) {
+	srv, client := newTestServer(t, func(cfg *Config) {
+		cfg.MaxInFlight = 3
+		cfg.MaxQueue = 5
+	})
+	status, body := get(t, client, "/v1/load")
+	if status != http.StatusOK {
+		t.Fatalf("GET /v1/load = %d, want 200\n%s", status, body)
+	}
+	var load LoadResponse
+	if err := json.Unmarshal(body, &load); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if load.Status != "ok" || load.Draining {
+		t.Fatalf("idle load = %+v, want ok/not draining", load)
+	}
+	if load.Capacity != 8 || load.Admission.MaxInFlight != 3 || load.Admission.MaxQueue != 5 {
+		t.Fatalf("capacity fields wrong: %+v", load)
+	}
+	if load.QueueDepth != load.Admission.Waiting {
+		t.Fatalf("queueDepth %d != admission.waiting %d", load.QueueDepth, load.Admission.Waiting)
+	}
+
+	// The typed client reads the same document.
+	snap, err := client.Load(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Capacity != 8 {
+		t.Fatalf("client snapshot capacity = %d, want 8", snap.Capacity)
+	}
+
+	// While draining the snapshot stays reachable and says so.
+	srv.Drain()
+	status, body = get(t, client, "/v1/load")
+	if status != http.StatusOK {
+		t.Fatalf("GET /v1/load while draining = %d, want 200\n%s", status, body)
+	}
+	if err := json.Unmarshal(body, &load); err != nil {
+		t.Fatal(err)
+	}
+	if load.Status != "draining" || !load.Draining {
+		t.Fatalf("draining load = %+v, want draining", load)
+	}
+}
+
 func TestBodyTooLarge(t *testing.T) {
 	_, client := newTestServer(t, nil)
 	big := fmt.Sprintf(`{"bench":"ora","width":4 %s}`, strings.Repeat(" ", maxSimulateBody))

@@ -78,7 +78,17 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 func (s *Server) wrap(pattern string, m *endpointMetrics, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		root, ctx := obs.StartTrace(r.Context(), pattern)
+		// Adopt the caller's trace ID when it sends one (the cluster router
+		// stamps X-Trace-Id on every worker request), so route → probe →
+		// worker spans correlate under one ID across processes. A missing or
+		// malformed header means a fresh trace, exactly as before.
+		var inherited obs.TraceID
+		if raw := r.Header.Get("X-Trace-Id"); raw != "" {
+			if id, err := obs.ParseTraceID(raw); err == nil {
+				inherited = id
+			}
+		}
+		root, ctx := obs.StartTraceWithID(r.Context(), inherited, pattern)
 		r = r.WithContext(ctx)
 		w.Header().Set("X-Trace-Id", root.TraceID().String())
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
@@ -88,7 +98,7 @@ func (s *Server) wrap(pattern string, m *endpointMetrics, h http.HandlerFunc) ht
 				// Best effort: if the handler already wrote a body the
 				// header is gone, but the log above always fires.
 				if rec.bytes == 0 {
-					writeError(rec, &APIError{
+					WriteError(rec, &APIError{
 						Status: http.StatusInternalServerError, Code: CodeInternal,
 						Message: "internal error (panic recovered; see server log)",
 					})
@@ -142,8 +152,10 @@ func (s *Server) logRequest(r *http.Request, rec *statusRecorder, root *obs.Span
 	s.cfg.Logger.Info("request", attrs...)
 }
 
-// writeJSON writes a 2xx JSON response.
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// WriteJSON writes a JSON response. The encoder settings (two-space indent)
+// are part of the wire format: the cluster router uses the same writer, so
+// a routed response is byte-identical to a direct one.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
@@ -151,9 +163,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v) // the connection is gone if this fails; nothing to do
 }
 
-// writeError writes a structured error body, mirroring any Retry-After hint
+// WriteError writes a structured error body, mirroring any Retry-After hint
 // into the header so plain HTTP clients back off correctly too.
-func writeError(w http.ResponseWriter, e *APIError) {
+func WriteError(w http.ResponseWriter, e *APIError) {
 	w.Header().Set("Content-Type", "application/json")
 	if e.RetryAfterSeconds > 0 {
 		w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfterSeconds))

@@ -139,6 +139,45 @@ func TestTracePropagation(t *testing.T) {
 // the leader's trace — the cross-trace edge that makes a 504'd leader's
 // victims diagnosable. Run under -race this also exercises concurrent span
 // trees over one engine.
+// TestTraceAdoption: a request carrying a well-formed X-Trace-Id must join
+// that trace (the cross-process half of router→worker correlation), while a
+// malformed header falls back to a fresh ID rather than an error.
+func TestTraceAdoption(t *testing.T) {
+	_, client := newTestServer(t, nil)
+	cases := []struct {
+		name, header string
+		wantAdopted  bool
+	}{
+		{"adopted", "00000000deadbeef", true},
+		{"malformed", "not-a-trace-id", false},
+		{"short", "beef", false},
+		{"absent", "", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(http.MethodGet, clientBase(client)+"/healthz", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.header != "" {
+				req.Header.Set("X-Trace-Id", tc.header)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			got := resp.Header.Get("X-Trace-Id")
+			if tc.wantAdopted && got != tc.header {
+				t.Fatalf("X-Trace-Id = %q, want adopted %q", got, tc.header)
+			}
+			if !tc.wantAdopted && (got == tc.header || len(got) != 16) {
+				t.Fatalf("X-Trace-Id = %q, want a fresh 16-hex ID", got)
+			}
+		})
+	}
+}
+
 func TestCoalescedWaiterLinksLeader(t *testing.T) {
 	// The leader's first heartbeat parks the simulation until release is
 	// closed, so the waiter deterministically finds it in flight.

@@ -22,7 +22,7 @@
 //     simulation work while in-flight requests finish.
 //
 // Endpoints: POST /v1/simulate, POST /v1/sweep, GET /v1/workloads,
-// GET /v1/timing, GET /healthz, GET /metrics.
+// GET /v1/timing, GET /v1/load, GET /healthz, GET /metrics.
 package server
 
 import (
@@ -169,6 +169,7 @@ func New(cfg Config) (*Server, error) {
 	s.route("POST /v1/sweep", s.handleSweep)
 	s.route("GET /v1/workloads", s.handleWorkloads)
 	s.route("GET /v1/timing", s.handleTiming)
+	s.route("GET /v1/load", s.handleLoad)
 	s.route("GET /healthz", s.handleHealthz)
 	s.route("GET /metrics", s.handleMetrics)
 	// Catch-all so unrouted paths get the same structured JSON errors as
@@ -178,13 +179,13 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if allowed, ok := s.methods[r.URL.Path]; ok {
 			w.Header().Set("Allow", strings.Join(allowed, ", "))
-			writeError(w, &APIError{
+			WriteError(w, &APIError{
 				Status: http.StatusMethodNotAllowed, Code: CodeInvalidArgument,
 				Message: fmt.Sprintf("%s not allowed on %s (allow %s)", r.Method, r.URL.Path, strings.Join(allowed, ", ")),
 			})
 			return
 		}
-		writeError(w, &APIError{
+		WriteError(w, &APIError{
 			Status: http.StatusNotFound, Code: CodeNotFound,
 			Message: fmt.Sprintf("no route for %s %s", r.Method, r.URL.Path),
 		})

@@ -167,6 +167,34 @@ type HealthResponse struct {
 	Status string `json:"status"` // "ok" or "draining"
 }
 
+// LoadResponse answers GET /v1/load: the worker-side load snapshot a cluster
+// router bases spillover decisions on. It is the admission controller's live
+// occupancy plus the drain flag as one small JSON document, so the router
+// never has to scrape and parse the Prometheus text exposition on the probe
+// path.
+type LoadResponse struct {
+	Status   string `json:"status"` // "ok" or "draining"
+	Draining bool   `json:"draining"`
+
+	// Admission is the controller snapshot: InFlight/Waiting are the live
+	// occupancy, MaxInFlight/MaxQueue the capacity they fill.
+	Admission AdmissionStats `json:"admission"`
+	// QueueDepth duplicates Admission.Waiting (the number a spillover
+	// decision reads first).
+	QueueDepth int64 `json:"queueDepth"`
+	// Capacity is MaxInFlight+MaxQueue: the occupancy at which the next
+	// request is refused with 429.
+	Capacity int `json:"capacity"`
+
+	// SweepActive/SweepWorkers are the simulation pool's instantaneous
+	// utilization (distinct from admission: one admitted sweep request fans
+	// out to up to SweepWorkers simulations).
+	SweepActive  int64 `json:"sweepActive"`
+	SweepWorkers int   `json:"sweepWorkers"`
+
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+}
+
 // Spec validation bounds. The simulator itself rejects structurally
 // impossible machines; these are the serving layer's tighter limits so one
 // request cannot ask for an absurdly large simulation.
@@ -175,9 +203,12 @@ const (
 	maxRegsLimit = 4096
 )
 
-// validateSpec checks a fully-defaulted spec, returning a structured
-// validation error naming the offending field.
-func validateSpec(spec exper.Spec, maxBudget int64) *APIError {
+// ValidateSpec checks a fully-defaulted spec, returning a structured
+// validation error naming the offending field. Exported because the cluster
+// router pre-validates sweep shards with the same rules the workers enforce,
+// so a validation failure is reported once with the caller's spec index
+// intact instead of surfacing from a worker with a shard-relative index.
+func ValidateSpec(spec exper.Spec, maxBudget int64) *APIError {
 	fail := func(field, format string, args ...any) *APIError {
 		return &APIError{
 			Status: http.StatusBadRequest, Code: CodeInvalidArgument,

@@ -31,6 +31,7 @@ import (
 
 	"regsim/internal/asm"
 	"regsim/internal/cache"
+	"regsim/internal/cluster"
 	"regsim/internal/core"
 	"regsim/internal/exper"
 	"regsim/internal/obs"
@@ -205,6 +206,21 @@ type ServerConfig = server.Config
 
 // NewServer builds a serving layer over an experiment suite.
 func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// ClusterRouter is the embeddable cluster frontend behind cmd/regsim-router:
+// cache-affinity (rendezvous-hash) routing of simulate and sweep traffic
+// over a pool of serving instances, with health probing, saturation-aware
+// spillover, and retry-with-reroute failover. It serves the same wire
+// surface as a single server, so a Client points at either interchangeably.
+type ClusterRouter = cluster.Router
+
+// ClusterConfig configures NewClusterRouter; Workers (or AllowRegister) is
+// required, and DefaultBudget must match the workers' commit budget so
+// routing keys equal cache keys.
+type ClusterConfig = cluster.Config
+
+// NewClusterRouter builds a cluster frontend over a worker pool.
+func NewClusterRouter(cfg ClusterConfig) (*ClusterRouter, error) { return cluster.New(cfg) }
 
 // ParseAsm assembles textual assembly (the isa.Disasm syntax plus labels and
 // .entry/.word/.float directives; see internal/asm) into a runnable program.
