@@ -15,6 +15,11 @@
 // regardless), and completed results persist in -cache-dir (default under
 // the user cache directory), making reruns at the same budget near-instant.
 // -no-cache bypasses the store.
+//
+// -estimate switches fig10 to the twin-guided pruned sweep: the analytical
+// twin predicts BIPS for the whole register grid, and only the points
+// predicted within -prune-band of each curve's peak (plus a seeded audit
+// sample) are simulated exactly. The band must lie in (0, 1).
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 	"regsim/internal/exper"
 	"regsim/internal/sweep/rescache"
 	"regsim/internal/telemetry"
+	"regsim/internal/twin"
 )
 
 // defaultCacheDir places the persistent result cache under the OS user
@@ -52,8 +58,11 @@ func main() {
 	progress := flag.Bool("progress", false, "print in-run heartbeats (cycles, committed, IPC, ETA) for long sweeps")
 	plots := flag.Bool("plots", false, "also render figures as ASCII charts")
 	asJSON := flag.Bool("json", false, "emit the experiment's data as JSON instead of tables")
+	pruneDefaults := exper.DefaultPruneOptions(nil)
+	estimate := flag.Bool("estimate", false, "fig10 only: twin-guided pruned sweep (simulate just the predicted-competitive band)")
+	pruneBand := flag.Float64("prune-band", pruneDefaults.Band, "with -estimate: keep points predicted within this fraction of each curve's peak, in (0, 1)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: paper [-n budget] [-jobs N] [-cache-dir dir] [-v] [-progress] table1|fig3|fig4|fig5|fig6|fig7|fig8|fig10|findings|regreq|ports|ablations|all\n")
+		fmt.Fprintf(os.Stderr, "usage: paper [-n budget] [-jobs N] [-cache-dir dir] [-v] [-progress] [-estimate [-prune-band f]] table1|fig3|fig4|fig5|fig6|fig7|fig8|fig10|findings|regreq|ports|ablations|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -73,6 +82,14 @@ func main() {
 	// sweeping starts, so a typo cannot burn a long run first.
 	if !knownExperiment(flag.Arg(0)) {
 		fatalUsage("unknown experiment %q (want %s)", flag.Arg(0), strings.Join(experimentNames, "|"))
+	}
+	// The pruning band gates which points simulate at all, so a malformed
+	// value is a usage error, not something to clamp silently.
+	if *pruneBand <= 0 || *pruneBand >= 1 {
+		fatalUsage("invalid -prune-band %v: the band must lie in (0, 1)", *pruneBand)
+	}
+	if *estimate && flag.Arg(0) != "fig10" {
+		fatalUsage("-estimate applies to fig10 only, not %q", flag.Arg(0))
 	}
 
 	s := exper.NewSuite(*budget)
@@ -101,7 +118,7 @@ func main() {
 		}
 	}
 	start := time.Now()
-	if err := run(s, flag.Arg(0), *plots, *asJSON); err != nil {
+	if err := run(s, flag.Arg(0), *plots, *asJSON, *estimate, *pruneBand); err != nil {
 		fmt.Fprintf(os.Stderr, "paper: %v\n", err)
 		os.Exit(1)
 	}
@@ -133,7 +150,7 @@ func knownExperiment(name string) bool {
 
 type printer interface{ Print(io.Writer) }
 
-func run(s *exper.Suite, what string, plots, asJSON bool) error {
+func run(s *exper.Suite, what string, plots, asJSON bool, estimate bool, band float64) error {
 	out := os.Stdout
 	emit := func(v printer) error {
 		if asJSON {
@@ -192,6 +209,19 @@ func run(s *exper.Suite, what string, plots, asJSON bool) error {
 		}
 		return emit(f)
 	case "fig10":
+		if estimate {
+			tw := twin.New(s)
+			opts := exper.DefaultPruneOptions(func(spec exper.Spec) (float64, error) {
+				est, err := tw.Estimate(spec)
+				return est.IPC, err
+			})
+			opts.Band = band
+			f, err := s.Fig10Pruned(opts)
+			if err != nil {
+				return err
+			}
+			return emit(f)
+		}
 		f, err := s.Fig10(nil)
 		if err != nil {
 			return err

@@ -3,6 +3,7 @@ package main_test
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"regsim/internal/cmdtest"
@@ -30,6 +31,10 @@ func TestExitCodes(t *testing.T) {
 		{"bad jobs", []string{"-jobs", "0", "table1"}, 2},
 		{"bad budget", []string{"-n", "0", "table1"}, 2},
 		{"bad cache dir", []string{"-cache-dir", notADir, "table1"}, 2},
+		{"band too wide", []string{"-estimate", "-prune-band", "1.5", "fig10"}, 2},
+		{"band zero", []string{"-estimate", "-prune-band", "0", "fig10"}, 2},
+		{"band negative", []string{"-estimate", "-prune-band", "-0.1", "fig10"}, 2},
+		{"estimate off fig10", []string{"-estimate", "table1"}, 2},
 		{"success", []string{"-n", "500", "-no-cache", "table1"}, 0},
 	}
 	for _, tc := range cases {
@@ -39,5 +44,24 @@ func TestExitCodes(t *testing.T) {
 				t.Fatalf("exit %d, want %d\n%s", code, tc.want, out)
 			}
 		})
+	}
+}
+
+// TestEstimatePrunedSmoke runs the twin-guided fig10 end to end at a tiny
+// budget: exit 0, and the rendering names what was pruned, what was kept,
+// and the per-curve peaks.
+func TestEstimatePrunedSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full pruned sweep")
+	}
+	bin := cmdtest.Build(t, "paper")
+	code, out := cmdtest.Run(t, bin, "-n", "400", "-no-cache", "-estimate", "fig10")
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, out)
+	}
+	for _, want := range []string{"twin-pruned", "peak:", "grid specs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("pruned fig10 output missing %q:\n%s", want, out)
+		}
 	}
 }

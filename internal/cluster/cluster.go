@@ -30,7 +30,7 @@
 //     results back into request order.
 //
 // The router serves the same wire surface as a worker (simulate, sweep,
-// workloads, timing, healthz, metrics), so regsim.Client points at either
+// estimate, workloads, timing, healthz, metrics), so regsim.Client points at either
 // interchangeably, plus GET /v1/cluster (pool status) and optional worker
 // registration. Trace IDs propagate: the router stamps X-Trace-Id on every
 // upstream call and workers adopt it, so one trace covers
@@ -249,6 +249,7 @@ func New(cfg Config) (*Router, error) {
 	rt.registerMetrics()
 	rt.route("POST /v1/simulate", rt.handleSimulate)
 	rt.route("POST /v1/sweep", rt.handleSweep)
+	rt.route("POST /v1/estimate", rt.handleEstimate)
 	rt.route("GET /v1/workloads", rt.handleProxy)
 	rt.route("GET /v1/timing", rt.handleProxy)
 	rt.route("GET /v1/cluster", rt.handleCluster)

@@ -152,6 +152,93 @@ func (rt *Router) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	server.WriteError(w, rt.exhaustedError(sawRefusal, refusalHint, lastErr))
 }
 
+// estimateKey is the routing key of an estimate request. Estimates are not
+// keyed by the full spec fingerprint: the twin's expensive state is its
+// per-(bench, width) calibration, shared by every spec on that pair, so
+// routing all of a pair's estimates to one worker means the pool calibrates
+// each pair once instead of everywhere — the same warm-concentration argument
+// as result-cache affinity, one level up.
+func estimateKey(spec exper.Spec) string {
+	return fmt.Sprintf("twin/%s/w%d", spec.Bench, spec.Width)
+}
+
+// handleEstimate routes one estimate: POST /v1/estimate. The candidate walk
+// mirrors handleSimulate — refusals and transport failures reroute, terminal
+// answers speak for the cluster — only the routing key differs (calibration
+// affinity instead of result-cache affinity).
+func (rt *Router) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if rt.refuseIfDraining(w) {
+		return
+	}
+	var spec exper.Spec
+	if apiErr := server.DecodeJSON(w, r, maxSimulateBody, &spec); apiErr != nil {
+		server.WriteError(w, apiErr)
+		return
+	}
+	spec, _ = rt.finishSpec(spec)
+	if apiErr := server.ValidateSpec(spec, rt.cfg.MaxBudget); apiErr != nil {
+		server.WriteError(w, apiErr)
+		return
+	}
+	ctx, cancel, timeout, apiErr := rt.requestContext(r)
+	if apiErr != nil {
+		server.WriteError(w, apiErr)
+		return
+	}
+	defer cancel()
+
+	candidates, spilled := rt.pick(estimateKey(spec), nil)
+	if len(candidates) == 0 {
+		server.WriteError(w, rt.noWorkersError())
+		return
+	}
+	if spilled {
+		rt.spillovers.Add(1)
+	}
+	var (
+		sawRefusal  bool
+		refusalHint int
+		lastErr     error
+	)
+	for i, wk := range candidates {
+		if i > 0 {
+			rt.reroutes.Add(1)
+		}
+		sp, spCtx := obs.StartSpan(ctx, "route")
+		sp.Set("worker", wk.name)
+		sp.Set("attempt", i+1)
+		wk.requests.Add(1)
+		resp, err := wk.client.WithTimeout(timeout).Estimate(spCtx, spec)
+		if err == nil {
+			sp.End()
+			wk.noteSuccess()
+			server.WriteJSON(w, http.StatusOK, resp)
+			return
+		}
+		sp.Set("error", err.Error())
+		sp.End()
+		var upstream *server.APIError
+		switch {
+		case errors.As(err, &upstream) && upstream.IsRetryable():
+			sawRefusal = true
+			if upstream.RetryAfterSeconds > refusalHint {
+				refusalHint = upstream.RetryAfterSeconds
+			}
+		case errors.As(err, &upstream):
+			server.WriteError(w, upstream)
+			return
+		default:
+			wk.noteFailure(rt.cfg.DeadAfter, err)
+			lastErr = err
+		}
+		if ctx.Err() != nil {
+			server.WriteError(w, ctxError(ctx))
+			return
+		}
+	}
+	server.WriteError(w, rt.exhaustedError(sawRefusal, refusalHint, lastErr))
+}
+
 // shard is one worker's portion of a sweep round: the original request
 // indices it covers (the specs are re-read from the request array, so a
 // rerouted shard carries identical specs to the first attempt).

@@ -1,0 +1,270 @@
+package exper
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"regsim/internal/cache"
+	"regsim/internal/rename"
+	"regsim/internal/rftiming"
+	"regsim/internal/sweep"
+	"regsim/internal/workload"
+)
+
+// EstimateFunc predicts commit IPC for one spec without simulating it. The
+// analytical twin's Estimate is the intended implementation; the indirection
+// keeps exper free of a dependency on internal/twin (which itself runs its
+// calibrations through a Suite).
+type EstimateFunc func(Spec) (float64, error)
+
+// PruneOptions configures a twin-guided pruned sweep.
+type PruneOptions struct {
+	// Estimate predicts commit IPC for a spec. Required.
+	Estimate EstimateFunc
+	// Band keeps every grid point predicted within this fraction of its
+	// curve's predicted BIPS maximum; must lie in (0, 1). Wider bands
+	// tolerate a sloppier predictor at the cost of more simulation.
+	Band float64
+	// AuditFrac independently resurrects each pruned-out point with this
+	// probability, measuring the predictor where it claimed there was
+	// nothing to see. 0 disables auditing.
+	AuditFrac float64
+	// Seed drives the audit sample.
+	Seed int64
+}
+
+// DefaultPruneOptions returns the tuned defaults used by the CLI and the
+// committed pruned-sweep test: a 4% band plus a 5% audit sample. The twin is
+// anchor-exact on the Figure 6/10 register grid, so the band only needs to
+// cover genuine curve flatness near the peaks, not predictor slop; these
+// defaults simulate under a third of the grid's specs while reproducing the
+// exact peaks.
+func DefaultPruneOptions(est EstimateFunc) PruneOptions {
+	return PruneOptions{Estimate: est, Band: 0.04, AuditFrac: 0.05, Seed: 2}
+}
+
+// PrunedPoint is one (width, regs, model) grid point of a pruned Figure 10
+// sweep.
+type PrunedPoint struct {
+	Width int          `json:"width"`
+	Regs  int          `json:"regs"`
+	Model rename.Model `json:"model"`
+	// IntCycleNS is the integer register file's cycle time (the BIPS
+	// denominator, shared by prediction and exact evaluation).
+	IntCycleNS float64 `json:"intCycleNS"`
+	// PredBIPS is the twin's prediction: mean predicted commit IPC over
+	// the benchmarks, divided by the cycle time.
+	PredBIPS float64 `json:"predBIPS"`
+	// Kept marks points inside the band (simulated because predicted
+	// competitive); Audit marks pruned points resurrected as the seeded
+	// audit sample. At most one of the two is set.
+	Kept  bool `json:"kept"`
+	Audit bool `json:"audit"`
+	// ExactBIPS and RelErr are filled for simulated (kept or audit)
+	// points: the cycle-accurate BIPS and |pred − exact| / exact.
+	ExactBIPS float64 `json:"exactBIPS,omitempty"`
+	RelErr    float64 `json:"relErr,omitempty"`
+}
+
+// Simulated reports whether the point was evaluated exactly.
+func (p *PrunedPoint) Simulated() bool { return p.Kept || p.Audit }
+
+// PruneStats summarises how much work the band pruning saved and how honest
+// the predictor was on the points that were simulated anyway.
+type PruneStats struct {
+	// GridPoints/GridSpecs are the full Figure 6/10 grid sizes: (width,
+	// model, regs) points, and those points times the benchmarks.
+	GridPoints int `json:"gridPoints"`
+	GridSpecs  int `json:"gridSpecs"`
+	// KeptPoints/AuditPoints split the simulated points by why they ran.
+	KeptPoints  int `json:"keptPoints"`
+	AuditPoints int `json:"auditPoints"`
+	// SimulatedSpecs counts the exact simulations the pruned sweep ran at
+	// the sweep budget (kept + audit points, times the benchmarks). The
+	// twin's own calibration runs are not counted here: they execute at
+	// the twin's (typically far smaller) calibration budget and amortise
+	// across every later estimate — see EstimateCalls.
+	SimulatedSpecs int `json:"simulatedSpecs"`
+	// EstimateCalls counts twin predictions made (the whole grid, once
+	// per spec).
+	EstimateCalls int `json:"estimateCalls"`
+	// MaxRelErr/MeanRelErr aggregate predicted-vs-exact BIPS error over
+	// the simulated points.
+	MaxRelErr  float64 `json:"maxRelErr"`
+	MeanRelErr float64 `json:"meanRelErr"`
+}
+
+// Fig10Pruned is a twin-guided Figure 10: predictions for the whole grid,
+// exact simulation only inside the band (plus the audit sample).
+type Fig10Pruned struct {
+	Budget    int64         `json:"budget"`
+	Band      float64       `json:"band"`
+	AuditFrac float64       `json:"auditFrac"`
+	Seed      int64         `json:"seed"`
+	Points    []PrunedPoint `json:"points"`
+	Stats     PruneStats    `json:"stats"`
+}
+
+// Fig10Pruned runs the twin-guided sweep: estimate the full Figure 6/10 grid
+// with opts.Estimate, keep each curve's predicted-competitive band plus a
+// seeded audit sample, simulate exactly only those points, and record
+// predicted-vs-exact error. The exact peaks (Peak) come from simulated
+// points only — the prediction just chooses where to spend simulation.
+func (s *Suite) Fig10Pruned(opts PruneOptions) (*Fig10Pruned, error) {
+	if opts.Estimate == nil {
+		return nil, fmt.Errorf("fig10pruned: no estimate function")
+	}
+	if opts.Band <= 0 || opts.Band >= 1 {
+		return nil, fmt.Errorf("fig10pruned: band %v outside (0, 1)", opts.Band)
+	}
+	f := &Fig10Pruned{Budget: s.Budget, Band: opts.Band, AuditFrac: opts.AuditFrac, Seed: opts.Seed}
+	params := rftiming.Default05um()
+	benches := workload.Names()
+
+	// Predict the whole grid. Points are grouped per (width, model)
+	// curve, matching Figure 10's peaks.
+	var scores []float64
+	var groups []int
+	for wi, width := range Widths {
+		for mi, model := range []rename.Model{rename.Precise, rename.Imprecise} {
+			for _, regs := range RegSizes {
+				pt := PrunedPoint{
+					Width: width, Regs: regs, Model: model,
+					IntCycleNS: params.CycleTime(regs, rftiming.PortsFor(width, false)),
+				}
+				var sum float64
+				for _, bench := range benches {
+					ipc, err := opts.Estimate(s.normalize(Spec{
+						Bench: bench, Width: width, Queue: CostEffectiveQueue(width),
+						Regs: regs, Model: model, Cache: cache.LockupFree,
+					}))
+					if err != nil {
+						return nil, fmt.Errorf("fig10pruned: estimate %s w=%d regs=%d %s: %w", bench, width, regs, model, err)
+					}
+					sum += ipc
+					f.Stats.EstimateCalls++
+				}
+				pt.PredBIPS = rftiming.BIPS(sum/float64(len(benches)), pt.IntCycleNS)
+				f.Points = append(f.Points, pt)
+				scores = append(scores, pt.PredBIPS)
+				groups = append(groups, 2*wi+mi)
+			}
+		}
+	}
+	f.Stats.GridPoints = len(f.Points)
+	f.Stats.GridSpecs = len(f.Points) * len(benches)
+
+	keep, audit, err := sweep.PruneByBand(scores, groups, opts.Band, opts.AuditFrac, opts.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("fig10pruned: %w", err)
+	}
+
+	// Simulate the survivors exactly, batched across the worker pool.
+	var specs []Spec
+	for i := range f.Points {
+		f.Points[i].Kept = keep[i]
+		f.Points[i].Audit = audit[i]
+		if !f.Points[i].Simulated() {
+			continue
+		}
+		pt := &f.Points[i]
+		for _, bench := range benches {
+			specs = append(specs, Spec{
+				Bench: bench, Width: pt.Width, Queue: CostEffectiveQueue(pt.Width),
+				Regs: pt.Regs, Model: pt.Model, Cache: cache.LockupFree,
+			})
+		}
+	}
+	results, err := s.RunAll(context.Background(), specs)
+	if err != nil {
+		return nil, err
+	}
+	f.Stats.SimulatedSpecs = len(specs)
+
+	var errSum float64
+	ri := 0
+	for i := range f.Points {
+		pt := &f.Points[i]
+		if !pt.Simulated() {
+			continue
+		}
+		var sum float64
+		for range benches {
+			sum += results[ri].CommitIPC()
+			ri++
+		}
+		pt.ExactBIPS = rftiming.BIPS(sum/float64(len(benches)), pt.IntCycleNS)
+		if pt.ExactBIPS > 0 {
+			pt.RelErr = abs(pt.PredBIPS-pt.ExactBIPS) / pt.ExactBIPS
+		}
+		if pt.Kept {
+			f.Stats.KeptPoints++
+		} else {
+			f.Stats.AuditPoints++
+		}
+		errSum += pt.RelErr
+		if pt.RelErr > f.Stats.MaxRelErr {
+			f.Stats.MaxRelErr = pt.RelErr
+		}
+	}
+	if n := f.Stats.KeptPoints + f.Stats.AuditPoints; n > 0 {
+		f.Stats.MeanRelErr = errSum / float64(n)
+	}
+	return f, nil
+}
+
+// Peak returns the register count and BIPS at the maximum of a width/model
+// curve, considering simulated points only — the pruned counterpart of
+// Fig10.Peak.
+func (f *Fig10Pruned) Peak(width int, model rename.Model) (regs int, bips float64) {
+	for _, pt := range f.Points {
+		if pt.Width == width && pt.Model == model && pt.Simulated() && pt.ExactBIPS > bips {
+			bips = pt.ExactBIPS
+			regs = pt.Regs
+		}
+	}
+	return regs, bips
+}
+
+// Print renders the pruned sweep: per-curve tables with prediction, exact
+// value where simulated, and the work saved.
+func (f *Fig10Pruned) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 10 (twin-pruned): band %.0f%%, audit %.0f%%\n", 100*f.Band, 100*f.AuditFrac)
+	for _, width := range Widths {
+		for _, model := range []rename.Model{rename.Precise, rename.Imprecise} {
+			fmt.Fprintf(w, "\n%d-way issue, %s exceptions:\n", width, model)
+			fmt.Fprintf(w, "  %6s %10s %10s %8s %6s\n", "regs", "pred-BIPS", "BIPS", "err", "why")
+			for _, pt := range f.Points {
+				if pt.Width != width || pt.Model != model {
+					continue
+				}
+				why := "pruned"
+				if pt.Kept {
+					why = "band"
+				} else if pt.Audit {
+					why = "audit"
+				}
+				if pt.Simulated() {
+					fmt.Fprintf(w, "  %6d %10.2f %10.2f %7.1f%% %6s\n",
+						pt.Regs, pt.PredBIPS, pt.ExactBIPS, 100*pt.RelErr, why)
+				} else {
+					fmt.Fprintf(w, "  %6d %10.2f %10s %8s %6s\n", pt.Regs, pt.PredBIPS, "-", "-", why)
+				}
+			}
+			r, b := f.Peak(width, model)
+			fmt.Fprintf(w, "  peak: %.2f BIPS at %d registers\n", b, r)
+		}
+	}
+	st := f.Stats
+	fmt.Fprintf(w, "\nsimulated %d of %d grid specs (%.1fx reduction); kept %d + audit %d of %d points; max |err| %.1f%%, mean %.1f%%\n",
+		st.SimulatedSpecs, st.GridSpecs, float64(st.GridSpecs)/float64(max(st.SimulatedSpecs, 1)),
+		st.KeptPoints, st.AuditPoints, st.GridPoints, 100*st.MaxRelErr, 100*st.MeanRelErr)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,104 @@
+package exper_test
+
+import (
+	"strings"
+	"testing"
+
+	"regsim/internal/exper"
+	"regsim/internal/rename"
+	"regsim/internal/twin"
+)
+
+// pruneBudget matches the verify differential suite: high enough that the
+// figure curves take their real shapes, low enough for tier-1.
+const pruneBudget = 20_000
+
+// TestFig10PrunedMatchesExact is the pruned-sweep acceptance test: the
+// twin-guided sweep must reproduce the exact sweep's argmax on every Figure
+// 10 curve while simulating at most a third of the grid at the sweep budget.
+func TestFig10PrunedMatchesExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-grid sweeps are not short-mode material")
+	}
+	s := exper.NewSuite(pruneBudget)
+	m := twin.New(s)
+	est := func(spec exper.Spec) (float64, error) {
+		e, err := m.Estimate(spec)
+		if err != nil {
+			return 0, err
+		}
+		return e.IPC, nil
+	}
+
+	pruned, err := s.Fig10Pruned(exper.DefaultPruneOptions(est))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := pruned.Stats
+	t.Logf("pruned: %d/%d specs simulated (kept %d + audit %d of %d points), max err %.1f%%, mean %.1f%%",
+		st.SimulatedSpecs, st.GridSpecs, st.KeptPoints, st.AuditPoints, st.GridPoints,
+		100*st.MaxRelErr, 100*st.MeanRelErr)
+	if st.SimulatedSpecs*3 > st.GridSpecs {
+		t.Errorf("pruned sweep simulated %d of %d grid specs; the band must cut at least 3x", st.SimulatedSpecs, st.GridSpecs)
+	}
+	if st.SimulatedSpecs == 0 || st.KeptPoints == 0 {
+		t.Fatal("pruned sweep simulated nothing")
+	}
+	if st.EstimateCalls != st.GridSpecs {
+		t.Errorf("estimated %d specs, want the whole %d-spec grid", st.EstimateCalls, st.GridSpecs)
+	}
+
+	exact, err := s.Fig10(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, width := range exper.Widths {
+		for _, model := range []rename.Model{rename.Precise, rename.Imprecise} {
+			wantRegs, wantBIPS := exact.Peak(width, model)
+			gotRegs, gotBIPS := pruned.Peak(width, model)
+			if gotRegs != wantRegs {
+				t.Errorf("w=%d %s: pruned peak at %d regs (%.3f BIPS), exact at %d (%.3f)",
+					width, model, gotRegs, gotBIPS, wantRegs, wantBIPS)
+			}
+		}
+	}
+}
+
+// TestFig10PrunedOptionValidation: the band is a fraction, not a percentage,
+// and the estimator is mandatory.
+func TestFig10PrunedOptionValidation(t *testing.T) {
+	s := exper.NewSuite(1_000)
+	est := func(exper.Spec) (float64, error) { return 1, nil }
+	for _, band := range []float64{0, -0.1, 1, 1.5} {
+		if _, err := s.Fig10Pruned(exper.PruneOptions{Estimate: est, Band: band}); err == nil {
+			t.Errorf("band %v accepted", band)
+		}
+	}
+	if _, err := s.Fig10Pruned(exper.PruneOptions{Band: 0.1}); err == nil {
+		t.Error("missing estimate function accepted")
+	}
+}
+
+// TestFig10PrunedPrint: the rendering names the work saved.
+func TestFig10PrunedPrint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-grid sweeps are not short-mode material")
+	}
+	s := exper.NewSuite(2_000)
+	m := twin.New(s)
+	pruned, err := s.Fig10Pruned(exper.DefaultPruneOptions(func(spec exper.Spec) (float64, error) {
+		e, err := m.Estimate(spec)
+		return e.IPC, err
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	pruned.Print(&b)
+	out := b.String()
+	for _, want := range []string{"twin-pruned", "band", "audit", "peak:", "grid specs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("pruned rendering missing %q:\n%s", want, out)
+		}
+	}
+}

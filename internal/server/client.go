@@ -103,6 +103,18 @@ func (c *Client) Sweep(ctx context.Context, specs []exper.Spec) (*SweepResponse,
 	return &resp, nil
 }
 
+// Estimate asks the server's analytical twin for a closed-form IPC/BIPS
+// prediction of one spec — no cycle loop beyond the twin's one-time
+// per-workload calibration. The spec is defaulted and validated exactly like
+// Simulate, so the returned spec names the configuration that was estimated.
+func (c *Client) Estimate(ctx context.Context, spec exper.Spec) (*EstimateResponse, error) {
+	var resp EstimateResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/estimate", c.simQuery(), spec, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // SweepResults is Sweep reduced to the result slice, for callers that only
 // want the numbers.
 func (c *Client) SweepResults(ctx context.Context, specs []exper.Spec) ([]*core.Result, error) {

@@ -1,0 +1,208 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+
+	"regsim/internal/exper"
+	"regsim/internal/obs"
+)
+
+func postEstimate(t *testing.T, base, query, body string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/estimate"+query, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(raw)
+}
+
+// TestEstimateSuccess: a partial spec is defaulted exactly like /v1/simulate,
+// the prediction is physical (0 < IPC ≤ width, BIPS > 0), and the wire answer
+// matches asking the server's own model directly. The second call hits the
+// warm calibration and says so.
+func TestEstimateSuccess(t *testing.T) {
+	srv, client := newTestServer(t, nil)
+	resp, err := client.Estimate(context.Background(), exper.Spec{Bench: "compress"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := exper.Spec{Bench: "compress", Width: 4, Queue: 32, Regs: 80, Budget: testBudget}
+	if resp.Spec != want {
+		t.Errorf("defaulted spec = %+v, want %+v", resp.Spec, want)
+	}
+	if resp.Calibrated {
+		t.Error("first estimate claims a warm calibration")
+	}
+	est := resp.Estimate
+	if !(est.IPC > 0 && est.IPC <= float64(want.Width)) {
+		t.Errorf("IPC %v outside (0, %d]", est.IPC, want.Width)
+	}
+	if est.BIPS <= 0 || est.IntCycleNS <= 0 || est.Cycles <= 0 {
+		t.Errorf("unphysical estimate %+v", est)
+	}
+	direct, err := srv.Twin().Estimate(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.IPC-direct.IPC) > 1e-9 || math.Abs(est.BIPS-direct.BIPS) > 1e-9 {
+		t.Errorf("wire estimate %+v diverges from direct model answer %+v", est, direct)
+	}
+
+	again, err := client.Estimate(context.Background(), exper.Spec{Bench: "compress", Regs: 160})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Calibrated {
+		t.Error("second estimate on the same (bench, width) still cold")
+	}
+}
+
+// TestEstimateErrors: the estimate endpoint speaks the same structured error
+// envelope as the simulation endpoints — unknown workloads, invalid fields,
+// malformed JSON, wrong method, and unknown paths all answer in vocabulary a
+// /v1/simulate client already handles.
+func TestEstimateErrors(t *testing.T) {
+	_, client := newTestServer(t, nil)
+	cases := []struct {
+		name      string
+		spec      exper.Spec
+		wantCode  string
+		wantField string
+	}{
+		{"unknown bench", exper.Spec{Bench: "no-such-bench"}, CodeUnknownWorkload, "bench"},
+		{"bad width", exper.Spec{Bench: "compress", Width: 6}, CodeInvalidArgument, "width"},
+		{"bad queue", exper.Spec{Bench: "compress", Queue: -4}, CodeInvalidArgument, "queue"},
+		{"bad regs", exper.Spec{Bench: "compress", Regs: 8}, CodeInvalidArgument, "regs"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := client.Estimate(context.Background(), tc.spec)
+			var apiErr *APIError
+			if !errors.As(err, &apiErr) {
+				t.Fatalf("err = %v, want *APIError", err)
+			}
+			if apiErr.Status != http.StatusBadRequest || apiErr.Code != tc.wantCode || apiErr.Field != tc.wantField {
+				t.Errorf("got %+v, want 400 %s on field %s", apiErr, tc.wantCode, tc.wantField)
+			}
+		})
+	}
+}
+
+func TestEstimateWireErrors(t *testing.T) {
+	_, base := newObsServer(t, nil)
+
+	resp, body := postEstimate(t, base, "", `{"bench":`)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(body, CodeInvalidJSON) {
+		t.Errorf("malformed JSON: status %d body %s", resp.StatusCode, body)
+	}
+
+	getResp, err := http.Get(base + "/v1/estimate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, getResp.Body)
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/estimate: status %d, want 405", getResp.StatusCode)
+	}
+	if allow := getResp.Header.Get("Allow"); !strings.Contains(allow, "POST") {
+		t.Errorf("Allow = %q, want POST", allow)
+	}
+}
+
+// TestEstimateMetrics: every estimate request — valid or not — increments
+// regsim_estimate_requests_total in the Prometheus exposition, and the twin's
+// calibration simulations surface as regsim_twin_calibration_runs_total.
+func TestEstimateMetrics(t *testing.T) {
+	_, base := newObsServer(t, nil)
+	postEstimate(t, base, "", `{"bench":"compress"}`)
+	postEstimate(t, base, "", `{"bench":"compress","width":8}`)
+	postEstimate(t, base, "", `{"bench":"no-such-bench"}`)
+
+	resp, err := http.Get(base + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	page := string(raw)
+	if !strings.Contains(page, "regsim_estimate_requests_total 3") {
+		t.Errorf("exposition missing regsim_estimate_requests_total 3:\n%s", grepMetric(page, "regsim_estimate"))
+	}
+	if !strings.Contains(page, "regsim_twin_calibration_runs_total") ||
+		strings.Contains(page, "regsim_twin_calibration_runs_total 0") {
+		t.Errorf("exposition missing nonzero regsim_twin_calibration_runs_total:\n%s", grepMetric(page, "regsim_twin"))
+	}
+}
+
+func grepMetric(page, prefix string) string {
+	var out []string
+	for _, line := range strings.Split(page, "\n") {
+		if strings.Contains(line, prefix) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestEstimateTrace: the estimate handler's work is a "twin.estimate" span on
+// the request trace, visible in the /debug/obs ring, and never an "admission"
+// span — the fast path does not queue behind simulation slots.
+func TestEstimateTrace(t *testing.T) {
+	srv, base := newObsServer(t, nil)
+	resp, body := postEstimate(t, base, "", `{"bench":"compress"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d body %s", resp.StatusCode, body)
+	}
+	traceID := resp.Header.Get("X-Trace-Id")
+	if _, err := obs.ParseTraceID(traceID); err != nil {
+		t.Fatalf("X-Trace-Id %q: %v", traceID, err)
+	}
+	tree, ok := srv.Traces().Get(traceID)
+	if !ok {
+		t.Fatalf("trace %s not in the ring", traceID)
+	}
+	if tree.Name != "POST /v1/estimate" {
+		t.Errorf("root span = %q, want the route pattern", tree.Name)
+	}
+	est := tree.Find("twin.estimate")
+	if est == nil {
+		raw, _ := json.Marshal(tree)
+		t.Fatalf("tree is missing span twin.estimate: %s", raw)
+	}
+	if got := est.Attr("warm"); got != false {
+		t.Errorf("first estimate's warm attr = %v, want false", got)
+	}
+	if tree.Find("admission") != nil {
+		t.Error("estimate request took an admission slot")
+	}
+	tree.Walk(func(d *obs.SpanData) {
+		if d.InProgress {
+			t.Errorf("span %q still in progress after the response", d.Name)
+		}
+	})
+}
+
+// TestEstimateDrain: estimates are refused during drain like the other
+// simulation-capable endpoints (a cold calibration is real work).
+func TestEstimateDrain(t *testing.T) {
+	srv, client := newTestServer(t, nil)
+	srv.Drain()
+	_, err := client.Estimate(context.Background(), exper.Spec{Bench: "compress"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable || apiErr.Code != CodeDraining {
+		t.Fatalf("estimate during drain: %v, want structured 503 %s", err, CodeDraining)
+	}
+}

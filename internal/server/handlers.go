@@ -210,6 +210,51 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleEstimate answers one spec from the analytical twin: POST /v1/estimate.
+// The same decode/default/validate pipeline as /v1/simulate — an estimate for
+// a spec the simulator would refuse is worthless — but no admission slot: a
+// warm estimate is microseconds of arithmetic, and a cold one's calibration
+// fans into the suite's own bounded worker pool. Draining still refuses, since
+// a cold calibration is real simulation work.
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if s.refuseIfDraining(w) {
+		return
+	}
+	start := time.Now()
+	s.estimates.Add(1)
+	var spec exper.Spec
+	if apiErr := DecodeJSON(w, r, maxSimulateBody, &spec); apiErr != nil {
+		WriteError(w, apiErr)
+		return
+	}
+	spec = s.finishSpec(spec)
+	if apiErr := ValidateSpec(spec, s.cfg.MaxBudget); apiErr != nil {
+		WriteError(w, apiErr)
+		return
+	}
+	ctx, cancel, apiErr := s.requestContext(r)
+	if apiErr != nil {
+		WriteError(w, apiErr)
+		return
+	}
+	defer cancel()
+	warm := s.cfg.Twin.Warm(spec.Bench, spec.Width)
+	sp, estCtx := obs.StartSpan(ctx, "twin.estimate")
+	sp.Set("warm", warm)
+	est, err := s.cfg.Twin.EstimateContext(estCtx, spec)
+	sp.End()
+	if err != nil {
+		WriteError(w, simError(err))
+		return
+	}
+	WriteJSON(w, http.StatusOK, EstimateResponse{
+		Spec:       spec,
+		Estimate:   est,
+		Calibrated: warm,
+		ElapsedMS:  elapsedMS(start),
+	})
+}
+
 // handleSweep runs a spec matrix: POST /v1/sweep. The whole batch shares
 // one admission slot (the suite's Jobs field bounds its internal
 // parallelism) and one deadline; identical specs within the batch, across

@@ -122,6 +122,13 @@ func (s *Server) registerMetrics() {
 	r.CounterFunc("regsim_rescache_errors_total", "Defective persistent-cache entries healed by re-simulation.",
 		func() float64 { return float64(sweepStats().CacheErrors) })
 
+	// Analytical twin: estimate traffic and the calibration simulations it
+	// has requested (the suite's memo/cache may have absorbed some).
+	r.CounterFunc("regsim_estimate_requests_total", "Analytical-twin estimate requests received on POST /v1/estimate.",
+		func() float64 { return float64(s.estimates.Load()) })
+	r.CounterFunc("regsim_twin_calibration_runs_total", "Calibration simulations the twin has requested from the suite.",
+		func() float64 { return float64(s.cfg.Twin.CalibrationRuns()) })
+
 	r.CounterFunc("regsim_traces_total", "Request traces recorded (including ones evicted from the debug ring).",
 		func() float64 { return float64(s.traces.Total()) })
 }

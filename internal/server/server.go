@@ -21,8 +21,9 @@
 //   - graceful drain: Drain() flips /healthz to 503 and refuses new
 //     simulation work while in-flight requests finish.
 //
-// Endpoints: POST /v1/simulate, POST /v1/sweep, GET /v1/workloads,
-// GET /v1/timing, GET /v1/load, GET /healthz, GET /metrics.
+// Endpoints: POST /v1/simulate, POST /v1/sweep, POST /v1/estimate,
+// GET /v1/workloads, GET /v1/timing, GET /v1/load, GET /healthz,
+// GET /metrics.
 package server
 
 import (
@@ -40,6 +41,7 @@ import (
 	"regsim/internal/exper"
 	"regsim/internal/obs"
 	"regsim/internal/telemetry"
+	"regsim/internal/twin"
 )
 
 // Config configures a Server. The zero value of every field except Suite is
@@ -49,6 +51,13 @@ type Config struct {
 	// many simulations one sweep request fans out to; the server's
 	// MaxInFlight bounds how many requests simulate at once.
 	Suite *exper.Suite
+
+	// Twin answers POST /v1/estimate: the analytical fast path predicting
+	// IPC/BIPS in microseconds instead of simulating. Nil means a fresh
+	// model over Suite (calibrations then share the suite's memoization and
+	// persistent cache with simulation traffic). Supplying one lets the
+	// embedding process pre-warm or share a model across servers.
+	Twin *twin.Model
 
 	// MaxInFlight is the admission bound on concurrently executing
 	// simulation requests (default GOMAXPROCS).
@@ -110,6 +119,10 @@ type Server struct {
 	reg    *obs.Registry // Prometheus-format metric families
 	traces *obs.Store    // recent completed request traces, for /debug/obs
 
+	// estimates counts POST /v1/estimate requests, scraped as
+	// regsim_estimate_requests_total.
+	estimates atomic.Int64
+
 	// admWait is the admission wait-time histogram (milliseconds queued
 	// before a slot), fed by the handlers and scraped as
 	// regsim_admission_wait_ms.
@@ -150,6 +163,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ErrorLog == nil {
 		cfg.ErrorLog = log.Default()
 	}
+	if cfg.Twin == nil {
+		cfg.Twin = twin.New(cfg.Suite)
+	}
 	reg := cfg.Registry
 	if reg == nil {
 		reg = obs.NewRegistry()
@@ -167,6 +183,7 @@ func New(cfg Config) (*Server, error) {
 	s.registerMetrics()
 	s.route("POST /v1/simulate", s.handleSimulate)
 	s.route("POST /v1/sweep", s.handleSweep)
+	s.route("POST /v1/estimate", s.handleEstimate)
 	s.route("GET /v1/workloads", s.handleWorkloads)
 	s.route("GET /v1/timing", s.handleTiming)
 	s.route("GET /v1/load", s.handleLoad)
@@ -220,3 +237,6 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // Suite exposes the underlying experiment suite (tests and the daemon's
 // shutdown path use it to report final sweep statistics).
 func (s *Server) Suite() *exper.Suite { return s.cfg.Suite }
+
+// Twin exposes the analytical model behind POST /v1/estimate.
+func (s *Server) Twin() *twin.Model { return s.cfg.Twin }

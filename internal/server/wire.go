@@ -10,6 +10,7 @@ import (
 	"regsim/internal/rename"
 	"regsim/internal/rftiming"
 	"regsim/internal/telemetry"
+	"regsim/internal/twin"
 	"regsim/internal/workload"
 )
 
@@ -75,6 +76,21 @@ type SimulateResponse struct {
 	// ElapsedMS is the server-side wall time of this request, queueing
 	// included. A warm cache or a coalesced join makes it collapse.
 	ElapsedMS float64 `json:"elapsedMS"`
+}
+
+// EstimateResponse answers POST /v1/estimate: the fully-defaulted spec and
+// the analytical twin's closed-form prediction for it — no cycle loop ran
+// (beyond the twin's one-time per-workload calibration). The same envelope
+// conventions as /v1/simulate: callers see what omitted fields resolved to,
+// and ElapsedMS is server-side wall time.
+type EstimateResponse struct {
+	Spec     exper.Spec    `json:"spec"`
+	Estimate twin.Estimate `json:"estimate"`
+	// Calibrated reports whether the (bench, width) calibration was already
+	// warm when this request arrived — a cold first request pays the
+	// calibration simulations, every later one is microseconds.
+	Calibrated bool    `json:"calibrated"`
+	ElapsedMS  float64 `json:"elapsedMS"`
 }
 
 // SweepRequest is the body of POST /v1/sweep: a spec matrix executed as one

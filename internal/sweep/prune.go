@@ -1,0 +1,53 @@
+package sweep
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// PruneByBand selects which items of a scored grid deserve exact evaluation,
+// given cheap predicted scores: within each group (a curve of a figure), every
+// item whose prediction is within band of the group's predicted maximum is
+// kept, and each discarded item is independently resurrected with probability
+// auditFrac as an audit sample — the deterministic, seeded spot-check that
+// measures the predictor against ground truth where it claimed there was
+// nothing to see.
+//
+// scores[i] is item i's predicted score and group[i] its group label; the two
+// slices must have equal length. band must lie in [0, 1): 0 keeps only each
+// group's predicted argmax (ties included), 0.15 keeps everything predicted
+// within 15% of it. Returns parallel masks: keep (simulate because the
+// prediction says it could win) and audit (simulate to check the prediction);
+// the masks are disjoint. Identical inputs yield identical masks.
+func PruneByBand(scores []float64, group []int, band, auditFrac float64, seed int64) (keep, audit []bool, err error) {
+	if len(scores) != len(group) {
+		return nil, nil, fmt.Errorf("sweep: prune: %d scores vs %d group labels", len(scores), len(group))
+	}
+	if band < 0 || band >= 1 {
+		return nil, nil, fmt.Errorf("sweep: prune: band %v outside [0, 1)", band)
+	}
+	if auditFrac < 0 || auditFrac > 1 {
+		return nil, nil, fmt.Errorf("sweep: prune: audit fraction %v outside [0, 1]", auditFrac)
+	}
+	best := make(map[int]float64)
+	for i, s := range scores {
+		if cur, ok := best[group[i]]; !ok || s > cur {
+			best[group[i]] = s
+		}
+	}
+	keep = make([]bool, len(scores))
+	audit = make([]bool, len(scores))
+	rng := rand.New(rand.NewSource(seed))
+	for i, s := range scores {
+		if s >= best[group[i]]*(1-band) {
+			keep[i] = true
+			continue
+		}
+		// Drawn for every discarded item, in slice order, so the audit
+		// choice is a pure function of (scores, group, band, seed).
+		if rng.Float64() < auditFrac {
+			audit[i] = true
+		}
+	}
+	return keep, audit, nil
+}

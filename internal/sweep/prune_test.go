@@ -1,0 +1,104 @@
+package sweep
+
+import "testing"
+
+func TestPruneByBandValidation(t *testing.T) {
+	cases := []struct {
+		name        string
+		scores      []float64
+		group       []int
+		band, audit float64
+	}{
+		{"length mismatch", []float64{1, 2}, []int{0}, 0.1, 0},
+		{"negative band", []float64{1}, []int{0}, -0.1, 0},
+		{"band one", []float64{1}, []int{0}, 1, 0},
+		{"audit negative", []float64{1}, []int{0}, 0.1, -0.5},
+		{"audit above one", []float64{1}, []int{0}, 0.1, 1.5},
+	}
+	for _, tc := range cases {
+		if _, _, err := PruneByBand(tc.scores, tc.group, tc.band, tc.audit, 1); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestPruneByBandKeepsPerGroupBand(t *testing.T) {
+	// Two groups with different maxima: the band is relative to each
+	// group's own best, not the global one.
+	scores := []float64{10, 9.5, 5, 1, 0.96, 0.5}
+	group := []int{0, 0, 0, 1, 1, 1}
+	keep, audit, err := PruneByBand(scores, group, 0.10, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKeep := []bool{true, true, false, true, true, false}
+	for i := range scores {
+		if keep[i] != wantKeep[i] {
+			t.Errorf("keep[%d] = %v, want %v", i, keep[i], wantKeep[i])
+		}
+		if audit[i] {
+			t.Errorf("audit[%d] set with auditFrac 0", i)
+		}
+	}
+}
+
+func TestPruneByBandZeroBandKeepsArgmaxWithTies(t *testing.T) {
+	scores := []float64{3, 3, 2}
+	keep, _, err := PruneByBand(scores, []int{0, 0, 0}, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !keep[0] || !keep[1] || keep[2] {
+		t.Errorf("keep = %v, want both tied maxima and nothing else", keep)
+	}
+}
+
+func TestPruneByBandAuditDeterministicAndDisjoint(t *testing.T) {
+	n := 200
+	scores := make([]float64, n)
+	group := make([]int, n)
+	for i := range scores {
+		scores[i] = float64(i % 10)
+		group[i] = i % 3
+	}
+	keep1, audit1, err := PruneByBand(scores, group, 0.05, 0.5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep2, audit2, err := PruneByBand(scores, group, 0.05, 0.5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	audited := 0
+	for i := range scores {
+		if keep1[i] != keep2[i] || audit1[i] != audit2[i] {
+			t.Fatalf("same inputs, different masks at %d", i)
+		}
+		if keep1[i] && audit1[i] {
+			t.Errorf("item %d both kept and audited", i)
+		}
+		if audit1[i] {
+			audited++
+		}
+	}
+	if audited == 0 {
+		t.Error("auditFrac 0.5 over ~180 pruned items audited nothing")
+	}
+	// A different seed reselects the audit sample but not the band.
+	keep3, audit3, err := PruneByBand(scores, group, 0.05, 0.5, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameAudit := true
+	for i := range scores {
+		if keep3[i] != keep1[i] {
+			t.Fatalf("seed changed the band mask at %d", i)
+		}
+		if audit3[i] != audit1[i] {
+			sameAudit = false
+		}
+	}
+	if sameAudit {
+		t.Error("seed 42 and 43 chose identical audit samples")
+	}
+}

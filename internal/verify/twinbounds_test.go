@@ -1,0 +1,79 @@
+package verify_test
+
+import (
+	"testing"
+
+	"regsim/internal/exper"
+	"regsim/internal/twin"
+	"regsim/internal/verify"
+)
+
+// twinBudget is the per-run commit budget of the differential suite — both
+// the exact simulations and the twin's calibration runs, so the two sides
+// see the same warmup transients.
+const twinBudget = 20_000
+
+// twinSpecs is the seeded spec count; the suite promises at least 200.
+const twinSpecs = 240
+
+// TestTwinBounds is the analytical twin's differential error-bound suite:
+// over seeded figure-shaped spec families, the twin's relative IPC error
+// against the cycle-accurate simulator must stay under the committed golden
+// ceilings (verify.TwinTolerances). A failure names the minimal violating
+// spec, so a core change that silently breaks the twin's calibration is
+// caught here in tier-1.
+func TestTwinBounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential sweeps are not short-mode material")
+	}
+	suite := exper.NewSuite(twinBudget)
+	m := twin.New(suite)
+	report, err := verify.TwinBounds(suite, m, 20260808, twinSpecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Specs < 200 {
+		t.Fatalf("only %d specs checked; the differential suite promises >= 200", report.Specs)
+	}
+	for _, fig := range report.Figures {
+		fig := fig
+		t.Run(fig.Name, func(t *testing.T) {
+			t.Logf("%s: %d specs, max err %.1f%%, mean err %.1f%% (ceiling %.0f%%)",
+				fig.Name, fig.Specs, 100*fig.MaxRelErr, 100*fig.MeanRelErr, 100*fig.Tolerance)
+			if len(fig.Violations) > 0 {
+				t.Errorf("%d specs over the %.0f%% ceiling; worst (minimal witness):\n  %s",
+					len(fig.Violations), 100*fig.Tolerance, fig.Worst)
+			}
+		})
+	}
+}
+
+// TestTwinMetamorphicAgreement checks that the twin preserves the paper's
+// metamorphic orderings and directionally agrees with the simulator on every
+// adjacent pair: the twin is monotone along each law's chain by
+// construction, and never moves decisively against a decisive simulator
+// move.
+func TestTwinMetamorphicAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("metamorphic sweeps are not short-mode material")
+	}
+	suite := exper.NewSuite(twinBudget)
+	m := twin.New(suite)
+	bases := verify.Bases(20260808, 9)
+	for _, prop := range verify.PaperLaws() {
+		prop := prop
+		t.Run(prop.Name, func(t *testing.T) {
+			disagreements, pairs, err := verify.TwinAgreement(suite, m, prop, bases, metamorphicTolerance)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pairs < 9 {
+				t.Fatalf("only %d pairs checked for %s", pairs, prop.Name)
+			}
+			for _, d := range disagreements {
+				t.Errorf("law %q (%s): twin disagrees with the simulator on minimal pair:\n  %s", prop.Name, prop.Law, d)
+			}
+			t.Logf("%s: %d pairs, %d disagreements", prop.Name, pairs, len(disagreements))
+		})
+	}
+}
