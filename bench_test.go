@@ -71,6 +71,14 @@ func BenchmarkFig5(b *testing.B) {
 // BenchmarkFig6 regenerates the register-file size sweep (288 runs).
 func BenchmarkFig6(b *testing.B) { benchrun.Fig6(benchBudget)(b) }
 
+// BenchmarkFig6Cold is the same sweep under a fresh checkpoint store each
+// iteration: capture cost included, intra-sweep sharing on.
+func BenchmarkFig6Cold(b *testing.B) { benchrun.Fig6Cold(benchBudget)(b) }
+
+// BenchmarkFig6Checkpointed regenerates the sweep over a pre-populated
+// checkpoint store — the steady-state rerun cost of a checkpointed sweep.
+func BenchmarkFig6Checkpointed(b *testing.B) { benchrun.Fig6Checkpointed(benchBudget)(b) }
+
 // BenchmarkFig7 regenerates the cache-organisation comparison (864 runs,
 // sharing the lockup-free third with Figure 6 via memoisation).
 func BenchmarkFig7(b *testing.B) {

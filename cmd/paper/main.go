@@ -20,9 +20,21 @@
 // twin predicts BIPS for the whole register grid, and only the points
 // predicted within -prune-band of each curve's peak (plus a seeded audit
 // sample) are simulated exactly. The band must lie in (0, 1).
+//
+// -checkpoint-dir attaches the architectural checkpoint store (shared with
+// cmd/regsim): sweeps capture mid-run machine snapshots at milestone commit
+// counts and fast-forward configurations over any compatible prefix —
+// including across processes and budgets — with bit-identical output.
+//
+// -sample <rate in (0,1)> switches sweeps to sampled simulation: each run
+// simulates only that fraction of its budget and extrapolates the rest with
+// help from the analytical twin, so figures render in a fraction of the
+// time but carry estimation error (bounds in EXPERIMENTS.md) and never
+// enter the result cache. Tracked (live-register) runs always run exactly.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -33,6 +45,7 @@ import (
 	"strings"
 	"time"
 
+	"regsim/internal/ckpt"
 	"regsim/internal/exper"
 	"regsim/internal/sweep/rescache"
 	"regsim/internal/telemetry"
@@ -61,8 +74,10 @@ func main() {
 	pruneDefaults := exper.DefaultPruneOptions(nil)
 	estimate := flag.Bool("estimate", false, "fig10 only: twin-guided pruned sweep (simulate just the predicted-competitive band)")
 	pruneBand := flag.Float64("prune-band", pruneDefaults.Band, "with -estimate: keep points predicted within this fraction of each curve's peak, in (0, 1)")
+	ckptDir := flag.String("checkpoint-dir", "", "architectural checkpoint directory shared with cmd/regsim: capture warm-up snapshots and fast-forward over compatible ones, bit-identically (empty disables checkpointing)")
+	sample := flag.Float64("sample", 0, "sampled simulation: each run simulates this fraction of its budget, in (0,1), and extrapolates the rest (figures become estimates; 0 disables)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: paper [-n budget] [-jobs N] [-cache-dir dir] [-v] [-progress] [-estimate [-prune-band f]] table1|fig3|fig4|fig5|fig6|fig7|fig8|fig10|findings|regreq|ports|ablations|all\n")
+		fmt.Fprintf(os.Stderr, "usage: paper [-n budget] [-jobs N] [-cache-dir dir] [-checkpoint-dir dir] [-sample rate] [-v] [-progress] [-estimate [-prune-band f]] table1|fig3|fig4|fig5|fig6|fig7|fig8|fig10|findings|regreq|ports|ablations|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -91,6 +106,11 @@ func main() {
 	if *estimate && flag.Arg(0) != "fig10" {
 		fatalUsage("-estimate applies to fig10 only, not %q", flag.Arg(0))
 	}
+	// The sampling rate gates how much of every run simulates at all, so a
+	// malformed value is a usage error, not something to clamp silently.
+	if *sample != 0 && (*sample <= 0 || *sample >= 1) {
+		fatalUsage("invalid -sample %v: the sampling rate must lie in (0, 1), or 0 to disable", *sample)
+	}
 
 	s := exper.NewSuite(*budget)
 	s.Jobs = *jobs
@@ -100,6 +120,38 @@ func main() {
 			fatalUsage("invalid -cache-dir %q: %v", *cacheDir, err)
 		}
 		s.Cache = store
+	}
+	if *ckptDir != "" {
+		store, err := ckpt.OpenStore(*ckptDir)
+		if err != nil {
+			fatalUsage("invalid -checkpoint-dir %q: %v", *ckptDir, err)
+		}
+		s.Checkpoints = store
+	}
+	if *sample != 0 {
+		s.SampleRate = *sample
+		// The gap splicer prefers the analytical twin's steady-state IPC over
+		// the measured interval's own rate when it has one. The twin
+		// calibrates on a second, exact suite that shares this one's stores
+		// (its short calibration runs are legitimate exact results), capped
+		// at the sweep budget so calibration never outruns the runs it
+		// serves.
+		exact := exper.NewSuite(*budget)
+		exact.Jobs = *jobs
+		exact.Cache = s.Cache
+		exact.Checkpoints = s.Checkpoints
+		model := twin.New(exact)
+		model.CalibBudget = twin.DefaultCalibBudget
+		if *budget < model.CalibBudget {
+			model.CalibBudget = *budget
+		}
+		s.SampleEstimator = func(ctx context.Context, spec exper.Spec) (float64, error) {
+			est, err := model.EstimateContext(ctx, spec)
+			if err != nil {
+				return 0, err
+			}
+			return est.IPC, nil
+		}
 	}
 	if *verbose {
 		s.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }

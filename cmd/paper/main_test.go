@@ -31,6 +31,10 @@ func TestExitCodes(t *testing.T) {
 		{"bad jobs", []string{"-jobs", "0", "table1"}, 2},
 		{"bad budget", []string{"-n", "0", "table1"}, 2},
 		{"bad cache dir", []string{"-cache-dir", notADir, "table1"}, 2},
+		{"bad checkpoint dir", []string{"-checkpoint-dir", notADir, "-no-cache", "table1"}, 2},
+		{"sample rate one", []string{"-sample", "1", "-no-cache", "table1"}, 2},
+		{"sample rate negative", []string{"-sample", "-0.2", "-no-cache", "table1"}, 2},
+		{"sample rate over one", []string{"-sample", "1.5", "-no-cache", "table1"}, 2},
 		{"band too wide", []string{"-estimate", "-prune-band", "1.5", "fig10"}, 2},
 		{"band zero", []string{"-estimate", "-prune-band", "0", "fig10"}, 2},
 		{"band negative", []string{"-estimate", "-prune-band", "-0.1", "fig10"}, 2},
@@ -44,6 +48,62 @@ func TestExitCodes(t *testing.T) {
 				t.Fatalf("exit %d, want %d\n%s", code, tc.want, out)
 			}
 		})
+	}
+}
+
+// TestCheckpointedFig6ByteIdentical is the CLI-level byte-identity contract:
+// fig6 rendered plain, rendered cold under a fresh -checkpoint-dir, and
+// rendered warm over the populated store must produce identical bytes on
+// stdout — fast-forwarding may only change how long the sweep takes.
+func TestCheckpointedFig6ByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the fig6 sweep three times")
+	}
+	bin := cmdtest.Build(t, "paper")
+	dir := filepath.Join(t.TempDir(), "ckpts")
+	run := func(args ...string) string {
+		t.Helper()
+		code, out := cmdtest.Run(t, bin, args...)
+		if code != 0 {
+			t.Fatalf("exit %d\n%s", code, out)
+		}
+		// Drop the timing footer (and any stderr notes): wall-clock varies.
+		var keep []string
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "[") || strings.HasPrefix(line, "paper: ") {
+				continue
+			}
+			keep = append(keep, line)
+		}
+		return strings.Join(keep, "\n")
+	}
+	plain := run("-n", "4000", "-no-cache", "fig6")
+	cold := run("-n", "4000", "-no-cache", "-checkpoint-dir", dir, "fig6")
+	warm := run("-n", "4000", "-no-cache", "-checkpoint-dir", dir, "fig6")
+	if cold != plain {
+		t.Errorf("checkpointed cold sweep drifted from the plain sweep\nplain:\n%s\ncold:\n%s", plain, cold)
+	}
+	if warm != plain {
+		t.Errorf("checkpointed warm sweep drifted from the plain sweep\nplain:\n%s\nwarm:\n%s", plain, warm)
+	}
+}
+
+// TestSampledSmoke: a sampled sweep completes and renders the same table
+// shape as the exact one (the values are estimates; accuracy is bounded by
+// internal/exper's TestSampledFig6Error, not here).
+func TestSampledSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a sampled fig6 sweep")
+	}
+	bin := cmdtest.Build(t, "paper")
+	code, out := cmdtest.Run(t, bin, "-n", "4000", "-sample", "0.25", "-no-cache", "fig6")
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, out)
+	}
+	for _, want := range []string{"Figure 6", "4-way issue", "8-way issue"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sampled fig6 output missing %q:\n%s", want, out)
+		}
 	}
 }
 

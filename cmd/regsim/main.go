@@ -25,6 +25,15 @@
 // either command — is answered from disk instead of re-simulated. Runs that
 // need the live machine (-trace, -chrome-trace, -account, -metrics-out) or
 // a non-registry program (asm:/random:) always simulate.
+//
+// -checkpoint-dir attaches the architectural checkpoint store (also shared
+// with cmd/paper): the run captures mid-run machine snapshots at milestone
+// commit counts and fast-forwards over any compatible snapshot a previous
+// run left behind, with bit-identical results. -sample <rate in (0,1)>
+// switches to sampled simulation: only that fraction of the budget is
+// simulated and the rest is extrapolated, so the printed statistics are
+// estimates (see DESIGN.md §14 for the error bounds) and never enter the
+// result cache. Both obey the same live-machine bypass as -cache-dir.
 package main
 
 import (
@@ -67,7 +76,9 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file when the run finishes")
 	cacheDir := flag.String("cache-dir", "", "persistent result-cache directory shared with cmd/paper (empty disables caching)")
 	noCache := flag.Bool("no-cache", false, "bypass the persistent result cache")
-	verifyRun := flag.Bool("verify", false, "after the run, check the configuration against the functional reference interpreter (differential oracle + runtime invariant checker); roughly doubles runtime")
+	ckptDir := flag.String("checkpoint-dir", "", "architectural checkpoint directory shared with cmd/paper: capture warm-up snapshots and fast-forward over compatible ones, bit-identically (empty disables checkpointing)")
+	sample := flag.Float64("sample", 0, "sampled simulation: simulate this fraction of the budget, in (0,1), and extrapolate the rest (statistics become estimates; 0 disables)")
+	verifyRun := flag.Bool("verify", false, "after the run, check the configuration against the functional reference interpreter (differential oracle + runtime invariant checker) and the checkpoint round-trip leg; roughly quadruples runtime")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintf(os.Stderr, "usage: regsim [flags] <benchmark>\nbenchmarks: %s, random:<seed>, asm:<path>\n",
@@ -131,6 +142,19 @@ func main() {
 			fatalUsage("invalid -cache-dir %q: %v", *cacheDir, err)
 		}
 	}
+	// A sampling rate outside (0,1) cannot mean anything (1 would sample the
+	// whole run; negative is nonsense), so it is a usage error like any other
+	// malformed machine parameter.
+	if *sample != 0 && (*sample <= 0 || *sample >= 1) {
+		fatalUsage("invalid -sample %v: the sampling rate must lie in (0, 1), or 0 to disable", *sample)
+	}
+	var ckpts *regsim.CheckpointStore
+	if *ckptDir != "" {
+		var err error
+		if ckpts, err = regsim.OpenCheckpointStore(*ckptDir); err != nil {
+			fatalUsage("invalid -checkpoint-dir %q: %v", *ckptDir, err)
+		}
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -153,6 +177,7 @@ func main() {
 		model: *model, ckind: *ckind, mdl: mdl, kind: kind, budget: *budget,
 		track: *track, traceN: *traceN, account: *account,
 		metricsOut: *metricsOut, chromeTrace: *chromeTrace, store: store,
+		ckpts: ckpts, sample: *sample,
 		verify: *verifyRun,
 		chromeOpts: trace.ChromeOptions{
 			StartCycle: *traceStart, EndCycle: *traceEnd, MaxInstructions: *traceLimit,
@@ -217,6 +242,8 @@ type runOpts struct {
 	chromeTrace        string
 	chromeOpts         trace.ChromeOptions
 	store              *rescache.Store
+	ckpts              *regsim.CheckpointStore
+	sample             float64
 	verify             bool
 }
 
@@ -303,18 +330,21 @@ func run(bench string, o runOpts) error {
 	}
 
 	// A plain registry benchmark with no machine-observing flags can be
-	// answered from the persistent result cache (shared with cmd/paper);
-	// anything that needs the live pipeline always simulates.
+	// answered from the persistent result cache (shared with cmd/paper),
+	// fast-forwarded over checkpoints, or run sampled; anything that needs
+	// the live pipeline always simulates cold and exactly.
 	var res *regsim.Result
-	if o.store != nil {
-		if strings.Contains(bench, ":") || len(hooks) > 0 || tel != nil {
-			fmt.Fprintln(os.Stderr, "regsim: note: this run needs the live machine; bypassing -cache-dir")
-			o.store = nil
-		}
+	useSuite := o.store != nil || o.ckpts != nil || o.sample != 0
+	if useSuite && (strings.Contains(bench, ":") || len(hooks) > 0 || tel != nil) {
+		fmt.Fprintln(os.Stderr, "regsim: note: this run needs the live machine; bypassing -cache-dir/-checkpoint-dir/-sample")
+		o.store, o.ckpts, o.sample = nil, nil, 0
+		useSuite = false
 	}
-	if o.store != nil {
+	if useSuite {
 		s := exper.NewSuite(o.budget)
 		s.Cache = o.store
+		s.Checkpoints = o.ckpts
+		s.SampleRate = o.sample
 		res, err = s.Run(exper.Spec{
 			Bench: bench, Width: o.width, Queue: o.queue, Regs: o.regs,
 			Model: cfg.Model, Cache: o.kind, Track: o.track,
@@ -322,6 +352,14 @@ func run(bench string, o runOpts) error {
 		if err == nil {
 			if st := s.SweepStats(); st.CacheHits > 0 {
 				fmt.Fprintln(os.Stderr, "regsim: result served from the cache")
+			}
+			if o.ckpts != nil {
+				if st := o.ckpts.Stats(); st.SnapshotHits > 0 || st.ResultHits > 0 {
+					fmt.Fprintf(os.Stderr, "regsim: checkpoint store: %d snapshot hit(s), %d result hit(s)\n", st.SnapshotHits, st.ResultHits)
+				}
+			}
+			if o.sample != 0 {
+				fmt.Fprintf(os.Stderr, "regsim: note: sampled run (rate %v); statistics are extrapolated estimates\n", o.sample)
 			}
 		}
 	} else {
@@ -382,6 +420,16 @@ func run(bench string, o runOpts) error {
 			return fmt.Errorf("verification failed: %w", err)
 		}
 		fmt.Println("verify: OK — committed stream, registers, memory, and rename state match the reference interpreter")
+		// The checkpoint round-trip leg: snapshot a warm-up prefix, push it
+		// through the on-disk JSON envelope, resume, and require the finished
+		// Result to be byte-identical to the cold run's. The invariant
+		// checker stays off here — the leg compares two pipeline runs, and
+		// the differential above already audited this configuration.
+		vcfg.CheckInvariants = false
+		if err := regsim.VerifyCheckpoint(vcfg, p, o.budget, o.budget/2); err != nil {
+			return fmt.Errorf("verification failed: %w", err)
+		}
+		fmt.Println("verify: OK — checkpoint resume is byte-identical to the cold run")
 	}
 
 	if o.metricsOut != "" {

@@ -14,6 +14,11 @@ import (
 // errors (exit 1), success is 0.
 func TestExitCodes(t *testing.T) {
 	bin := cmdtest.Build(t, "regsim")
+	// A regular file where -checkpoint-dir wants a directory.
+	notADir := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(notADir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
 	cases := []struct {
 		name string
 		args []string
@@ -30,6 +35,11 @@ func TestExitCodes(t *testing.T) {
 		{"negative regs", []string{"-regs", "-1", "compress"}, 2},
 		{"bad random seed", []string{"random:notanumber"}, 2},
 		{"uncreatable memprofile", []string{"-memprofile", "/nonexistent-dir/heap.pprof", "-n", "2000", "compress"}, 2},
+		{"sample rate one", []string{"-sample", "1", "-n", "2000", "compress"}, 2},
+		{"sample rate negative", []string{"-sample", "-0.2", "-n", "2000", "compress"}, 2},
+		{"sample rate over one", []string{"-sample", "1.5", "-n", "2000", "compress"}, 2},
+		{"checkpoint dir is a file", []string{"-checkpoint-dir", notADir, "-n", "2000", "compress"}, 2},
+		{"success with sample", []string{"-sample", "0.25", "-n", "2000", "compress"}, 0},
 		{"missing asm file", []string{"asm:/nonexistent/prog.s"}, 1},
 		{"success", []string{"-n", "2000", "compress"}, 0},
 		{"success with verify", []string{"-n", "2000", "-verify", "compress"}, 0},
@@ -62,14 +72,70 @@ func TestMemProfile(t *testing.T) {
 	}
 }
 
-// TestVerifyFlagOutput: -verify must report the oracle verdict.
+// TestVerifyFlagOutput: -verify must report both oracle verdicts (the
+// differential leg and the checkpoint round-trip leg).
 func TestVerifyFlagOutput(t *testing.T) {
 	bin := cmdtest.Build(t, "regsim")
 	code, out := cmdtest.Run(t, bin, "-n", "2000", "-verify", "random:5")
 	if code != 0 {
 		t.Fatalf("exit %d\n%s", code, out)
 	}
-	if !strings.Contains(out, "verify: OK") {
-		t.Fatalf("no verification verdict in output:\n%s", out)
+	if !strings.Contains(out, "verify: OK — committed stream") {
+		t.Fatalf("no differential verdict in output:\n%s", out)
+	}
+	if !strings.Contains(out, "verify: OK — checkpoint resume") {
+		t.Fatalf("no checkpoint round-trip verdict in output:\n%s", out)
+	}
+}
+
+// statsBlock strips the command's stderr notes ("regsim: ..." lines) from
+// combined output, leaving just the printed statistics block.
+func statsBlock(out string) string {
+	var keep []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "regsim: ") {
+			continue
+		}
+		keep = append(keep, line)
+	}
+	return strings.Join(keep, "\n")
+}
+
+// TestCheckpointFlag: a rerun against the same -checkpoint-dir must
+// fast-forward (the store reports hits) and print a byte-identical
+// statistics block — checkpointing is a speedup, never a result change.
+func TestCheckpointFlag(t *testing.T) {
+	bin := cmdtest.Build(t, "regsim")
+	dir := filepath.Join(t.TempDir(), "ckpts")
+	args := []string{"-n", "4000", "-checkpoint-dir", dir, "compress"}
+	code, cold := cmdtest.Run(t, bin, args...)
+	if code != 0 {
+		t.Fatalf("cold run: exit %d\n%s", code, cold)
+	}
+	code, warm := cmdtest.Run(t, bin, args...)
+	if code != 0 {
+		t.Fatalf("warm run: exit %d\n%s", code, warm)
+	}
+	if got, want := statsBlock(warm), statsBlock(cold); got != want {
+		t.Errorf("checkpointed rerun changed the statistics block\ncold:\n%s\nwarm:\n%s", want, got)
+	}
+	if !strings.Contains(warm, "checkpoint store:") {
+		t.Errorf("warm run never reported a checkpoint hit:\n%s", warm)
+	}
+}
+
+// TestSampleFlagOutput: a sampled run must say its statistics are estimates
+// and still report the full commit budget.
+func TestSampleFlagOutput(t *testing.T) {
+	bin := cmdtest.Build(t, "regsim")
+	code, out := cmdtest.Run(t, bin, "-n", "4000", "-sample", "0.25", "compress")
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "extrapolated estimates") {
+		t.Errorf("sampled run did not flag its output as an estimate:\n%s", out)
+	}
+	if !strings.Contains(out, " 4000   (commit IPC") {
+		t.Errorf("sampled run does not report the full commit budget:\n%s", out)
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"testing"
 
+	"regsim/internal/ckpt"
 	"regsim/internal/core"
 	"regsim/internal/exper"
 	"regsim/internal/workload"
@@ -78,6 +79,48 @@ func Fig6(budget int64) func(b *testing.B) {
 	return func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			s := exper.NewSuite(budget)
+			if _, err := s.Fig6(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// Fig6Cold runs the register-file size sweep with a fresh in-memory
+// checkpoint store each iteration: every run still simulates (snapshot
+// capture cost included), but configurations differing only in register
+// count or exception model share warm-up prefixes and pressure-free final
+// results within the sweep. The delta against Fig6 is what one cold sweep
+// gains (and pays) from checkpointing.
+func Fig6Cold(budget int64) func(b *testing.B) {
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := exper.NewSuite(budget)
+			s.Checkpoints = ckpt.NewStore()
+			if _, err := s.Fig6(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// Fig6Checkpointed measures the amortised steady state of cross-run sweep
+// reuse: the checkpoint store is populated by one untimed sweep, then each
+// timed iteration regenerates the figure over the warm store — the shape a
+// second `cmd/paper -checkpoint-dir` invocation takes. This is the number
+// the "fast sweep reruns" goal tracks.
+func Fig6Checkpointed(budget int64) func(b *testing.B) {
+	return func(b *testing.B) {
+		store := ckpt.NewStore()
+		warm := exper.NewSuite(budget)
+		warm.Checkpoints = store
+		if _, err := warm.Fig6(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := exper.NewSuite(budget)
+			s.Checkpoints = store
 			if _, err := s.Fig6(); err != nil {
 				b.Fatal(err)
 			}
@@ -145,6 +188,8 @@ func Suite() []Case {
 		{Name: "Table1", Fn: Table1(SuiteBudget)},
 		{Name: "Fig3", Fn: Fig3(SuiteBudget)},
 		{Name: "Fig6", Fn: Fig6(SuiteBudget)},
+		{Name: "Fig6Cold", Fn: Fig6Cold(SuiteBudget)},
+		{Name: "Fig6Checkpointed", Fn: Fig6Checkpointed(SuiteBudget)},
 	}
 	for _, c := range CycleLoopCases() {
 		cases = append(cases, Case{Name: "CycleLoop/" + c.Name, Fn: c.Fn})

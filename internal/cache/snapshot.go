@@ -1,0 +1,148 @@
+package cache
+
+import "fmt"
+
+// LineSnap is one valid tag-store line. Invalid lines are omitted: a cold
+// 64 KiB cache is mostly empty, and the LRU clock value of an invalid line
+// is never read.
+type LineSnap struct {
+	Index   int    `json:"i"`
+	Tag     uint64 `json:"tag"`
+	LastUse int64  `json:"use"`
+}
+
+// FillSnap is one in-flight block fetch, in arrival order. The done flag is
+// absent by design: completed fills leave the arrival queue inside Tick, so
+// at a cycle boundary every queued fill is still pending.
+type FillSnap struct {
+	LineAddr uint64 `json:"la"`
+	ArriveAt int64  `json:"at"`
+	Waiters  int    `json:"w"`
+}
+
+// DSnap is a data cache's full serialized state. The configuration is not
+// carried: it is an experiment parameter the restorer supplies, and the
+// machine-level checkpoint validates config equality before restoring.
+type DSnap struct {
+	Lines     []LineSnap `json:"lines,omitempty"`
+	BusyUntil int64      `json:"busyUntil,omitempty"`
+	Arrivals  []FillSnap `json:"arrivals,omitempty"`
+	UseClock  int64      `json:"useClock"`
+	Stats     Stats      `json:"stats"`
+}
+
+// Snapshot captures the data cache's state.
+func (c *DCache) Snapshot() *DSnap {
+	s := &DSnap{BusyUntil: c.busyUntil, UseClock: c.useClock, Stats: c.stats}
+	for i := range c.lines {
+		if c.lines[i].valid {
+			s.Lines = append(s.Lines, LineSnap{Index: i, Tag: c.lines[i].tag, LastUse: c.lines[i].lastUse})
+		}
+	}
+	for _, f := range c.arrivals {
+		s.Arrivals = append(s.Arrivals, FillSnap{LineAddr: f.lineAddr, ArriveAt: f.arriveAt, Waiters: f.waiters})
+	}
+	return s
+}
+
+// Validate checks a decoded snapshot against a cache geometry.
+func (s *DSnap) Validate(cfg Config) error {
+	if err := cfg.check(); err != nil {
+		return err
+	}
+	nlines := cfg.SizeBytes / cfg.LineBytes
+	for _, l := range s.Lines {
+		if l.Index < 0 || l.Index >= nlines {
+			return fmt.Errorf("dcache snapshot: line index %d out of range [0, %d)", l.Index, nlines)
+		}
+	}
+	last := int64(0)
+	for i, f := range s.Arrivals {
+		if f.Waiters < 0 {
+			return fmt.Errorf("dcache snapshot: fill %d has %d waiters", i, f.Waiters)
+		}
+		if f.ArriveAt < last {
+			return fmt.Errorf("dcache snapshot: arrival queue out of order at entry %d", i)
+		}
+		last = f.ArriveAt
+	}
+	return nil
+}
+
+// RestoreData rebuilds a data cache from a snapshot under the given
+// configuration (which must match the one the snapshot was taken under; the
+// core-level checkpoint enforces this).
+func RestoreData(cfg Config, s *DSnap) (*DCache, error) {
+	if err := s.Validate(cfg); err != nil {
+		return nil, err
+	}
+	c := NewData(cfg)
+	for _, l := range s.Lines {
+		c.lines[l.Index] = line{valid: true, tag: l.Tag, lastUse: l.LastUse}
+	}
+	c.busyUntil = s.BusyUntil
+	c.useClock = s.UseClock
+	c.stats = s.Stats
+	for _, fs := range s.Arrivals {
+		f := &Fill{lineAddr: fs.LineAddr, arriveAt: fs.ArriveAt, waiters: fs.Waiters}
+		c.arrivals = append(c.arrivals, f)
+		if cfg.Kind == LockupFree {
+			c.outstanding[fs.LineAddr] = f
+		}
+	}
+	return c, nil
+}
+
+// FillAt returns the in-flight fill for a line address, or nil if none is
+// outstanding. The core uses it to re-link restored loads to their fills;
+// a load whose fill already arrived restores with no fill reference, which
+// is equivalent (the only post-issue use of the reference is CancelWaiter,
+// a no-op on completed fills).
+func (c *DCache) FillAt(lineAddr uint64) *Fill {
+	for _, f := range c.arrivals {
+		if f.lineAddr == lineAddr {
+			return f
+		}
+	}
+	return nil
+}
+
+// LineAddrOf returns the line address of a fill (for serialization).
+func (f *Fill) LineAddrOf() uint64 { return f.lineAddr }
+
+// ISnap is the instruction cache's full serialized state.
+type ISnap struct {
+	Lines    []LineSnap `json:"lines,omitempty"`
+	UseClock int64      `json:"useClock"`
+	LastLA   uint64     `json:"lastLA"`
+	LastOK   bool       `json:"lastOK"`
+	Accesses int64      `json:"accesses"`
+	Misses   int64      `json:"misses"`
+}
+
+// Snapshot captures the instruction cache's state.
+func (c *ICache) Snapshot() *ISnap {
+	s := &ISnap{UseClock: c.useClock, LastLA: c.lastLA, LastOK: c.lastOK, Accesses: c.Accesses, Misses: c.Misses}
+	for i := range c.lines {
+		if c.lines[i].valid {
+			s.Lines = append(s.Lines, LineSnap{Index: i, Tag: c.lines[i].tag, LastUse: c.lines[i].lastUse})
+		}
+	}
+	return s
+}
+
+// RestoreICache rebuilds an instruction cache with the given miss penalty
+// from a snapshot.
+func RestoreICache(missPenalty int, s *ISnap) (*ICache, error) {
+	c := NewICache(missPenalty)
+	for _, l := range s.Lines {
+		if l.Index < 0 || l.Index >= len(c.lines) {
+			return nil, fmt.Errorf("icache snapshot: line index %d out of range [0, %d)", l.Index, len(c.lines))
+		}
+		c.lines[l.Index] = line{valid: true, tag: l.Tag, lastUse: l.LastUse}
+	}
+	c.useClock = s.UseClock
+	c.lastLA, c.lastOK = s.LastLA, s.LastOK
+	c.Accesses, c.Misses = s.Accesses, s.Misses
+	return c, nil
+}

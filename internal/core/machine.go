@@ -21,11 +21,14 @@ import (
 type Machine struct {
 	cfg    Config
 	limits dispatch.Limits
-	text   []isa.Inst
-	// dec holds the per-PC predecoded form of text (class, destination,
-	// sources), computed once at construction so the fetch/dispatch loop
-	// does not re-derive them from the instruction word every cycle.
-	dec []predec
+	// art is the immutable predecoded executable this machine runs. text and
+	// dec alias its (shared, read-only) segments: the instruction words and
+	// the per-PC predecoded form, so the fetch/dispatch loop does not
+	// re-derive operands from the instruction word every cycle — and so a
+	// sweep's machines share one predecode table instead of building one each.
+	art  *prog.Artifact
+	text []isa.Inst
+	dec  []prog.Predec
 
 	ren *rename.Unit
 	bp  *bpred.Predictor
@@ -120,27 +123,26 @@ type Machine struct {
 	cycleWrites [2]int
 }
 
-// predec is one predecoded instruction: the fields the dispatch stage needs
-// every time the PC passes over it, extracted from the instruction word once.
-// hasDst is already masked for the hardwired zero destination.
-type predec struct {
-	in     isa.Inst
-	dst    isa.Reg
-	srcs   [2]isa.Reg
-	class  isa.Class
-	hasDst bool
-	nsrc   uint8
+// New builds a machine for the given program. The program's data image is
+// applied to a fresh functional memory. It is a convenience wrapper that
+// predecodes the program privately; sweeps that run one program under many
+// configurations should build one prog.Artifact and use NewFromArtifact.
+func New(cfg Config, p *prog.Program) (*Machine, error) {
+	art, err := prog.NewArtifact(p)
+	if err != nil {
+		return nil, err
+	}
+	return NewFromArtifact(cfg, art)
 }
 
-// New builds a machine for the given program. The program's data image is
-// applied to a fresh functional memory.
-func New(cfg Config, p *prog.Program) (*Machine, error) {
+// NewFromArtifact builds a machine over a shared predecoded artifact. The
+// artifact is read-only to the machine: the data image is copied into a
+// fresh functional memory, and the text/predecode tables are aliased.
+func NewFromArtifact(cfg Config, art *prog.Artifact) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
+	p := art.Program()
 	limits, err := dispatch.LimitsFor(cfg.Width)
 	if err != nil {
 		return nil, err
@@ -161,7 +163,9 @@ func New(cfg Config, p *prog.Program) (*Machine, error) {
 	m := &Machine{
 		cfg:           cfg,
 		limits:        limits,
+		art:           art,
 		text:          p.Text,
+		dec:           art.Dec(),
 		ren:           ren,
 		bp:            bpred.NewKind(cfg.Predictor),
 		dc:            cache.NewData(cfg.DCache),
@@ -181,17 +185,6 @@ func New(cfg Config, p *prog.Program) (*Machine, error) {
 		m.ren.DisableKills()
 	}
 	m.skipFrontier = m.ren.KillsDisabled() && !cfg.InOrderBranches
-	m.dec = make([]predec, len(p.Text))
-	for pc, in := range p.Text {
-		d := &m.dec[pc]
-		d.in = in
-		d.class = in.Op.Class()
-		dst, hasDst := in.Dst()
-		d.dst = dst
-		d.hasDst = hasDst && !dst.IsZero()
-		srcs := in.Srcs(d.srcs[:0])
-		d.nsrc = uint8(len(srcs))
-	}
 	for _, dw := range p.Data {
 		m.mem.Write64(dw.Addr, dw.Value)
 	}

@@ -490,7 +490,7 @@ func (m *Machine) dispatchStage() {
 			return
 		}
 		d := &m.dec[m.specPC]
-		if m.queueFull(d.class) {
+		if m.queueFull(d.Class) {
 			m.stallQueue = true
 			return
 		}
@@ -499,7 +499,7 @@ func (m *Machine) dispatchStage() {
 			m.icacheStallUntil = readyAt
 			return
 		}
-		if d.hasDst && !m.ren.HasFree(d.dst.File) {
+		if d.HasDst && !m.ren.HasFree(d.Dst.File) {
 			m.stallReg = true
 			return
 		}
@@ -511,16 +511,16 @@ func (m *Machine) dispatchStage() {
 }
 
 // dispatchOne functionally executes and inserts a single instruction.
-func (m *Machine) dispatchOne(d *predec) {
-	in := d.in
+func (m *Machine) dispatchOne(d *prog.Predec) {
+	in := d.In
 	u := m.win.alloc()
 	u.pc = m.specPC
 	u.in = in
-	u.class = d.class
+	u.class = d.Class
 	u.dispatchAt = m.now
 
-	srcs := d.srcs[:d.nsrc]
-	u.nsrc = d.nsrc
+	srcs := d.Srcs[:d.NSrc]
+	u.nsrc = d.NSrc
 	var srcVals [2]uint64
 	for i, r := range srcs {
 		u.srcFile[i] = r.File
@@ -600,8 +600,8 @@ func (m *Machine) dispatchOne(d *predec) {
 		m.specValid = false
 	}
 
-	if d.hasDst {
-		dst := d.dst
+	if d.HasDst {
+		dst := d.Dst
 		u.hasDst = true
 		u.dstFile = dst.File
 		u.dstVirt = dst.Idx

@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 
 	"regsim/internal/cache"
+	"regsim/internal/ckpt"
 	"regsim/internal/core"
 	"regsim/internal/obs"
 	"regsim/internal/prog"
@@ -119,18 +120,42 @@ type Suite struct {
 	Heartbeat telemetry.ProgressFunc
 	// HeartbeatEvery is the heartbeat period in cycles (default 1<<20).
 	HeartbeatEvery int64
+	// Checkpoints, when non-nil, enables architectural checkpoint
+	// fast-forwarding: runs capture full-fidelity machine snapshots at a
+	// milestone grid and finished results with sharing metadata, and later
+	// runs resume from the deepest servable entry instead of simulating
+	// the common prefix again. Every served or resumed result is
+	// bit-identical to the cold run's (see internal/exper/checkpoint.go
+	// for the sharing rules and core.Resume for the preservation
+	// argument), which TestCheckpointedGoldens enforces against the
+	// golden corpus.
+	Checkpoints *ckpt.Store
+	// SampleRate, when in (0, 1), switches non-tracking runs to sampled
+	// simulation: only ceil(Budget×SampleRate) commits are simulated and
+	// the rest is extrapolated (see internal/exper/sample.go). Sampled
+	// results are estimates — they bypass the persistent result cache and
+	// the checkpoint store entirely, and their accuracy is reported in
+	// EXPERIMENTS.md rather than promised.
+	SampleRate float64
+	// SampleEstimator, when non-nil, supplies the IPC used to splice the
+	// unsimulated gap of a sampled run (the analytical twin's closed form,
+	// wired up by cmd/paper -sample); when nil, the measured prefix's
+	// steady-half IPC is used.
+	SampleEstimator func(ctx context.Context, spec Spec) (float64, error)
 
 	engOnce sync.Once
 	eng     *sweep.Engine[Spec, *core.Result]
 	progMu  sync.Mutex
 	sims    atomic.Int64 // simulations actually executed (cache misses)
 
-	// Built workloads, shared across the suite's runs. A Program is
-	// immutable once built (the machine copies its data image into a fresh
-	// memory), so one build serves every spec over the same benchmark
-	// instead of regenerating it per run.
-	workMu    sync.Mutex
-	workloads map[string]*prog.Program
+	// Built program artifacts (workload plus predecoded instruction
+	// table), shared across the suite's runs. An Artifact is immutable
+	// (the machine copies the data image into a fresh memory and aliases
+	// the predecode table read-only), so one build serves every spec over
+	// the same benchmark instead of regenerating and re-decoding it per
+	// run.
+	workMu sync.Mutex
+	arts   map[string]*prog.Artifact
 }
 
 // NewSuite returns a Suite with the given default per-run commit budget.
@@ -233,6 +258,8 @@ func fingerprint(spec Spec) string {
 	return rescache.Fingerprint(struct {
 		Sim      string `json:"sim"`
 		Workload string `json:"workload"`
+		Prog     string `json:"prog"`
+		Ckpt     string `json:"ckpt"`
 		Bench    string `json:"bench"`
 		Width    int    `json:"width"`
 		Queue    int    `json:"queue"`
@@ -243,36 +270,65 @@ func fingerprint(spec Spec) string {
 		Budget   int64  `json:"budget"`
 	}{
 		Sim: core.Version, Workload: workload.Version,
+		// The artifact and checkpoint format versions are key material
+		// even though a cached Result carries neither: a result may have
+		// been produced via predecoded artifacts and checkpoint resume,
+		// so a behavioural bug fixed in either layer must invalidate the
+		// results it could have tainted.
+		Prog: prog.ArtifactVersion, Ckpt: ckpt.Version,
 		Bench: spec.Bench, Width: spec.Width, Queue: spec.Queue, Regs: spec.Regs,
 		Model: spec.Model.String(), Cache: spec.Cache.String(),
 		Track: spec.Track, Budget: spec.Budget,
 	})
 }
 
-// simulate is the engine's run function: persistent-cache lookup, then a
-// program returns the built workload for bench, building it at most once
-// per suite.
-func (s *Suite) program(bench string) (*prog.Program, error) {
+// artifact returns the shared program artifact for bench — the built
+// workload plus its predecoded instruction table — building it at most once
+// per suite. Machines constructed from the artifact alias its predecode
+// table read-only, so concurrent runs over one benchmark share one build
+// and one decode instead of repeating both per run.
+func (s *Suite) artifact(bench string) (*prog.Artifact, error) {
 	s.workMu.Lock()
 	defer s.workMu.Unlock()
-	if p, ok := s.workloads[bench]; ok {
-		return p, nil
+	if a, ok := s.arts[bench]; ok {
+		return a, nil
 	}
 	p, err := workload.Build(bench)
 	if err != nil {
 		return nil, err
 	}
-	if s.workloads == nil {
-		s.workloads = make(map[string]*prog.Program)
+	a, err := prog.NewArtifact(p)
+	if err != nil {
+		return nil, err
 	}
-	s.workloads[bench] = p
-	return p, nil
+	if s.arts == nil {
+		s.arts = make(map[string]*prog.Artifact)
+	}
+	s.arts[bench] = a
+	return a, nil
 }
 
-// real simulation, then a cache fill. It may run on any pool worker.
+// checkpointable reports whether a run under cfg may use the checkpoint
+// store. Runs with per-event hooks attached (tracer, telemetry, counter
+// sampler) are excluded: their sinks observe the simulation stream, which a
+// fast-forwarded run would silently truncate (and core.Snapshot refuses
+// them for the same reason).
+func (s *Suite) checkpointable(cfg core.Config) bool {
+	return s.Checkpoints != nil &&
+		cfg.Tracer == nil && cfg.Telemetry == nil && cfg.CounterSampler == nil
+}
+
+// simulate is the engine's run function: persistent-cache lookup, then the
+// real simulation — checkpoint-accelerated or sampled when the suite is so
+// configured — then a cache fill. It may run on any pool worker.
+//
+// Sampled runs bypass the persistent cache in both directions: an estimate
+// must never be served where an exact result is expected, and the same
+// fingerprint must never mean two different things.
 func (s *Suite) simulate(ctx context.Context, spec Spec) (*core.Result, error) {
+	sampled := s.SampleRate > 0 && s.SampleRate < 1 && !spec.Track
 	var key string
-	if s.Cache != nil {
+	if s.Cache != nil && !sampled {
 		key = fingerprint(spec)
 		lookup, _ := obs.StartSpan(ctx, "rescache.lookup")
 		var r core.Result
@@ -287,7 +343,7 @@ func (s *Suite) simulate(ctx context.Context, spec Spec) (*core.Result, error) {
 	}
 	build, _ := obs.StartSpan(ctx, "workload.build")
 	build.Set("bench", spec.Bench)
-	p, err := s.program(spec.Bench)
+	art, err := s.artifact(spec.Bench)
 	build.End()
 	if err != nil {
 		return nil, err
@@ -324,14 +380,20 @@ func (s *Suite) simulate(ctx context.Context, spec Spec) (*core.Result, error) {
 			cfg.Telemetry = telemetry.New()
 		}
 	}
-	m, err := core.New(cfg, p)
-	if err != nil {
-		run.Set("error", err.Error())
-		run.End()
-		return nil, fmt.Errorf("exper %v: %w", spec, err)
+	var res *core.Result
+	switch {
+	case sampled:
+		res, err = s.runSampled(ctx, spec, art, cfg)
+	case s.checkpointable(cfg):
+		res, err = s.runCheckpointed(spec, art, cfg)
+	default:
+		var m *core.Machine
+		m, err = core.NewFromArtifact(cfg, art)
+		if err == nil {
+			s.sims.Add(1)
+			res, err = m.Run(spec.Budget)
+		}
 	}
-	s.sims.Add(1)
-	res, err := m.Run(spec.Budget)
 	if err != nil {
 		run.Set("error", err.Error())
 		run.End()
@@ -343,7 +405,7 @@ func (s *Suite) simulate(ctx context.Context, spec Spec) (*core.Result, error) {
 		run.Set("cycleAccounting", cfg.Telemetry.Account.Snapshot())
 	}
 	run.End()
-	if s.Cache != nil {
+	if s.Cache != nil && !sampled {
 		if err := s.Cache.Put(key, res); err != nil {
 			// A failed fill costs a future re-simulation, never the sweep.
 			s.progressf("cache put %s: %v", spec.Bench, err)

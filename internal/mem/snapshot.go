@@ -1,0 +1,53 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PageSnap is one touched 4 KiB page: its page number and full word image.
+type PageSnap struct {
+	Page  uint64   `json:"page"`
+	Words []uint64 `json:"words"`
+}
+
+// Snap is a memory's full serialized image, pages sorted by page number so
+// the encoding is deterministic regardless of map iteration order.
+type Snap struct {
+	Pages []PageSnap `json:"pages,omitempty"`
+}
+
+// Snapshot captures a deep copy of the memory image.
+func (m *Memory) Snapshot() *Snap {
+	s := &Snap{}
+	for k, p := range m.pages {
+		s.Pages = append(s.Pages, PageSnap{Page: k, Words: append([]uint64(nil), p[:]...)})
+	}
+	sort.Slice(s.Pages, func(i, j int) bool { return s.Pages[i].Page < s.Pages[j].Page })
+	return s
+}
+
+// Validate checks a decoded snapshot's structural sanity.
+func (s *Snap) Validate() error {
+	for i, p := range s.Pages {
+		if len(p.Words) != pageWords {
+			return fmt.Errorf("mem snapshot: page %d holds %d words, want %d", i, len(p.Words), pageWords)
+		}
+	}
+	return nil
+}
+
+// Restore rebuilds a memory from a snapshot (deep copy: the snapshot stays
+// reusable).
+func Restore(s *Snap) (*Memory, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	m := New()
+	for _, ps := range s.Pages {
+		p := new(page)
+		copy(p[:], ps.Words)
+		m.pages[ps.Page] = p
+	}
+	return m, nil
+}

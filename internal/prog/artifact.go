@@ -1,0 +1,105 @@
+package prog
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"regsim/internal/isa"
+)
+
+// ArtifactVersion identifies the predecoded-artifact format revision. It is
+// folded into artifact content addresses and into persistent cache and
+// checkpoint fingerprints, so it MUST be bumped by any change to the Predec
+// layout or to the predecode rules (a stale fingerprint must never validate
+// a checkpoint produced under different predecode semantics).
+const ArtifactVersion = "prog-artifact-1"
+
+// Predec is one predecoded instruction: the fields the dispatch stage needs
+// every time the PC passes over it, extracted from the instruction word once
+// at artifact construction instead of once per machine. HasDst is already
+// masked for the hardwired zero destination.
+type Predec struct {
+	In     isa.Inst
+	Dst    isa.Reg
+	Srcs   [2]isa.Reg
+	Class  isa.Class
+	HasDst bool
+	NSrc   uint8
+}
+
+// Artifact is an immutable, content-addressed executable: a validated
+// program plus its predecoded instruction table. One artifact is built per
+// (benchmark, generator version) and shared read-only by every machine in a
+// sweep — the machines never mutate the text, the data image (each applies
+// it to its own fresh memory), or the predecode table.
+type Artifact struct {
+	prog *Program
+	dec  []Predec
+	id   string
+}
+
+// NewArtifact validates p, predecodes its text segment, and computes the
+// content address. The caller must not mutate p afterwards.
+func NewArtifact(p *Program) (*Artifact, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	dec := make([]Predec, len(p.Text))
+	for pc, in := range p.Text {
+		d := &dec[pc]
+		d.In = in
+		d.Class = in.Op.Class()
+		dst, hasDst := in.Dst()
+		d.Dst = dst
+		d.HasDst = hasDst && !dst.IsZero()
+		srcs := in.Srcs(d.Srcs[:0])
+		d.NSrc = uint8(len(srcs))
+	}
+	return &Artifact{prog: p, dec: dec, id: contentID(p)}, nil
+}
+
+// contentID hashes everything that determines execution: the artifact format
+// version, the entry point, the encoded text, and the initial data image.
+// The program name is deliberately excluded — two identically generated
+// programs are the same artifact.
+func contentID(p *Program) string {
+	h := sha256.New()
+	h.Write([]byte(ArtifactVersion))
+	var w [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(w[:], v)
+		h.Write(w[:])
+	}
+	put(p.Entry)
+	put(uint64(len(p.Text)))
+	for _, in := range p.Text {
+		put(isa.Encode(in))
+	}
+	put(uint64(len(p.Data)))
+	for _, dw := range p.Data {
+		put(dw.Addr)
+		put(dw.Value)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Program returns the underlying program. Treat it as read-only.
+func (a *Artifact) Program() *Program { return a.prog }
+
+// Dec returns the shared predecode table. Treat it as read-only.
+func (a *Artifact) Dec() []Predec { return a.dec }
+
+// ID returns the artifact's content address (hex SHA-256). Two artifacts
+// with equal IDs execute identically; checkpoints are bound to an ID so a
+// snapshot can never be resumed against a different program.
+func (a *Artifact) ID() string { return a.id }
+
+// Name returns the program's name.
+func (a *Artifact) Name() string { return a.prog.Name }
+
+// String implements fmt.Stringer for diagnostics.
+func (a *Artifact) String() string {
+	return fmt.Sprintf("artifact(%s, %d instrs, %s)", a.prog.Name, len(a.dec), a.id[:12])
+}

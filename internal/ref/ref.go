@@ -211,3 +211,10 @@ func foldWord(h, v uint64) uint64 {
 
 // Value returns the accumulated checksum.
 func (c *Checksum) Value() uint64 { return c.h }
+
+// State returns the raw fold state, for checkpoint serialization. Zero means
+// "nothing absorbed yet" (the FNV offset basis is applied lazily by Add).
+func (c *Checksum) State() uint64 { return c.h }
+
+// SetState restores a fold state previously obtained from State.
+func (c *Checksum) SetState(h uint64) { c.h = h }

@@ -165,6 +165,15 @@ type fileState struct {
 	live     int
 	pending  []Phys // frees to apply at EndCycle
 
+	// maxPhys is the allocation watermark: the highest physical register
+	// number ever handed out by Rename (numRenameable-1 at reset, when only
+	// the architectural mappings exist). Registers above it are untouched
+	// pool registers, which — because the free list pops from the end and
+	// its untouched tail forms the front prefix [n-1 .. maxPhys+1] — is what
+	// lets a checkpoint taken at one file size be retargeted to another
+	// (see Snapshot/RestoreUnit).
+	maxPhys Phys
+
 	// waitHead[p] is the head of the intrusive chain of dispatched
 	// consumers waiting for p's writer to complete (NoWaiter when empty).
 	// The rename unit stores only opaque tokens: the scheduler encodes its
@@ -241,6 +250,7 @@ func NewUnit(regsPerFile int, model Model) (*Unit, error) {
 		for p := range fs.waitHead {
 			fs.waitHead[p] = NoWaiter
 		}
+		fs.maxPhys = numRenameable - 1
 	}
 	return u, nil
 }
@@ -336,6 +346,9 @@ func (u *Unit) Rename(seq int64, dst isa.Reg) (newPhys, oldPhys Phys) {
 	}
 	newPhys = fs.freeList[n-1]
 	fs.freeList = fs.freeList[:n-1]
+	if newPhys > fs.maxPhys {
+		fs.maxPhys = newPhys
+	}
 	r := &fs.regs[newPhys]
 	if r.live {
 		panic("rename: free list contained a live register")

@@ -1,0 +1,40 @@
+package verify_test
+
+import (
+	"testing"
+
+	"regsim/internal/cache"
+	"regsim/internal/core"
+	"regsim/internal/rename"
+	"regsim/internal/verify"
+	"regsim/internal/workload"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	p, err := workload.Build("espresso")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range []rename.Model{rename.Precise, rename.Imprecise} {
+		for _, kind := range []cache.Kind{cache.LockupFree, cache.Lockup} {
+			cfg := core.DefaultConfig()
+			cfg.Model = model
+			cfg.DCache = cfg.DCache.WithKind(kind)
+			if err := verify.CheckpointRoundTrip(cfg, p, 12_000, 5_000); err != nil {
+				t.Errorf("%s/%s: %v", model, kind, err)
+			}
+		}
+	}
+}
+
+func TestCheckpointRoundTripRejectsHooked(t *testing.T) {
+	p, err := workload.Build("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Tracer = func(core.Event) {}
+	if err := verify.CheckpointRoundTrip(cfg, p, 4_000, 2_000); err == nil {
+		t.Error("CheckpointRoundTrip accepted a hooked configuration")
+	}
+}

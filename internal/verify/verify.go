@@ -62,7 +62,8 @@ type MismatchError struct {
 	// Cfg is the machine configuration that diverged.
 	Cfg core.Config
 	// Field names what diverged: "halt", "commits", "checksum", "intreg",
-	// "fpreg", "memory", or "rename".
+	// "fpreg", "memory", "rename", or "checkpoint" (a CheckpointRoundTrip
+	// resume that is not byte-identical to its cold run).
 	Field string
 	// Detail describes the divergence.
 	Detail string

@@ -31,6 +31,7 @@ import (
 
 	"regsim/internal/asm"
 	"regsim/internal/cache"
+	"regsim/internal/ckpt"
 	"regsim/internal/cluster"
 	"regsim/internal/core"
 	"regsim/internal/exper"
@@ -360,6 +361,33 @@ func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 func Verify(cfg Config, p *Program, budget int64) error {
 	return verify.Differential(cfg, p, verify.Options{Budget: budget})
 }
+
+// VerifyCheckpoint runs the checkpoint round-trip leg of the verification
+// subsystem: p under cfg is simulated cold to budget and again by
+// snapshotting a warm-up prefix, serializing the snapshot through its
+// on-disk JSON form, resuming, and finishing — and the two Results must be
+// byte-identical under the canonical encoding the persistent caches store.
+// warm is the snapshot point in committed instructions; values outside
+// (0, budget) default to budget/2. The returned error is a
+// *VerifyMismatchError with Field "checkpoint" on drift.
+func VerifyCheckpoint(cfg Config, p *Program, budget, warm int64) error {
+	return verify.CheckpointRoundTrip(cfg, p, budget, warm)
+}
+
+// CheckpointStore holds architectural checkpoints (mid-run machine
+// snapshots and finished results) shared across the runs of a sweep, so
+// configurations differing only in late-binding dimensions fast-forward
+// over a common warm-up prefix instead of re-simulating it. Attach one to
+// Suite.Checkpoints; results are bit-identical with or without it.
+type CheckpointStore = ckpt.Store
+
+// NewCheckpointStore returns a memory-only checkpoint store (checkpoints
+// live for the process; nothing is persisted).
+func NewCheckpointStore() *CheckpointStore { return ckpt.NewStore() }
+
+// OpenCheckpointStore opens (creating if needed) a checkpoint store backed
+// by dir, so warm-up fast-forwarding also works across processes.
+func OpenCheckpointStore(dir string) (*CheckpointStore, error) { return ckpt.OpenStore(dir) }
 
 // VerifyMismatchError reports which architectural field diverged from the
 // reference interpreter.
